@@ -1,0 +1,92 @@
+"""Shared infrastructure for the per-figure benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's Section 7 at
+reproduction scale: it runs the same algorithms over the scale-model
+datasets, prints the series the paper plots, and appends them to
+``benchmarks/results/`` so EXPERIMENTS.md can cite measured numbers.
+
+Scale notes: the paper's graphs have 10⁶–10⁷ nodes and run on 20 EC2
+instances for minutes to hours; the reproduction uses ~10³-node scale models
+so the whole suite finishes in minutes.  Shapes (who wins, monotonicity,
+crossovers) are the reproduction target, not absolute times — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence
+
+from repro.core import DiscoveryConfig
+from repro.datasets import KB_ATTRIBUTES, dbpedia_like, imdb_like, yago2_like
+
+#: Worker counts of Figures 5(a)-(c) and 5(i)-(k).
+WORKER_COUNTS = [4, 8, 12, 16, 20]
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+#: Per-dataset scale factors and support thresholds for the worker sweeps.
+#: DBpedia needs a larger scale: its breadth (many node types ⇒ many small
+#: match tables) under-utilizes workers at tiny sizes.
+DATASET_SHAPE = {
+    "dbpedia": (2.0, 250),
+    "yago2": (1.6, 90),
+    "imdb": (1.6, 90),
+}
+
+_FACTORIES = {
+    "dbpedia": dbpedia_like,
+    "yago2": yago2_like,
+    "imdb": imdb_like,
+}
+
+
+@functools.lru_cache(maxsize=None)
+def dataset(name: str, scale: float = None):
+    """The benchmark graphs (cached across benches within one session)."""
+    if scale is None:
+        scale = DATASET_SHAPE[name][0]
+    return _FACTORIES[name](scale=scale, seed=1)
+
+
+def discovery_config(name: str, **overrides) -> DiscoveryConfig:
+    """Per-dataset discovery parameters (σ tuned to dataset size)."""
+    defaults = dict(
+        k=3,
+        sigma=DATASET_SHAPE[name][1],
+        max_lhs_size=1,
+        active_attributes=list(KB_ATTRIBUTES),
+    )
+    defaults.update(overrides)
+    return DiscoveryConfig(**defaults)
+
+
+def record(name: str, lines: Sequence[str]) -> None:
+    """Print a series and persist it under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===\n{text}")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def series_table(header: str, rows: Dict) -> List[str]:
+    """Format a {x: y or (y1, y2, ...)} mapping as aligned text rows."""
+    lines = [header]
+    for key in rows:
+        value = rows[key]
+        if isinstance(value, tuple):
+            rendered = "\t".join(
+                f"{v:.4f}" if isinstance(v, float) else str(v) for v in value
+            )
+        elif isinstance(value, float):
+            rendered = f"{value:.4f}"
+        else:
+            rendered = str(value)
+        lines.append(f"{key}\t{rendered}")
+    return lines
+
+
+def run_once(benchmark, func: Callable):
+    """Run ``func`` exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

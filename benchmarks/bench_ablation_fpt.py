@@ -1,0 +1,46 @@
+"""Theorem 1 / Proposition 2: fixed-parameter tractability in practice.
+
+Satisfiability and implication cost grow with the parameter k (the ``k^k``
+embedding bound) but stay polynomial in |Σ| for fixed k.  The bench sweeps
+both dimensions and checks the growth directions.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _harness import dataset, record, run_once, series_table
+
+from repro.datasets import generate_gfds
+from repro.gfd import implies, is_satisfiable
+
+
+def _sweep():
+    graph = dataset("yago2")
+    rows = {}
+    for k in (2, 3, 4):
+        sigma_set = generate_gfds(graph, 120, k=k, seed=13)
+        started = time.perf_counter()
+        is_satisfiable(sigma_set[:40])
+        sat_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        for gfd in sigma_set[40:80]:
+            implies(sigma_set[:40], gfd)
+        imp_seconds = time.perf_counter() - started
+        rows[k] = (sat_seconds, imp_seconds)
+    size_rows = {}
+    sigma_set = generate_gfds(graph, 400, k=3, seed=13)
+    for size in (100, 200, 400):
+        started = time.perf_counter()
+        for gfd in sigma_set[:20]:
+            implies(sigma_set[:size], gfd)
+        size_rows[size] = time.perf_counter() - started
+    return rows, size_rows
+
+
+def test_ablation_fpt(benchmark):
+    rows, size_rows = run_once(benchmark, _sweep)
+    lines = series_table("k\tsatisfiability_s\timplication_s", rows)
+    lines += series_table("|Sigma|\timplication_s", size_rows)
+    record("ablation_fpt", lines)
+    assert size_rows[400] >= size_rows[100], "implication grows with |Σ|"

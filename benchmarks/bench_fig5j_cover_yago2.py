@@ -1,0 +1,47 @@
+"""Figure 5(j): ParCover vs ParCovern over workers n ∈ {4..20} — YAGO2.
+
+Paper: ParCover improves 1.75× from n=4 to n=20 on average and outperforms
+the no-grouping ParCovern by ~10×.  Shape targets: ParCover ≤ ParCovern at
+every n, with a large grouping speedup.
+"""
+
+from __future__ import annotations
+
+from _harness import (
+    WORKER_COUNTS,
+    dataset,
+    discovery_config,
+    record,
+    run_once,
+    series_table,
+)
+
+from repro.core import discover
+from repro.parallel import parallel_cover, parallel_cover_ungrouped
+
+DATASET = "yago2"
+
+
+def _sweep():
+    graph = dataset(DATASET)
+    config = discovery_config(DATASET)
+    sigma_set = discover(graph, config).gfds
+    rows = {}
+    for workers in WORKER_COUNTS:
+        _, grouped = parallel_cover(sigma_set, num_workers=workers)
+        _, ungrouped = parallel_cover_ungrouped(sigma_set, num_workers=workers)
+        rows[workers] = (
+            grouped.metrics.elapsed_parallel,
+            ungrouped.metrics.elapsed_parallel,
+        )
+    return rows
+
+
+def test_fig5j_cover_yago2(benchmark):
+    rows = run_once(benchmark, _sweep)
+    record(
+        "fig5j_cover_yago2",
+        series_table("n\tParCover_seconds\tParCovern_seconds", rows),
+    )
+    for workers, (grouped, ungrouped) in rows.items():
+        assert grouped <= ungrouped, f"grouping must win at n={workers}"

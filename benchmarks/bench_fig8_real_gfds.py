@@ -1,0 +1,60 @@
+"""Figure 8: qualitative GFDs discovered on YAGO2.
+
+Paper's exhibits: GFD1 (variable-only familyname inheritance over
+``hasChild``), GFD2 (no film wins both Gold Bear and Gold Lion) and GFD3
+(no US+Norway dual citizenship).  The scale models plant all three; this
+bench mines the graph and asserts the shapes appear in the output
+(constant bindings, variable literals, negative GFDs).
+"""
+
+from __future__ import annotations
+
+from _harness import dataset, discovery_config, record, run_once
+
+from repro.core import discover
+from repro.gfd import ConstantLiteral, VariableLiteral, format_gfd
+
+
+def _mine():
+    graph = dataset("yago2")
+    config = discovery_config("yago2", k=3, max_lhs_size=2)
+    result = discover(graph, config)
+    interesting = {
+        "variable_only": [],
+        "constant_binding": [],
+        "negative_structural": [],
+        "negative_literal": [],
+    }
+    for gfd in result.sorted_by_support():
+        if gfd.is_negative and not gfd.lhs:
+            interesting["negative_structural"].append(gfd)
+        elif gfd.is_negative:
+            interesting["negative_literal"].append(gfd)
+        elif not gfd.lhs and isinstance(gfd.rhs, VariableLiteral):
+            interesting["variable_only"].append(gfd)
+        elif isinstance(gfd.rhs, ConstantLiteral) and any(
+            isinstance(l, ConstantLiteral) for l in gfd.lhs
+        ):
+            interesting["constant_binding"].append(gfd)
+    return result, interesting
+
+
+def test_fig8_real_gfds(benchmark):
+    result, interesting = run_once(benchmark, _mine)
+    lines = [f"total GFDs: {len(result.gfds)}"]
+    for kind, rules in interesting.items():
+        lines.append(f"-- {kind}: {len(rules)}")
+        for gfd in rules[:3]:
+            lines.append(f"   {format_gfd(gfd)}")
+    record("fig8_real_gfds", lines)
+    assert interesting["variable_only"], "a GFD1-style variable-only rule"
+    assert interesting["constant_binding"], "a φ1-style constant rule"
+    assert interesting["negative_structural"], "a φ3-style negative"
+    assert interesting["negative_literal"], "a GFD2/GFD3-style negative"
+    # GFD1 itself: familyname inheritance along hasChild
+    family = [
+        gfd
+        for gfd in interesting["variable_only"]
+        if "familyname" in str(gfd) and "hasChild" in str(gfd)
+    ]
+    assert family, "familyname inheritance should be mined"

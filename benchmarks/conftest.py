@@ -1,0 +1,6 @@
+"""Make the benchmark harness importable when pytest runs this directory."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,68 @@
+"""Knowledge-base cleaning: discover rules, inject errors, detect them.
+
+Reproduces the paper's Exp-5 protocol as an application: mine GFDs from a
+YAGO2-shaped knowledge graph, corrupt a copy with unseen values (the α/β
+noise model), then use the rules to flag dirty entities and score the
+detection, comparing against AMIE rules mined from the same graph.
+
+Run:  python examples/knowledge_base_cleaning.py
+"""
+
+from __future__ import annotations
+
+from repro import DiscoveryConfig, discover, sequential_cover
+from repro.baselines import AmieMiner, mine_amie
+from repro.datasets import KB_ATTRIBUTES, inject_noise, yago2_like
+from repro.quality import amie_detection, gfd_detection
+
+
+def main() -> None:
+    graph = yago2_like(scale=0.8, seed=7)
+    print(f"knowledge graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+
+    config = DiscoveryConfig(
+        k=3,
+        sigma=45,
+        max_lhs_size=1,
+        active_attributes=list(KB_ATTRIBUTES),
+    )
+    result = discover(graph, config)
+    cover = sequential_cover(result.gfds)
+    print(
+        f"discovered {len(result.gfds)} GFDs, cover keeps {len(cover.cover)} "
+        f"({cover.reduction_ratio:.0%} redundant)"
+    )
+
+    amie = mine_amie(graph, min_support=config.sigma)
+    print(f"AMIE baseline: {len(amie.rules)} Horn rules")
+
+    for alpha, beta in [(0.05, 0.5), (0.10, 0.5), (0.10, 0.8)]:
+        dirty, report = inject_noise(
+            graph, alpha=alpha, beta=beta, attributes=KB_ATTRIBUTES, seed=11
+        )
+        gfd_metrics = gfd_detection(dirty, cover.cover, report.dirty_nodes)
+        amie_metrics = amie_detection(
+            dirty,
+            amie.rules,
+            report.dirty_nodes,
+            AmieMiner(dirty, min_support=config.sigma),
+        )
+        print(
+            f"\nnoise α={alpha:.0%} β={beta:.0%}: "
+            f"{len(report.dirty_nodes)} dirty nodes, "
+            f"{report.total_changes} perturbations"
+        )
+        print(
+            f"  GFD detection : accuracy={gfd_metrics.accuracy:.2f} "
+            f"precision={gfd_metrics.precision:.2f} "
+            f"(flagged {gfd_metrics.flagged})"
+        )
+        print(
+            f"  AMIE detection: accuracy={amie_metrics.accuracy:.2f} "
+            f"precision={amie_metrics.precision:.2f} "
+            f"(flagged {amie_metrics.flagged})"
+        )
+
+
+if __name__ == "__main__":
+    main()

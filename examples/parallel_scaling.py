@@ -1,0 +1,55 @@
+"""Parallel scalability: DisGFD across worker counts (Theorem 5 in action).
+
+Runs ParDis over the metered cluster simulation for n ∈ {1, 2, 4, 8, 16},
+prints the modeled parallel response time (makespan + master + modeled
+communication) and verifies the result set never changes — parallelism buys
+time, not different rules.
+
+Run:  python examples/parallel_scaling.py
+"""
+
+from __future__ import annotations
+
+from repro import DiscoveryConfig, discover
+from repro.core import gfd_identity
+from repro.datasets import KB_ATTRIBUTES, yago2_like
+from repro.parallel import discover_parallel
+
+
+def main() -> None:
+    graph = yago2_like(scale=1.2, seed=3)
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+    config = DiscoveryConfig(
+        k=3,
+        sigma=70,
+        max_lhs_size=1,
+        active_attributes=list(KB_ATTRIBUTES),
+    )
+
+    sequential = discover(graph, config)
+    print(
+        f"\nSeqDis: {len(sequential.gfds)} GFDs in "
+        f"{sequential.stats.elapsed_seconds:.2f}s (single process)"
+    )
+    reference = {gfd_identity(gfd) for gfd in sequential.gfds}
+
+    print("\nParDis (modeled cluster time):")
+    print("  n   parallel_s   makespan_s   master_s   speedup_vs_n=1")
+    base = None
+    for workers in (1, 2, 4, 8, 16):
+        result, cluster = discover_parallel(graph, config, num_workers=workers)
+        assert {gfd_identity(gfd) for gfd in result.gfds} == reference
+        elapsed = cluster.metrics.elapsed_parallel
+        if base is None:
+            base = elapsed
+        print(
+            f"  {workers:>2}   {elapsed:>9.3f}   "
+            f"{cluster.metrics.parallel_seconds:>9.3f}   "
+            f"{cluster.metrics.master_seconds:>7.3f}   {base / elapsed:>6.2f}x"
+        )
+    print("\nresult sets identical across all runs — scalability is free of")
+    print("semantic drift (the property the paper's Theorem 5 relies on).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package, so
+PEP-517 editable installs fail with ``invalid command 'bdist_wheel'``.
+Having a ``setup.py`` lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` fall back to the classic develop install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,108 @@
+"""repro — a reproduction of *Discovering Graph Functional Dependencies*
+(Fan, Hu, Liu, Lu — SIGMOD 2018).
+
+The package implements the paper end to end:
+
+* :mod:`repro.graph` — the property-graph substrate (storage, IO,
+  statistics, vertex-cut fragmentation);
+* :mod:`repro.pattern` — graph patterns with wildcards and pivots,
+  canonical forms, subgraph-isomorphism matching, embeddings;
+* :mod:`repro.gfd` — GFDs, their semantics, closure/chase, the FPT
+  satisfiability and implication analyses (Theorem 1), a textual syntax;
+* :mod:`repro.core` — the discovery problem (Section 4) and the sequential
+  algorithms ``SeqDis``/``SeqCover`` (Section 5);
+* :mod:`repro.parallel` — the parallel-scalable ``ParDis``/``ParCover``
+  (Section 6) over a metered cluster simulation;
+* :mod:`repro.baselines` — ParAMIE, DisGCFD/ParCGFD, ParArab, and the
+  ablations ParGFDn / ParGFDnb / ParCovern (Section 7);
+* :mod:`repro.datasets` — the Figure-1 examples, the paper's synthetic
+  generator, and DBpedia/YAGO2/IMDB scale models with planted rules;
+* :mod:`repro.quality` — violation detection and Exp-5 accuracy metrics.
+
+Quickstart::
+
+    from repro import Graph, DiscoveryConfig, discover
+
+    graph = ...  # build or load a property graph
+    result = discover(graph, DiscoveryConfig(k=3, sigma=100))
+    for gfd in result.sorted_by_support():
+        print(result.supports[gfd], gfd)
+"""
+
+from .core import (
+    CoverResult,
+    DiscoveryConfig,
+    DiscoveryResult,
+    MiningStats,
+    SequentialDiscovery,
+    discover,
+    gfd_support,
+    pattern_support,
+    sequential_cover,
+)
+from .core.config import CandidateBudgetExceeded
+from .gfd import (
+    FALSE,
+    GFD,
+    ConstantLiteral,
+    VariableLiteral,
+    Violation,
+    find_violations,
+    format_gfd,
+    graph_satisfies,
+    implies,
+    is_satisfiable,
+    parse_gfd,
+    validate_set,
+)
+from .graph import Graph, GraphBuilder
+from .parallel import (
+    ParallelDiscovery,
+    SimulatedCluster,
+    discover_parallel,
+    parallel_cover,
+)
+from .pattern import WILDCARD, Pattern, find_matches, pivot_image
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph
+    "Graph",
+    "GraphBuilder",
+    # patterns
+    "WILDCARD",
+    "Pattern",
+    "find_matches",
+    "pivot_image",
+    # GFDs
+    "GFD",
+    "FALSE",
+    "ConstantLiteral",
+    "VariableLiteral",
+    "Violation",
+    "parse_gfd",
+    "format_gfd",
+    "graph_satisfies",
+    "find_violations",
+    "validate_set",
+    "implies",
+    "is_satisfiable",
+    # discovery
+    "DiscoveryConfig",
+    "DiscoveryResult",
+    "MiningStats",
+    "CoverResult",
+    "CandidateBudgetExceeded",
+    "SequentialDiscovery",
+    "discover",
+    "sequential_cover",
+    "pattern_support",
+    "gfd_support",
+    # parallel
+    "ParallelDiscovery",
+    "SimulatedCluster",
+    "discover_parallel",
+    "parallel_cover",
+]

@@ -1,0 +1,193 @@
+"""Command-line interface: ``repro-gfd`` / ``python -m repro``.
+
+Subcommands:
+
+* ``stats <graph>`` — dataset statistics (labels, triples, attributes);
+* ``discover <graph>`` — run ``SeqDis`` (or ``ParDis`` with ``--workers``)
+  and print the discovered GFDs with their supports;
+* ``validate <graph> <rules>`` — check a rule file against a graph and
+  report violations;
+* ``cover <rules>`` — compute a cover of a rule file.
+
+Graphs are the JSON/TSV formats of :mod:`repro.graph.io`; rule files hold
+one GFD per line in the syntax of :mod:`repro.gfd.parser` (``#`` comments
+allowed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import DiscoveryConfig, discover, sequential_cover
+from .gfd import GFD, find_violations, format_gfd, parse_gfd
+from .graph import Graph, compute_statistics, load_json, load_tsv
+from .parallel import discover_parallel
+
+__all__ = ["main", "load_graph", "load_rules", "save_rules"]
+
+
+def load_graph(path: str) -> Graph:
+    """Load a graph by extension (.json or .tsv)."""
+    if path.endswith(".json"):
+        return load_json(path)
+    if path.endswith(".tsv"):
+        return load_tsv(path)
+    raise SystemExit(f"unsupported graph format: {path!r} (use .json or .tsv)")
+
+
+def load_rules(path: str) -> List[GFD]:
+    """Load a rule file: one GFD per line, ``#`` comments skipped."""
+    rules: List[GFD] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                rules.append(parse_gfd(line))
+            except ValueError as error:
+                raise SystemExit(f"{path}:{line_number}: {error}") from error
+    return rules
+
+
+def save_rules(rules: List[GFD], path: str) -> None:
+    """Write a rule file readable by :func:`load_rules`."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for gfd in rules:
+            handle.write(format_gfd(gfd) + "\n")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    stats = compute_statistics(graph)
+    print(f"nodes: {graph.num_nodes}")
+    print(f"edges: {graph.num_edges}")
+    print(f"node labels: {len(stats.node_label_counts)}")
+    print(f"edge labels: {len(stats.edge_label_counts)}")
+    print(f"attributes: {len(stats.attr_counts)}")
+    print("top node labels:")
+    ranked = sorted(stats.node_label_counts.items(), key=lambda kv: -kv[1])
+    for label, count in ranked[:10]:
+        print(f"  {label}: {count}")
+    print("top triples:")
+    for triple in stats.frequent_triples(1)[:10]:
+        print(f"  {triple[0]} -[{triple[1]}]-> {triple[2]}: "
+              f"{stats.triple_counts[triple]}")
+    return 0
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    config = DiscoveryConfig(
+        k=args.k,
+        sigma=args.sigma,
+        max_lhs_size=args.max_lhs,
+        mine_negative=not args.no_negative,
+    )
+    if args.workers > 1:
+        result, cluster = discover_parallel(graph, config, num_workers=args.workers)
+        print(
+            f"# parallel time (modeled): "
+            f"{cluster.metrics.elapsed_parallel:.3f}s over {args.workers} workers",
+            file=sys.stderr,
+        )
+    else:
+        result = discover(graph, config)
+    if args.cover:
+        result_gfds = sequential_cover(result.gfds).cover
+    else:
+        result_gfds = result.sorted_by_support()
+    for gfd in result_gfds:
+        support = result.supports.get(gfd, 0)
+        print(f"{support}\t{format_gfd(gfd)}")
+    print(
+        f"# {len(result_gfds)} GFDs "
+        f"({sum(1 for g in result_gfds if g.is_negative)} negative), "
+        f"{result.stats.candidates_checked} candidates checked, "
+        f"{result.stats.elapsed_seconds:.2f}s",
+        file=sys.stderr,
+    )
+    if args.output:
+        save_rules(result_gfds, args.output)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    rules = load_rules(args.rules)
+    clean = True
+    for gfd in rules:
+        violations = find_violations(graph, gfd, max_violations=args.limit)
+        for violation in violations:
+            clean = False
+            nodes = ",".join(str(node) for node in violation.match)
+            print(f"violation\t[{nodes}]\t{format_gfd(gfd)}")
+    return 0 if clean else 1
+
+
+def _cmd_cover(args: argparse.Namespace) -> int:
+    rules = load_rules(args.rules)
+    result = sequential_cover(rules)
+    for gfd in result.cover:
+        print(format_gfd(gfd))
+    print(
+        f"# cover {len(result.cover)} of {len(rules)} "
+        f"({len(result.removed)} redundant)",
+        file=sys.stderr,
+    )
+    if args.output:
+        save_rules(result.cover, args.output)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro-gfd",
+        description="GFD discovery (SIGMOD'18 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser("stats", help="print graph statistics")
+    stats.add_argument("graph", help="graph file (.json or .tsv)")
+    stats.set_defaults(func=_cmd_stats)
+
+    disc = commands.add_parser("discover", help="mine GFDs from a graph")
+    disc.add_argument("graph", help="graph file (.json or .tsv)")
+    disc.add_argument("--k", type=int, default=3, help="pattern-variable bound")
+    disc.add_argument("--sigma", type=int, default=10, help="support threshold")
+    disc.add_argument("--max-lhs", type=int, default=2, help="LHS literal cap")
+    disc.add_argument("--workers", type=int, default=1, help="ParDis workers")
+    disc.add_argument("--no-negative", action="store_true",
+                      help="skip negative GFDs")
+    disc.add_argument("--cover", action="store_true",
+                      help="reduce the output to a cover")
+    disc.add_argument("--output", help="also write rules to this file")
+    disc.set_defaults(func=_cmd_discover)
+
+    val = commands.add_parser("validate", help="check rules against a graph")
+    val.add_argument("graph", help="graph file (.json or .tsv)")
+    val.add_argument("rules", help="rule file (one GFD per line)")
+    val.add_argument("--limit", type=int, default=100,
+                     help="max violations reported per GFD")
+    val.set_defaults(func=_cmd_validate)
+
+    cov = commands.add_parser("cover", help="compute a cover of a rule file")
+    cov.add_argument("rules", help="rule file (one GFD per line)")
+    cov.add_argument("--output", help="also write the cover to this file")
+    cov.set_defaults(func=_cmd_cover)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro-gfd`` and ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""Configuration of the discovery problem (Section 4.3).
+
+The paper's discovery problem takes a graph ``G``, a bound ``k ≥ 2`` on the
+number of pattern variables and a support threshold ``σ > 0``, plus the
+practical knobs of Section 4.3's *Remarks*: the active attributes ``Γ`` and
+the frequent-constant budget.  :class:`DiscoveryConfig` gathers those and the
+engineering limits that keep mining tractable on a laptop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["DiscoveryConfig", "CandidateBudgetExceeded"]
+
+
+class CandidateBudgetExceeded(RuntimeError):
+    """Raised when a run exceeds ``DiscoveryConfig.max_candidates``.
+
+    Carries the counters accumulated so far so ablation benches can report
+    how far an unpruned run got before giving up.
+    """
+
+    def __init__(self, candidates_checked: int, patterns_spawned: int) -> None:
+        super().__init__(
+            f"candidate budget exceeded: {candidates_checked} candidates "
+            f"over {patterns_spawned} patterns"
+        )
+        self.candidates_checked = candidates_checked
+        self.patterns_spawned = patterns_spawned
+
+
+@dataclass
+class DiscoveryConfig:
+    """All parameters of GFD discovery.
+
+    Attributes:
+        k: bound on pattern variables ``|x̄|`` (k-bounded GFDs, Section 3).
+        sigma: support threshold ``σ`` — a GFD is *frequent* when
+            ``supp(φ, G) ≥ σ`` (Section 4.2).
+        max_edges: bound on pattern edges (the generation-tree depth).  The
+            paper iterates up to ``k²``; the default ``None`` uses ``k``,
+            which covers all trees plus one cycle-closing edge and is the
+            regime the experiments operate in.
+        active_attributes: the attribute set ``Γ`` literals may use; ``None``
+            selects the ``max_active_attributes`` most common attributes.
+        max_active_attributes: size of the inferred ``Γ`` (paper: 5).
+        max_constants: frequent values considered per ``(variable, attr)``
+            column (paper: 5 most frequent values per attribute).
+        max_lhs_size: cap ``J`` on ``|X|``; the paper's bound is
+            ``i·|Γ|(|Γ|+1)`` which is far beyond what reduced GFDs reach —
+            2 matches the rules its examples exhibit.
+        variable_literals: mine ``x.A = y.B`` literals.
+        variable_literals_same_attr_only: restrict variable literals to the
+            same attribute on both sides (all paper examples have this form).
+        mine_negative: run ``NVSpawn``/``NHSpawn`` for negative GFDs.
+        max_negatives_per_pattern: cap on negative GFDs emitted per pattern
+            (negatives are abundant; the cap keeps covers reviewable).
+        speculative_closing_edges: let ``NVSpawn`` try frequent label-triples
+            as closing edges even when no match witnesses them — this is how
+            zero-match "illegal structure" patterns like ``φ3`` arise.
+        enable_wildcards: spawn wildcard-labeled extension nodes when the
+            endpoint labels of an extension are diverse (the paper's label
+            upgrading); wildcards widen the search considerably.
+        wildcard_min_labels: label diversity required to spawn a wildcard.
+        max_matches_per_pattern: safety cap on stored matches; a truncated
+            match table disqualifies its pattern from emitting GFDs (validity
+            cannot be certified from a sample).
+        max_patterns_per_level: optional cap on spawned patterns per level.
+        prune: apply the pruning strategies of Lemma 4 (``ParGFDn``
+            disables this to reproduce the paper's infeasibility finding).
+        minimality_filter: run the final pairwise ``≪``-minimality pass.
+        min_literal_rows: a candidate literal must hold on at least this many
+            rows of the match table to enter the alphabet.
+        negative_literal_min_rows: the literal ``l''`` extending a base into
+            a negative GFD must hold on at least this many rows *globally*
+            in the pattern's table (``None`` = ``sigma``).  This keeps
+            negatives meaningful: both the base and the conflicting literal
+            are individually frequent, only their combination never occurs
+            (e.g. the paper's Gold Bear / Gold Lion rule).
+        max_candidates: abort with :class:`CandidateBudgetExceeded` once this
+            many GFD candidates have been checked — how the benchmarks
+            reproduce the paper's "ParGFDn / ParArab fail to complete"
+            findings without actually exhausting memory.
+    """
+
+    k: int = 3
+    sigma: int = 10
+    max_edges: Optional[int] = None
+    active_attributes: Optional[List[str]] = None
+    max_active_attributes: int = 5
+    max_constants: int = 5
+    max_lhs_size: int = 2
+    variable_literals: bool = True
+    variable_literals_same_attr_only: bool = True
+    mine_negative: bool = True
+    max_negatives_per_pattern: int = 20
+    speculative_closing_edges: bool = True
+    enable_wildcards: bool = False
+    wildcard_min_labels: int = 3
+    max_matches_per_pattern: Optional[int] = 500_000
+    max_patterns_per_level: Optional[int] = None
+    prune: bool = True
+    minimality_filter: bool = True
+    min_literal_rows: int = 1
+    negative_literal_min_rows: Optional[int] = None
+    max_candidates: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.sigma < 1:
+            raise ValueError("sigma must be >= 1")
+        if self.max_lhs_size < 0:
+            raise ValueError("max_lhs_size must be >= 0")
+
+    @property
+    def edge_budget(self) -> int:
+        """The pattern-edge bound actually used (``max_edges`` or ``k``)."""
+        return self.max_edges if self.max_edges is not None else self.k

@@ -1,0 +1,193 @@
+"""The GFD ordering ``≪`` and minimality (Section 4.1).
+
+``φ1 ≪ φ2`` when an isomorphism ``f`` from ``Q1`` onto a subgraph of ``Q2``
+exists with (a) ``f`` preserving pivots, (b) ``f(X1) ⊆ X2`` and
+``f(l1) = l2``, and (c) either ``Q1`` properly reduces ``Q2`` (fewer
+nodes/edges, or a label strictly upgraded to wildcard) or ``f(X1) ⊊ X2``.
+A GFD is *reduced* in ``G`` when no ``≪``-smaller GFD holds in ``G``, and
+*minimum* when additionally nontrivial.
+
+The discovery engine prunes most non-reduced candidates levelwise (Lemma 4);
+:func:`minimal_cover_by_reduction` is the final safety net that removes any
+surviving ``≪``-comparable pairs and exact duplicates (via the canonical
+form of :func:`normalize_gfd`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from ..gfd.gfd import GFD
+from ..gfd.literals import FalseLiteral, Literal, rename_literal
+from ..pattern.canonical import canonical_key, canonical_ordering
+from ..pattern.embedding import embeddings
+from ..pattern.pattern import WILDCARD, Pattern
+
+__all__ = ["gfd_reduces", "normalize_gfd", "gfd_identity", "minimal_cover_by_reduction"]
+
+
+def _strict_topological(inner: Pattern, outer: Pattern, mapping: Tuple[int, ...]) -> bool:
+    """Whether ``inner ≪ outer`` *properly* through ``mapping``.
+
+    Proper: fewer nodes, fewer edges, or at least one node/edge label of
+    ``outer`` strictly upgraded to wildcard in ``inner``.
+    """
+    if inner.num_nodes < outer.num_nodes or inner.num_edges < outer.num_edges:
+        return True
+    for variable in inner.variables():
+        if (
+            inner.labels[variable] == WILDCARD
+            and outer.labels[mapping[variable]] != WILDCARD
+        ):
+            return True
+    outer_edges = {}
+    for edge in outer.edges:
+        outer_edges.setdefault((edge.src, edge.dst), set()).add(edge.label)
+    for edge in inner.edges:
+        if edge.label == WILDCARD:
+            pair = (mapping[edge.src], mapping[edge.dst])
+            if any(label != WILDCARD for label in outer_edges.get(pair, ())):
+                return True
+    return False
+
+
+def gfd_reduces(smaller: GFD, larger: GFD) -> bool:
+    """``smaller ≪ larger`` — the reduction ordering on GFDs.
+
+    Both positive and negative GFDs are supported; ``f(l1) = l2`` holds for
+    negatives exactly when both RHS are ``false``.
+    """
+    if isinstance(smaller.rhs, FalseLiteral) != isinstance(larger.rhs, FalseLiteral):
+        return False
+    for mapping in embeddings(smaller.pattern, larger.pattern, pivot_preserving=True):
+        mapped_lhs = frozenset(rename_literal(l, mapping) for l in smaller.lhs)
+        if not mapped_lhs <= larger.lhs:
+            continue
+        if not isinstance(smaller.rhs, FalseLiteral):
+            if rename_literal(smaller.rhs, mapping) != larger.rhs:
+                continue
+        if _strict_topological(smaller.pattern, larger.pattern, mapping):
+            return True
+        if mapped_lhs < larger.lhs:
+            return True
+    return False
+
+
+def normalize_gfd(gfd: GFD) -> GFD:
+    """The GFD rewritten over its pattern's canonical variable ordering.
+
+    Two GFDs that differ only by a pivot-preserving renaming of variables
+    normalize to equal objects — the duplicate test used across spawn paths.
+    """
+    ordering = canonical_ordering(gfd.pattern)
+    position = {old: new for new, old in enumerate(ordering)}
+    pattern = Pattern(
+        [gfd.pattern.labels[old] for old in ordering],
+        sorted(
+            (position[e.src], position[e.dst], e.label) for e in gfd.pattern.edges
+        ),
+        pivot=position[gfd.pattern.pivot],
+    )
+    lhs = frozenset(rename_literal(l, position) for l in gfd.lhs)
+    rhs = rename_literal(gfd.rhs, position)
+    return GFD(pattern, lhs, rhs)
+
+
+def gfd_identity(gfd: GFD) -> Tuple:
+    """A hashable identity key: equal iff the normalized GFDs are equal."""
+    normalized = normalize_gfd(gfd)
+    return (
+        canonical_key(normalized.pattern),
+        normalized.lhs,
+        normalized.rhs,
+    )
+
+
+def _literal_signature(literal: Literal) -> Tuple:
+    """A renaming-invariant abstraction of a literal (for prefilters)."""
+    if isinstance(literal, FalseLiteral):
+        return ("false",)
+    from ..gfd.literals import ConstantLiteral, VariableLiteral
+
+    if isinstance(literal, ConstantLiteral):
+        return ("const", literal.attr, literal.value)
+    assert isinstance(literal, VariableLiteral)
+    return ("var", tuple(sorted((literal.attr1, literal.attr2))))
+
+
+def _reduction_signature(gfd: GFD) -> Tuple:
+    """Cheap invariants for the necessary conditions of ``φ' ≪ φ``.
+
+    ``smaller ≪ larger`` requires: no more nodes/edges, the LHS literal
+    signatures a sub-multiset, the same RHS signature, and every concrete
+    (non-wildcard) label of ``smaller`` present in ``larger``.
+    """
+    lhs_sigs = tuple(sorted(_literal_signature(l) for l in gfd.lhs))
+    concrete_nodes = tuple(
+        sorted(l for l in gfd.pattern.labels if l != WILDCARD)
+    )
+    concrete_edges = tuple(
+        sorted(e.label for e in gfd.pattern.edges if e.label != WILDCARD)
+    )
+    return (
+        gfd.pattern.num_nodes,
+        gfd.pattern.num_edges,
+        lhs_sigs,
+        _literal_signature(gfd.rhs),
+        concrete_nodes,
+        concrete_edges,
+    )
+
+
+def _multiset_leq(smaller: Tuple, larger: Tuple) -> bool:
+    """Whether the sorted tuple ``smaller`` is a sub-multiset of ``larger``."""
+    position = 0
+    for item in smaller:
+        while position < len(larger) and larger[position] < item:
+            position += 1
+        if position >= len(larger) or larger[position] != item:
+            return False
+        position += 1
+    return True
+
+
+def _may_reduce(small_sig: Tuple, large_sig: Tuple) -> bool:
+    """Necessary conditions for ``≪`` between two signatures."""
+    if small_sig[0] > large_sig[0] or small_sig[1] > large_sig[1]:
+        return False
+    if small_sig[3] != large_sig[3]:
+        return False
+    if not _multiset_leq(small_sig[2], large_sig[2]):
+        return False
+    if not _multiset_leq(small_sig[4], large_sig[4]):
+        return False
+    return _multiset_leq(small_sig[5], large_sig[5])
+
+
+def minimal_cover_by_reduction(gfds: Sequence[GFD]) -> List[GFD]:
+    """Drop duplicates and every GFD with a ``≪``-smaller sibling in the set.
+
+    This enforces *minimality in the set* (reduced GFDs, Section 4.1); note
+    it is distinct from the implication-based cover of Section 5.2, which
+    runs afterwards.  Signature prefilters skip the embedding test for the
+    vast majority of incomparable pairs.
+    """
+    unique: Dict[Tuple, GFD] = {}
+    for gfd in gfds:
+        unique.setdefault(gfd_identity(gfd), gfd)
+    items = list(unique.values())
+    signatures = [_reduction_signature(gfd) for gfd in items]
+    survivors: List[GFD] = []
+    for index, gfd in enumerate(items):
+        dominated = False
+        for other_index, other in enumerate(items):
+            if other_index == index:
+                continue
+            if not _may_reduce(signatures[other_index], signatures[index]):
+                continue
+            if gfd_reduces(other, gfd):
+                dominated = True
+                break
+        if not dominated:
+            survivors.append(gfd)
+    return survivors

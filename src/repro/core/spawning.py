@@ -1,0 +1,354 @@
+"""Vertical spawning: extension-candidate generation (``VSpawn``/``NVSpawn``).
+
+``VSpawn(i)`` grows level-``i-1`` patterns by one edge (Section 5.1).  Two
+candidate sources are used:
+
+* **data-driven** extensions: scan the stored matches of a pattern and
+  collect the incident graph edges not yet covered by the pattern; an
+  extension is worth spawning only if the number of *distinct pivots* whose
+  matches witness it reaches ``σ`` (support is pivot-based, so by
+  Theorem 3's anti-monotonicity this is a safe prune);
+* **speculative** closing edges from the graph's frequent label-triples —
+  these may have *zero* matches, which is exactly how ``NVSpawn`` finds
+  negative GFDs of the form ``Q'[x̄](∅ → false)`` such as the paper's
+  mutual-parent pattern ``φ3`` (Example 8).
+
+The statistics collection is factored so that ``ParDis`` workers can run it
+on their local match shards and the master can merge the partial results —
+the distributed runs then spawn *exactly* the same patterns as ``SeqDis``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..graph.graph import Graph
+from ..graph.statistics import GraphStatistics
+from ..pattern.incremental import Extension
+from ..pattern.matcher import Match
+from ..pattern.pattern import WILDCARD, Pattern
+from .config import DiscoveryConfig
+from .generation_tree import TreeNode
+
+__all__ = [
+    "ExtensionStatistics",
+    "ExtensionCounts",
+    "extension_statistics",
+    "merge_extension_statistics",
+    "counts_from_statistics",
+    "merge_extension_counts",
+    "extensions_from_statistics",
+    "extensions_from_counts",
+    "wildcard_extensions_from_statistics",
+    "wildcard_extensions_from_counts",
+    "data_driven_extensions",
+    "wildcard_extensions",
+    "speculative_closing_extensions",
+]
+
+#: key: (anchor variable, outward?, edge label, endpoint node label)
+NewNodeKey = Tuple[int, bool, str, str]
+#: key: (src variable, dst variable, edge label)
+ClosingKey = Tuple[int, int, str]
+
+
+class ExtensionStatistics:
+    """Pivot-support tallies for candidate one-edge extensions.
+
+    ``new_node[key]`` and ``closing[key]`` hold the sets of *pivots* whose
+    matches witness the extension — mergeable across match shards.
+    """
+
+    def __init__(self) -> None:
+        self.new_node: Dict[NewNodeKey, Set[int]] = defaultdict(set)
+        self.closing: Dict[ClosingKey, Set[int]] = defaultdict(set)
+
+    def merge(self, other: "ExtensionStatistics") -> None:
+        """Union ``other``'s tallies into this one (master-side combine)."""
+        for key, pivots in other.new_node.items():
+            self.new_node[key] |= pivots
+        for key, pivots in other.closing.items():
+            self.closing[key] |= pivots
+
+
+def extension_statistics(
+    graph: Graph,
+    pattern: Pattern,
+    matches: Iterable[Match],
+    can_add_node: bool,
+) -> ExtensionStatistics:
+    """Collect extension tallies from a batch of matches of ``pattern``.
+
+    This is the per-worker scan of ``VSpawn``: for every match, every
+    incident graph edge either closes a pair of matched variables (candidate
+    closing edge, if not already a pattern edge) or reaches an unmatched
+    endpoint (candidate new-node extension).
+    """
+    stats = ExtensionStatistics()
+    pattern_edges = pattern.edge_set()
+    pivot_var = pattern.pivot
+    for match in matches:
+        pivot = match[pivot_var]
+        matched = set(match)
+        position = {graph_node: var for var, graph_node in enumerate(match)}
+        for variable, graph_node in enumerate(match):
+            for neighbor, labels in graph.out_neighbors(graph_node).items():
+                if neighbor in matched:
+                    other = position[neighbor]
+                    for label in labels:
+                        if (variable, other, label) not in pattern_edges:
+                            stats.closing[(variable, other, label)].add(pivot)
+                elif can_add_node:
+                    endpoint = graph.node_label(neighbor)
+                    for label in labels:
+                        stats.new_node[(variable, True, label, endpoint)].add(pivot)
+            if not can_add_node:
+                continue
+            for neighbor, labels in graph.in_neighbors(graph_node).items():
+                if neighbor in matched:
+                    continue  # already tallied from the out side
+                endpoint = graph.node_label(neighbor)
+                for label in labels:
+                    stats.new_node[(variable, False, label, endpoint)].add(pivot)
+    return stats
+
+
+def merge_extension_statistics(
+    parts: Sequence[ExtensionStatistics],
+) -> ExtensionStatistics:
+    """Combine per-shard tallies (the master's aggregation step)."""
+    merged = ExtensionStatistics()
+    for part in parts:
+        merged.merge(part)
+    return merged
+
+
+class ExtensionCounts:
+    """Scalar extension tallies for *pivot-disjoint* match shards.
+
+    When every pivot lives on exactly one worker (``ParDis``'s sharding
+    invariant), per-key distinct-pivot counts add up across workers, so only
+    integers need shipping.  ``prefix_*`` aggregates feed the wildcard
+    upgrade decision.
+    """
+
+    __slots__ = ("new_node", "closing", "prefix_pivots", "prefix_labels")
+
+    def __init__(self) -> None:
+        self.new_node: Dict[NewNodeKey, int] = {}
+        self.closing: Dict[ClosingKey, int] = {}
+        self.prefix_pivots: Dict[Tuple[int, bool, str], int] = {}
+        self.prefix_labels: Dict[Tuple[int, bool, str], Set[str]] = {}
+
+
+def counts_from_statistics(stats: ExtensionStatistics) -> ExtensionCounts:
+    """Collapse one shard's pivot sets into counts (worker-side)."""
+    counts = ExtensionCounts()
+    prefix_sets: Dict[Tuple[int, bool, str], Set[int]] = defaultdict(set)
+    for key, pivots in stats.new_node.items():
+        counts.new_node[key] = len(pivots)
+        prefix = (key[0], key[1], key[2])
+        prefix_sets[prefix] |= pivots
+        counts.prefix_labels.setdefault(prefix, set()).add(key[3])
+    for key, pivots in stats.closing.items():
+        counts.closing[key] = len(pivots)
+    counts.prefix_pivots = {
+        prefix: len(pivots) for prefix, pivots in prefix_sets.items()
+    }
+    return counts
+
+
+def merge_extension_counts(parts: Sequence[ExtensionCounts]) -> ExtensionCounts:
+    """Sum per-shard counts (valid under pivot-disjoint sharding)."""
+    merged = ExtensionCounts()
+    for part in parts:
+        for key, count in part.new_node.items():
+            merged.new_node[key] = merged.new_node.get(key, 0) + count
+        for key, count in part.closing.items():
+            merged.closing[key] = merged.closing.get(key, 0) + count
+        for prefix, count in part.prefix_pivots.items():
+            merged.prefix_pivots[prefix] = (
+                merged.prefix_pivots.get(prefix, 0) + count
+            )
+        for prefix, labels in part.prefix_labels.items():
+            merged.prefix_labels.setdefault(prefix, set()).update(labels)
+    return merged
+
+
+def extensions_from_counts(
+    pattern: Pattern, counts: ExtensionCounts, config: DiscoveryConfig
+) -> List[Extension]:
+    """Count-based twin of :func:`extensions_from_statistics` (same order)."""
+    extensions: List[Extension] = []
+    for (variable, outward, label, endpoint), count in sorted(
+        counts.new_node.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        if count >= config.sigma:
+            extensions.append(
+                Extension(
+                    src=variable,
+                    dst=pattern.num_nodes,
+                    edge_label=label,
+                    new_node_label=endpoint,
+                    outward=outward,
+                )
+            )
+    for (src, dst, label), count in sorted(
+        counts.closing.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        if count >= config.sigma:
+            extensions.append(Extension(src=src, dst=dst, edge_label=label))
+    return extensions
+
+
+def wildcard_extensions_from_counts(
+    pattern: Pattern, counts: ExtensionCounts, config: DiscoveryConfig
+) -> List[Extension]:
+    """Count-based twin of :func:`wildcard_extensions_from_statistics`."""
+    if not config.enable_wildcards or pattern.num_nodes >= config.k:
+        return []
+    extensions: List[Extension] = []
+    for prefix in sorted(counts.prefix_labels):
+        variable, outward, label = prefix
+        if (
+            len(counts.prefix_labels[prefix]) >= config.wildcard_min_labels
+            and counts.prefix_pivots.get(prefix, 0) >= config.sigma
+        ):
+            extensions.append(
+                Extension(
+                    src=variable,
+                    dst=pattern.num_nodes,
+                    edge_label=label,
+                    new_node_label=WILDCARD,
+                    outward=outward,
+                )
+            )
+    return extensions
+
+
+def extensions_from_statistics(
+    pattern: Pattern, stats: ExtensionStatistics, config: DiscoveryConfig
+) -> List[Extension]:
+    """Extensions whose witnessing-pivot count reaches ``σ``, ordered by count."""
+    extensions: List[Extension] = []
+    for (variable, outward, label, endpoint), pivots in sorted(
+        stats.new_node.items(), key=lambda kv: (-len(kv[1]), kv[0])
+    ):
+        if len(pivots) >= config.sigma:
+            extensions.append(
+                Extension(
+                    src=variable,
+                    dst=pattern.num_nodes,
+                    edge_label=label,
+                    new_node_label=endpoint,
+                    outward=outward,
+                )
+            )
+    for (src, dst, label), pivots in sorted(
+        stats.closing.items(), key=lambda kv: (-len(kv[1]), kv[0])
+    ):
+        if len(pivots) >= config.sigma:
+            extensions.append(Extension(src=src, dst=dst, edge_label=label))
+    return extensions
+
+
+def wildcard_extensions_from_statistics(
+    pattern: Pattern, stats: ExtensionStatistics, config: DiscoveryConfig
+) -> List[Extension]:
+    """Wildcard-endpoint extensions (the paper's label upgrading).
+
+    When the matches of a pattern reach, along one ``(anchor, direction,
+    edge label)``, endpoints of at least ``wildcard_min_labels`` distinct
+    labels, spawn one extension with a wildcard ``'_'`` endpoint — the
+    generalized pattern subsumes the per-label ones (``Q2`` of Example 1).
+    """
+    if not config.enable_wildcards or pattern.num_nodes >= config.k:
+        return []
+    diversity: Dict[Tuple[int, bool, str], Set[str]] = defaultdict(set)
+    pivots_by_prefix: Dict[Tuple[int, bool, str], Set[int]] = defaultdict(set)
+    for (variable, outward, label, endpoint), pivots in stats.new_node.items():
+        prefix = (variable, outward, label)
+        diversity[prefix].add(endpoint)
+        pivots_by_prefix[prefix] |= pivots
+    extensions: List[Extension] = []
+    for prefix in sorted(diversity):
+        variable, outward, label = prefix
+        if (
+            len(diversity[prefix]) >= config.wildcard_min_labels
+            and len(pivots_by_prefix[prefix]) >= config.sigma
+        ):
+            extensions.append(
+                Extension(
+                    src=variable,
+                    dst=pattern.num_nodes,
+                    edge_label=label,
+                    new_node_label=WILDCARD,
+                    outward=outward,
+                )
+            )
+    return extensions
+
+
+def data_driven_extensions(
+    graph: Graph, node: TreeNode, config: DiscoveryConfig
+) -> List[Extension]:
+    """Sequential convenience: tally the node's whole table and filter."""
+    if node.table is None:
+        return []
+    stats = extension_statistics(
+        graph,
+        node.pattern,
+        node.table.matches,
+        can_add_node=node.pattern.num_nodes < config.k,
+    )
+    return extensions_from_statistics(node.pattern, stats, config)
+
+
+def wildcard_extensions(
+    graph: Graph, node: TreeNode, config: DiscoveryConfig
+) -> List[Extension]:
+    """Sequential convenience for wildcard upgrades over the node's table."""
+    if not config.enable_wildcards or node.table is None:
+        return []
+    if node.pattern.num_nodes >= config.k:
+        return []
+    stats = extension_statistics(
+        graph, node.pattern, node.table.matches, can_add_node=True
+    )
+    return wildcard_extensions_from_statistics(node.pattern, stats, config)
+
+
+def speculative_closing_extensions(
+    stats: GraphStatistics, node: TreeNode, config: DiscoveryConfig
+) -> List[Extension]:
+    """Closing edges suggested by frequent label-triples (``NVSpawn`` fodder).
+
+    For each ordered pair of pattern variables without an edge between them,
+    propose every *globally frequent* edge label compatible with the two node
+    labels.  The data may contain no match with such an edge — producing a
+    zero-support pattern whose base (the current pattern) is frequent: a
+    negative GFD candidate (Section 4.2, case (a)).
+    """
+    pattern = node.pattern
+    pattern_edges = pattern.edge_set()
+    frequent = stats.frequent_triples(config.sigma)
+    by_endpoint_labels: Dict[Tuple[str, str], List[str]] = defaultdict(list)
+    for src_label, edge_label, dst_label in frequent:
+        by_endpoint_labels[(src_label, dst_label)].append(edge_label)
+
+    extensions: List[Extension] = []
+    for src in pattern.variables():
+        for dst in pattern.variables():
+            if src == dst:
+                continue
+            src_label, dst_label = pattern.labels[src], pattern.labels[dst]
+            if src_label == WILDCARD or dst_label == WILDCARD:
+                continue
+            for edge_label in by_endpoint_labels.get((src_label, dst_label), ()):
+                if (src, dst, edge_label) in pattern_edges:
+                    continue
+                extensions.append(
+                    Extension(src=src, dst=dst, edge_label=edge_label)
+                )
+    return extensions

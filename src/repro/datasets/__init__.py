@@ -1,0 +1,21 @@
+"""Dataset generators: Figure 1, synthetic graphs, KB scale models, noise."""
+
+from .figure1 import Figure1, load_figure1
+from .gfd_generator import generate_gfds
+from .knowledge_base import KB_ATTRIBUTES, dbpedia_like, imdb_like, yago2_like
+from .noise import NoiseReport, inject_noise
+from .synthetic import SYNTHETIC_ATTRIBUTES, synthetic_graph
+
+__all__ = [
+    "Figure1",
+    "load_figure1",
+    "generate_gfds",
+    "KB_ATTRIBUTES",
+    "dbpedia_like",
+    "yago2_like",
+    "imdb_like",
+    "NoiseReport",
+    "inject_noise",
+    "SYNTHETIC_ATTRIBUTES",
+    "synthetic_graph",
+]

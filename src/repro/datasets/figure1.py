@@ -1,0 +1,98 @@
+"""The paper's Figure 1 / Example 1, as runnable objects.
+
+Three small graphs with real-world errors, the patterns ``Q1``–``Q3`` and
+the GFDs ``φ1``–``φ3`` that catch them:
+
+* ``G1`` (YAGO3): high-jumper John Winter credited with producing the film
+  *Selling Out* — caught by ``φ1 = Q1[x,y](y.type = "film" → x.type =
+  "producer")``;
+* ``G2`` (YAGO3): Saint Petersburg located in both Russia and Florida —
+  caught by ``φ2 = Q2[x,y,z](∅ → y.name = z.name)`` with wildcard ``y, z``;
+* ``G3`` (DBpedia): John Brown and Owen Brown each other's parent — caught
+  by the negative ``φ3 = Q3[x,y](∅ → false)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..gfd.gfd import GFD
+from ..gfd.literals import FALSE, ConstantLiteral, make_variable_literal
+from ..graph.builder import GraphBuilder
+from ..graph.graph import Graph
+from ..pattern.pattern import WILDCARD, Pattern
+
+__all__ = ["Figure1", "load_figure1"]
+
+
+@dataclass
+class Figure1:
+    """All artifacts of the paper's Example 1."""
+
+    g1: Graph
+    g2: Graph
+    g3: Graph
+    q1: Pattern
+    q2: Pattern
+    q3: Pattern
+    phi1: GFD
+    phi2: GFD
+    phi3: GFD
+
+    def graphs(self) -> Dict[str, Graph]:
+        """The three graphs keyed by name."""
+        return {"G1": self.g1, "G2": self.g2, "G3": self.g3}
+
+    def gfds(self) -> Dict[str, GFD]:
+        """The three GFDs keyed by name."""
+        return {"phi1": self.phi1, "phi2": self.phi2, "phi3": self.phi3}
+
+
+def load_figure1() -> Figure1:
+    """Build the Figure 1 graphs, patterns and GFDs."""
+    # G1: John Winter (a high jumper) wrongly credited with Selling Out.
+    b1 = GraphBuilder()
+    b1.node("john_winter", "person", name="John Winter", type="high jumper")
+    b1.node("selling_out", "product", name="Selling Out", type="film")
+    b1.edge("john_winter", "selling_out", "create")
+    g1, _ = b1.build()
+
+    # G2: Saint Petersburg located in two places.
+    b2 = GraphBuilder()
+    b2.node("saint_petersburg", "city", name="Saint Petersburg")
+    b2.node("russia", "country", name="Russia")
+    b2.node("florida", "city", name="Florida")
+    b2.edge("saint_petersburg", "russia", "located")
+    b2.edge("saint_petersburg", "florida", "located")
+    g2, _ = b2.build()
+
+    # G3: John Brown and Owen Brown are each other's parent.
+    b3 = GraphBuilder()
+    b3.node("owen", "person", name="Owen Brown")
+    b3.node("john", "person", name="John Brown")
+    b3.edge("owen", "john", "parent")
+    b3.edge("john", "owen", "parent")
+    g3, _ = b3.build()
+
+    # Q1: person -create-> product, pivoted at the person.
+    q1 = Pattern(["person", "product"], [(0, 1, "create")], pivot=0)
+    # Q2: city located in two wildcard places, pivoted at the city.
+    q2 = Pattern(
+        ["city", WILDCARD, WILDCARD],
+        [(0, 1, "located"), (0, 2, "located")],
+        pivot=0,
+    )
+    # Q3: two persons that are each other's parent.
+    q3 = Pattern(
+        ["person", "person"], [(0, 1, "parent"), (1, 0, "parent")], pivot=0
+    )
+
+    phi1 = GFD(
+        q1,
+        frozenset({ConstantLiteral(1, "type", "film")}),
+        ConstantLiteral(0, "type", "producer"),
+    )
+    phi2 = GFD(q2, frozenset(), make_variable_literal(1, "name", 2, "name"))
+    phi3 = GFD(q3, frozenset(), FALSE)
+    return Figure1(g1, g2, g3, q1, q2, q3, phi1, phi2, phi3)

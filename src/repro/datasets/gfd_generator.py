@@ -1,0 +1,167 @@
+"""Random GFD sets for implication/cover benchmarks (Section 7).
+
+"To test the scalability of GFD implication, we developed a generator to
+produce sets Σ of GFDs, controlled by |Σ| (up to 10000) and k (up to 6).
+It generates GFDs with frequent edges and values from real-life graphs,
+using the same attribute set Γ."
+
+The generator takes the frequent label-triples and frequent attribute
+values of a graph (any of the dataset generators) and produces ``|Σ|``
+GFDs over patterns of up to ``k`` variables.  A controlled fraction of the
+output is *derived* — literal-weakened or pattern-extended variants of base
+GFDs that the base implies — so cover computation has real redundancy to
+remove (Figures 5(i)-(l)).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..gfd.gfd import GFD
+from ..gfd.literals import ConstantLiteral, Literal
+from ..graph.graph import Graph
+from ..graph.statistics import GraphStatistics, compute_statistics
+from ..pattern.pattern import Pattern
+
+__all__ = ["generate_gfds"]
+
+
+def _random_pattern(
+    rng: random.Random,
+    triples: Sequence[Tuple[str, str, str]],
+    k: int,
+) -> Pattern:
+    """A connected pattern grown from frequent label-triples, ≤ k nodes."""
+    src_label, edge_label, dst_label = rng.choice(triples)
+    labels: List[str] = [src_label, dst_label]
+    edges: List[Tuple[int, int, str]] = [(0, 1, edge_label)]
+    target_nodes = rng.randint(2, max(2, k))
+    while len(labels) < target_nodes:
+        anchor = rng.randrange(len(labels))
+        anchor_label = labels[anchor]
+        outgoing = [t for t in triples if t[0] == anchor_label]
+        incoming = [t for t in triples if t[2] == anchor_label]
+        if outgoing and (not incoming or rng.random() < 0.5):
+            _, edge_label, dst_label = rng.choice(outgoing)
+            labels.append(dst_label)
+            edges.append((anchor, len(labels) - 1, edge_label))
+        elif incoming:
+            src_label, edge_label, _ = rng.choice(incoming)
+            labels.append(src_label)
+            edges.append((len(labels) - 1, anchor, edge_label))
+        else:
+            break
+    return Pattern(labels, edges, pivot=0)
+
+
+def _random_literal(
+    rng: random.Random,
+    stats: GraphStatistics,
+    pattern: Pattern,
+    attributes: Sequence[str],
+) -> Optional[ConstantLiteral]:
+    """A constant literal over a frequent value of some pattern variable."""
+    variables = list(pattern.variables())
+    rng.shuffle(variables)
+    for variable in variables:
+        label = pattern.labels[variable]
+        attrs = list(attributes)
+        rng.shuffle(attrs)
+        for attr in attrs:
+            values = stats.top_values(label, attr, limit=5)
+            if values:
+                return ConstantLiteral(variable, attr, rng.choice(values))
+    return None
+
+
+def generate_gfds(
+    graph: Graph,
+    count: int,
+    k: int = 3,
+    attributes: Optional[Sequence[str]] = None,
+    redundancy: float = 0.5,
+    seed: int = 0,
+    stats: Optional[GraphStatistics] = None,
+) -> List[GFD]:
+    """Generate ``count`` GFDs over ``graph``'s frequent structure.
+
+    Args:
+        graph: source of frequent triples and values.
+        count: ``|Σ|``.
+        k: pattern-variable bound.
+        attributes: the attribute set Γ (default: the graph's top 5).
+        redundancy: fraction of *derived* GFDs (implied by a base GFD
+            already in the output) — what cover computation removes.
+        seed: RNG seed.
+        stats: pre-computed graph statistics (recomputed when omitted).
+
+    The generated set is syntactic — it need not be satisfied by ``graph``;
+    implication and cover computation are graph-independent analyses.
+    """
+    rng = random.Random(seed)
+    stats = stats or compute_statistics(graph)
+    gamma = list(attributes) if attributes is not None else stats.top_attributes(5)
+    triples = stats.frequent_triples(threshold=1)
+    if not triples:
+        raise ValueError("graph has no edges to derive patterns from")
+
+    base: List[GFD] = []
+    derived: List[GFD] = []
+    attempts = 0
+    while len(base) + len(derived) < count and attempts < count * 50:
+        attempts += 1
+        make_derived = base and rng.random() < redundancy
+        if make_derived:
+            origin = rng.choice(base)
+            gfd = _derive(rng, origin, stats, gamma, triples, k)
+            if gfd is not None:
+                derived.append(gfd)
+            continue
+        pattern = _random_pattern(rng, triples, k)
+        lhs_literal = _random_literal(rng, stats, pattern, gamma)
+        rhs = _random_literal(rng, stats, pattern, gamma)
+        if rhs is None:
+            continue
+        lhs: frozenset = frozenset()
+        if lhs_literal is not None and lhs_literal != rhs and rng.random() < 0.7:
+            lhs = frozenset({lhs_literal})
+        if rhs in lhs:
+            continue
+        base.append(GFD(pattern, lhs, rhs))
+    sigma = base + derived
+    rng.shuffle(sigma)
+    return sigma[:count]
+
+
+def _derive(
+    rng: random.Random,
+    origin: GFD,
+    stats: GraphStatistics,
+    gamma: Sequence[str],
+    triples: Sequence[Tuple[str, str, str]],
+    k: int,
+) -> Optional[GFD]:
+    """A GFD implied by ``origin``: literal-strengthened or pattern-extended.
+
+    * adding a literal to the LHS keeps the implication (``origin`` embeds
+    with ``f(X) ⊆ X'``);
+    * appending an edge/node to the pattern likewise keeps ``origin``
+    embedded.
+    """
+    if rng.random() < 0.5:
+        extra = _random_literal(rng, stats, origin.pattern, gamma)
+        if extra is None or extra == origin.rhs or extra in origin.lhs:
+            return None
+        return GFD(origin.pattern, origin.lhs | {extra}, origin.rhs)
+    pattern = origin.pattern
+    if pattern.num_nodes >= k:
+        return None
+    anchor = rng.randrange(pattern.num_nodes)
+    anchor_label = pattern.labels[anchor]
+    outgoing = [t for t in triples if t[0] == anchor_label]
+    if not outgoing:
+        return None
+    _, edge_label, dst_label = rng.choice(outgoing)
+    extended = pattern.with_new_node(dst_label, anchor, True, edge_label)
+    return GFD(extended, origin.lhs, origin.rhs)

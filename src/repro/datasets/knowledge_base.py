@@ -1,0 +1,324 @@
+"""Scale-model knowledge graphs standing in for DBpedia, YAGO2 and IMDB.
+
+The paper evaluates on three real-life knowledge graphs (Section 7):
+DBpedia (1.72M entities / 31M links, 200 node types, 160 edge types — the
+densest), YAGO2 (1.99M / 5.65M, 13 / 36) and IMDB (3.4M / 5.1M, 15 / 5).
+The dumps are not redistributable here, so these generators produce graphs
+with the same *relative shape* — type/relation-count ratios, density
+ordering (DBpedia ≫ YAGO2 > IMDB edges-per-node), 5 active attributes with
+few frequent values — at a size controlled by ``scale``.
+
+Each generator *plants* the regularities the paper's qualitative results
+exhibit, so discovery has ground truth to find:
+
+* constant-binding positive GFDs (φ1-style: film creators are producers);
+* a variable-literal GFD (GFD1 of Figure 8: children inherit familyname);
+* a structural negative (φ3: mutual ``parent`` edges never occur);
+* literal negatives (GFD2/GFD3 of Figure 8: no film holds both the Gold
+  Bear and the Gold Lion; nobody is a citizen of both the US and Norway).
+
+Generated graphs are *clean*; :mod:`repro.datasets.noise` injects the
+errors for the detection experiments (Exp-5).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from ..graph.graph import Graph
+
+__all__ = ["dbpedia_like", "yago2_like", "imdb_like", "KB_ATTRIBUTES"]
+
+#: The five active attributes Γ shared by the KB generators.
+KB_ATTRIBUTES = ["type", "name", "familyname", "country", "gender"]
+
+_FAMILY_NAMES = [
+    "Winter", "Brown", "Smith", "Chen", "Garcia", "Muller", "Rossi",
+    "Tanaka", "Novak", "Larsen", "Okafor", "Silva", "Kumar", "Dubois",
+]
+_COUNTRY_NAMES = [
+    "US", "Norway", "Russia", "Germany", "France", "Italy", "Japan",
+    "Brazil", "India", "China", "Spain", "Mexico",
+]
+_AWARD_NAMES = ["Gold Bear", "Gold Lion", "Palme", "Oscar", "Cesar"]
+_GENRES = ["drama", "comedy", "thriller", "documentary", "animation"]
+
+
+def _family(rng: random.Random) -> str:
+    return rng.choice(_FAMILY_NAMES)
+
+
+def _gender(rng: random.Random) -> str:
+    return rng.choice(["female", "male"])
+
+
+class _KBBuilder:
+    """Shared machinery of the three generators."""
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(seed)
+        self.graph = Graph()
+
+    # -- entity pools ---------------------------------------------------
+    def countries(self) -> List[int]:
+        nodes = []
+        for name in _COUNTRY_NAMES:
+            nodes.append(
+                self.graph.add_node("country", {"type": "country", "name": name})
+            )
+        return nodes
+
+    def awards(self) -> List[int]:
+        nodes = []
+        for name in _AWARD_NAMES:
+            nodes.append(
+                self.graph.add_node("award", {"type": "award", "name": name})
+            )
+        return nodes
+
+    def cities(self, count: int, countries: Sequence[int]) -> List[int]:
+        nodes = []
+        for index in range(count):
+            country = self.rng.choice(list(countries))
+            city = self.graph.add_node(
+                "city",
+                {
+                    "type": "city",
+                    "name": f"city{index}",
+                    "country": self.graph.get_attr(country, "name"),
+                },
+            )
+            # located is functional: exactly one country per city (φ2's rule)
+            self.graph.add_edge(city, country, "located")
+            nodes.append(city)
+        return nodes
+
+    def persons(
+        self, count: int, kind: str, countries: Sequence[int]
+    ) -> List[int]:
+        nodes = []
+        for index in range(count):
+            family = _family(self.rng)
+            person = self.graph.add_node(
+                "person",
+                {
+                    "type": kind,
+                    "name": f"{kind}{index} {family}",
+                    "familyname": family,
+                    "gender": _gender(self.rng),
+                },
+            )
+            nodes.append(person)
+        return nodes
+
+    def citizenships(self, persons: Sequence[int], countries: Sequence[int]) -> None:
+        """Each person is citizen of one country; US and Norway disjoint.
+
+        A minority gets dual citizenship, but never the US+Norway pair —
+        GFD3 of Figure 8 ("Norway does not admit dual citizenship").
+        """
+        us = next(
+            c for c in countries if self.graph.get_attr(c, "name") == "US"
+        )
+        norway = next(
+            c for c in countries if self.graph.get_attr(c, "name") == "Norway"
+        )
+        for person in persons:
+            first = self.rng.choice(list(countries))
+            self.graph.add_edge(person, first, "citizen")
+            self.graph.set_attr(
+                person, "country", self.graph.get_attr(first, "name")
+            )
+            if self.rng.random() < 0.15:
+                second = self.rng.choice(list(countries))
+                forbidden = (
+                    (first == us and second == norway)
+                    or (first == norway and second == us)
+                    or second == first
+                )
+                if not forbidden:
+                    self.graph.add_edge(person, second, "citizen")
+
+    def parents(self, persons: Sequence[int], fraction: float = 0.5) -> None:
+        """Acyclic parent/hasChild edges; children inherit the familyname.
+
+        Mutual ``parent`` pairs never occur (φ3), and ``hasChild`` mirrors
+        ``parent`` so GFD1's wildcard pattern has support.  Each child gets
+        exactly one parent, and familynames are propagated top-down after
+        all edges are chosen, so inheritance is globally consistent (GFD1:
+        ``hasChild(x, y) → x.familyname = y.familyname``).
+        """
+        persons = list(persons)
+        count = int(len(persons) * fraction)
+        parent_of: Dict[int, int] = {}
+        for _ in range(count):
+            child_pos = self.rng.randrange(1, len(persons))
+            parent_pos = self.rng.randrange(0, child_pos)
+            if child_pos in parent_of:
+                continue
+            parent_of[child_pos] = parent_pos
+            child, parent = persons[child_pos], persons[parent_pos]
+            self.graph.add_edge(child, parent, "parent")
+            self.graph.add_edge(parent, child, "hasChild")
+        # parents precede children in ``persons``; one increasing pass
+        # finalizes every parent's familyname before its children's.
+        for child_pos in sorted(parent_of):
+            child = persons[child_pos]
+            parent = persons[parent_of[child_pos]]
+            self.graph.set_attr(
+                child, "familyname", self.graph.get_attr(parent, "familyname")
+            )
+
+    def products(self, count: int, kind: str) -> List[int]:
+        nodes = []
+        for index in range(count):
+            nodes.append(
+                self.graph.add_node(
+                    "product",
+                    {"type": kind, "name": f"{kind}{index}"},
+                )
+            )
+        return nodes
+
+    def creations(
+        self, creators: Sequence[int], products: Sequence[int], per_creator: int = 1
+    ) -> None:
+        """Each product created by one creator (φ1's scope)."""
+        creators = list(creators)
+        for index, product in enumerate(products):
+            creator = creators[index % len(creators)]
+            self.graph.add_edge(creator, product, "create")
+            for _ in range(per_creator - 1):
+                extra = self.rng.choice(creators)
+                self.graph.add_edge(extra, product, "create")
+
+    def award_wins(self, films: Sequence[int], awards: Sequence[int]) -> None:
+        """Films win awards; Gold Bear and Gold Lion are mutually exclusive.
+
+        GFD2 of Figure 8: festival rules make the pair impossible.
+        """
+        bear = next(
+            a for a in awards if self.graph.get_attr(a, "name") == "Gold Bear"
+        )
+        lion = next(
+            a for a in awards if self.graph.get_attr(a, "name") == "Gold Lion"
+        )
+        for film in films:
+            if self.rng.random() >= 0.6:
+                continue
+            won = self.rng.sample(list(awards), k=self.rng.randint(1, 2))
+            if bear in won and lion in won:
+                won.remove(lion)
+            for award in won:
+                self.graph.add_edge(film, award, "receive")
+
+    def random_links(
+        self,
+        sources: Sequence[int],
+        targets: Sequence[int],
+        label: str,
+        count: int,
+    ) -> None:
+        """Unstructured filler edges (keeps mining honest)."""
+        sources, targets = list(sources), list(targets)
+        if not sources or not targets:
+            return
+        for _ in range(count):
+            src = self.rng.choice(sources)
+            dst = self.rng.choice(targets)
+            if src != dst:
+                self.graph.add_edge(src, dst, label)
+
+
+def yago2_like(scale: float = 1.0, seed: int = 0) -> Graph:
+    """A YAGO2-shaped knowledge graph (few types, moderate density).
+
+    At ``scale=1.0``: roughly 1.5k nodes and 3.5k edges with the planted
+    rules described in the module docstring.
+    """
+    kb = _KBBuilder(seed)
+    size = max(1, round(120 * scale))
+    countries = kb.countries()
+    awards = kb.awards()
+    cities = kb.cities(size, countries)
+    producers = kb.persons(2 * size, "producer", countries)
+    actors = kb.persons(3 * size, "actor", countries)
+    scientists = kb.persons(2 * size, "scientist", countries)
+    films = kb.products(2 * size, "film")
+    books = kb.products(size, "book")
+    kb.creations(producers, films)
+    kb.creations(scientists, books)
+    kb.citizenships(producers + actors + scientists, countries)
+    kb.parents(producers + actors + scientists, fraction=0.45)
+    kb.award_wins(films, awards)
+    kb.random_links(actors, films, "actedIn", 5 * size)
+    kb.random_links(scientists, cities, "livesIn", 2 * size)
+    return kb.graph
+
+
+def dbpedia_like(scale: float = 1.0, seed: int = 0) -> Graph:
+    """A DBpedia-shaped knowledge graph (more types, clearly denser)."""
+    kb = _KBBuilder(seed)
+    size = max(1, round(100 * scale))
+    countries = kb.countries()
+    awards = kb.awards()
+    cities = kb.cities(2 * size, countries)
+    producers = kb.persons(2 * size, "producer", countries)
+    actors = kb.persons(2 * size, "actor", countries)
+    musicians = kb.persons(2 * size, "musician", countries)
+    politicians = kb.persons(size, "politician", countries)
+    films = kb.products(2 * size, "film")
+    albums = kb.products(2 * size, "album")
+    books = kb.products(size, "book")
+    organisations = []
+    for index in range(size):
+        organisations.append(
+            kb.graph.add_node(
+                "organisation",
+                {"type": "organisation", "name": f"org{index}"},
+            )
+        )
+    kb.creations(producers, films)
+    kb.creations(musicians, albums)
+    kb.creations(politicians, books)
+    kb.citizenships(
+        producers + actors + musicians + politicians, countries
+    )
+    kb.parents(producers + actors + musicians + politicians, fraction=0.5)
+    kb.award_wins(films, awards)
+    kb.award_wins(albums, awards)
+    # density filler: DBpedia has an order of magnitude more links per node
+    people = producers + actors + musicians + politicians
+    kb.random_links(actors, films, "actedIn", 12 * size)
+    kb.random_links(people, organisations, "memberOf", 12 * size)
+    kb.random_links(people, cities, "bornIn", 10 * size)
+    kb.random_links(organisations, cities, "basedIn", 6 * size)
+    kb.random_links(musicians, albums, "performedOn", 8 * size)
+    kb.random_links(people, people, "knows", 8 * size)
+    return kb.graph
+
+
+def imdb_like(scale: float = 1.0, seed: int = 0) -> Graph:
+    """An IMDB-shaped knowledge graph (few relation types, sparsest)."""
+    kb = _KBBuilder(seed)
+    size = max(1, round(150 * scale))
+    countries = kb.countries()
+    genres = []
+    for name in _GENRES:
+        genres.append(
+            kb.graph.add_node("genre", {"type": "genre", "name": name})
+        )
+    directors = kb.persons(size, "director", countries)
+    actors = kb.persons(4 * size, "actor", countries)
+    movies = kb.products(3 * size, "film")
+    kb.creations(directors, movies)
+    kb.citizenships(directors + actors, countries)
+    kb.parents(directors + actors, fraction=0.3)
+    # every movie has exactly one genre; the node attribute mirrors it
+    for index, movie in enumerate(movies):
+        genre = genres[index % len(genres)]
+        kb.graph.add_edge(movie, genre, "hasGenre")
+        kb.graph.set_attr(movie, "country", kb.graph.get_attr(genre, "name"))
+    kb.random_links(actors, movies, "actedIn", 2 * size)
+    return kb.graph

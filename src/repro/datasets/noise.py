@@ -1,0 +1,97 @@
+"""Error injection for the detection experiments (Exp-5).
+
+The paper's protocol: "we randomly drew α% of nodes and for each such node
+v, changed β% of either the active attribute values or the labels of edges
+of v ..., with values that did not appear in YAGO2."  The ground truth
+``V^E`` is the set of perturbed nodes; detection accuracy is
+``|V^X ∩ V^E| / |V^E|``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..graph.graph import Graph
+
+__all__ = ["NoiseReport", "inject_noise"]
+
+
+@dataclass
+class NoiseReport:
+    """What :func:`inject_noise` changed."""
+
+    dirty_nodes: Set[int] = field(default_factory=set)
+    attribute_changes: int = 0
+    edge_label_changes: int = 0
+
+    @property
+    def total_changes(self) -> int:
+        """Number of individual perturbations applied."""
+        return self.attribute_changes + self.edge_label_changes
+
+
+def inject_noise(
+    graph: Graph,
+    alpha: float = 0.1,
+    beta: float = 0.5,
+    attributes: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> Tuple[Graph, NoiseReport]:
+    """Perturb a copy of ``graph`` per the Exp-5 protocol.
+
+    Args:
+        graph: the clean graph (left untouched).
+        alpha: fraction of nodes to dirty (the paper's α%).
+        beta: per dirty node, fraction of its attribute values / incident
+            edge labels to change (the paper's β%).
+        attributes: restrict attribute perturbation to these names (the
+            active attributes Γ); ``None`` = all attributes of the node.
+        seed: RNG seed.
+
+    Returns ``(dirty_graph, report)``; changed values are fresh strings that
+    do not occur anywhere in the input (per the protocol, "values that did
+    not appear").
+    """
+    if not 0 <= alpha <= 1 or not 0 <= beta <= 1:
+        raise ValueError("alpha and beta must be fractions in [0, 1]")
+    rng = random.Random(seed)
+    dirty = graph.copy()
+    report = NoiseReport()
+    fresh_counter = 0
+
+    node_count = dirty.num_nodes
+    sample_size = round(alpha * node_count)
+    if sample_size == 0:
+        return dirty, report
+    chosen = rng.sample(range(node_count), sample_size)
+    for node in sorted(chosen):
+        report.dirty_nodes.add(node)
+        # collect perturbation slots: attribute values and incident edges
+        attr_slots = [
+            attr
+            for attr in sorted(dirty.node_attrs(node))
+            if attributes is None or attr in attributes
+        ]
+        edge_slots = [
+            (node, dst, label)
+            for dst, labels in sorted(dirty.out_neighbors(node).items())
+            for label in sorted(labels)
+        ]
+        slots: List[Tuple[str, object]] = [("attr", a) for a in attr_slots]
+        slots += [("edge", e) for e in edge_slots]
+        if not slots:
+            continue
+        change_count = max(1, round(beta * len(slots)))
+        for kind, slot in rng.sample(slots, min(change_count, len(slots))):
+            fresh_counter += 1
+            fresh = f"__noise_{fresh_counter}"
+            if kind == "attr":
+                dirty.set_attr(node, slot, fresh)
+                report.attribute_changes += 1
+            else:
+                src, dst, label = slot
+                dirty.relabel_edge(src, dst, label, fresh)
+                report.edge_label_changes += 1
+    return dirty, report

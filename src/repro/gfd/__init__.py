@@ -1,0 +1,64 @@
+"""GFD model, semantics, closure, implication and satisfiability."""
+
+from .closure import LiteralClosure, chase, embedded_rules, enforced
+from .extensions import ComparisonLiteral, ExtendedGFD, find_extended_violations
+from .gfd import GFD, is_trivial
+from .implication import ImplicationChecker, implies
+from .literals import (
+    FALSE,
+    ConstantLiteral,
+    FalseLiteral,
+    Literal,
+    VariableLiteral,
+    format_literal_set,
+    literal_variables,
+    make_variable_literal,
+    rename_literal,
+)
+from .parser import GFDSyntaxError, format_gfd, parse_gfd
+from .satisfaction import (
+    Violation,
+    find_violations,
+    graph_satisfies,
+    satisfies_all,
+    satisfies_gfd,
+    satisfies_literal,
+    validate_set,
+)
+from .satisfiability import build_model, is_satisfiable, satisfiable_patterns
+
+__all__ = [
+    "GFD",
+    "FALSE",
+    "ConstantLiteral",
+    "VariableLiteral",
+    "FalseLiteral",
+    "Literal",
+    "LiteralClosure",
+    "ImplicationChecker",
+    "Violation",
+    "GFDSyntaxError",
+    "ComparisonLiteral",
+    "ExtendedGFD",
+    "find_extended_violations",
+    "is_trivial",
+    "make_variable_literal",
+    "rename_literal",
+    "literal_variables",
+    "format_literal_set",
+    "chase",
+    "enforced",
+    "embedded_rules",
+    "implies",
+    "is_satisfiable",
+    "satisfiable_patterns",
+    "build_model",
+    "satisfies_literal",
+    "satisfies_all",
+    "satisfies_gfd",
+    "graph_satisfies",
+    "find_violations",
+    "validate_set",
+    "parse_gfd",
+    "format_gfd",
+]

@@ -1,0 +1,139 @@
+"""Future-work extension: GFDs with built-in comparison predicates.
+
+The paper's conclusion sketches "GFDs with built-in comparison predicates
+and arithmetic expressions" as ongoing work.  This module ships a
+restricted form: **comparison literals** ``x.A op c`` with
+``op ∈ {<, <=, >, >=, !=}`` usable in the LHS of an extended GFD.  They
+keep the schemaless semantics (a missing attribute satisfies nothing) and
+compose with the standard validator through :class:`ExtendedGFD`.
+
+Discovery does not mine these (matching the paper, which leaves that to
+future work); they are for *writing* richer quality rules by hand, e.g.::
+
+    films released before 1928 (y.year < 1928) cannot have won an Oscar
+
+Comparison literals never appear in closure/implication analyses — the
+characterization of Section 3 covers equality literals only, so
+:class:`ExtendedGFD` deliberately does not subclass :class:`~repro.gfd.gfd.GFD`.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Union
+
+from ..graph.graph import Graph
+from ..pattern.matcher import Match, find_matches
+from ..pattern.pattern import Pattern, variable_name
+from .gfd import GFD
+from .literals import Literal
+from .satisfaction import satisfies_all, satisfies_literal
+
+__all__ = ["ComparisonLiteral", "ExtendedGFD", "find_extended_violations"]
+
+_MISSING = object()
+
+_OPERATORS: Dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "!=": operator.ne,
+}
+
+
+@dataclass(frozen=True)
+class ComparisonLiteral:
+    """``x.A op c`` for a built-in comparison operator.
+
+    Comparisons against a missing attribute are unsatisfied; comparisons
+    that raise ``TypeError`` (e.g. string vs int) are unsatisfied too, so a
+    rule never crashes on heterogeneous data.
+    """
+
+    var: int
+    attr: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise ValueError(
+                f"unsupported operator {self.op!r}; use one of {sorted(_OPERATORS)}"
+            )
+
+    def satisfied(self, graph: Graph, match: Match) -> bool:
+        """Whether the match satisfies the comparison."""
+        value = graph.get_attr(match[self.var], self.attr, _MISSING)
+        if value is _MISSING:
+            return False
+        try:
+            return _OPERATORS[self.op](value, self.value)
+        except TypeError:
+            return False
+
+    def __str__(self) -> str:
+        return f"{variable_name(self.var)}.{self.attr}{self.op}{self.value!r}"
+
+
+#: LHS elements of an extended GFD: equality or comparison literals.
+ExtendedLiteral = Union[Literal, ComparisonLiteral]
+
+
+@dataclass(frozen=True)
+class ExtendedGFD:
+    """A GFD whose LHS may mix equality and comparison literals.
+
+    The RHS stays an ordinary literal (or ``FALSE``) — exactly the
+    restricted extension the paper's conclusion names.
+    """
+
+    pattern: Pattern
+    lhs: FrozenSet[ExtendedLiteral]
+    rhs: Literal
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.lhs, frozenset):
+            object.__setattr__(self, "lhs", frozenset(self.lhs))
+
+    def satisfied_by(self, graph: Graph, match: Match) -> bool:
+        """``h(x̄) ⊨ X → l`` with mixed-literal ``X``."""
+        equalities = [
+            l for l in self.lhs if not isinstance(l, ComparisonLiteral)
+        ]
+        comparisons = [l for l in self.lhs if isinstance(l, ComparisonLiteral)]
+        if not satisfies_all(graph, match, equalities):
+            return True
+        if not all(c.satisfied(graph, match) for c in comparisons):
+            return True
+        return satisfies_literal(graph, match, self.rhs)
+
+    def core_gfd(self) -> Optional[GFD]:
+        """The equality-only core (None when comparisons are present).
+
+        An extended GFD without comparison literals *is* an ordinary GFD
+        and can flow into implication/cover machinery.
+        """
+        if any(isinstance(l, ComparisonLiteral) for l in self.lhs):
+            return None
+        return GFD(self.pattern, frozenset(self.lhs), self.rhs)
+
+    def __str__(self) -> str:
+        lhs = " ∧ ".join(sorted(str(l) for l in self.lhs)) or "∅"
+        return f"Q[{self.pattern.num_nodes} vars]({lhs} → {self.rhs})"
+
+
+def find_extended_violations(
+    graph: Graph,
+    gfd: ExtendedGFD,
+    max_violations: Optional[int] = None,
+) -> List[Match]:
+    """Matches of the pattern violating an extended GFD."""
+    violations: List[Match] = []
+    for match in find_matches(graph, gfd.pattern):
+        if not gfd.satisfied_by(graph, match):
+            violations.append(match)
+            if max_violations is not None and len(violations) >= max_violations:
+                break
+    return violations

@@ -1,0 +1,125 @@
+"""Literals of GFDs (Section 2.2).
+
+A literal of ``x̄`` is either
+
+* a **constant literal** ``x.A = c`` binding attribute ``A`` of variable
+  ``x`` to the constant ``c`` (the CFD-style constant binding), or
+* a **variable literal** ``x.A = y.B`` equating attributes across variables,
+  or
+* the Boolean constant ``false`` (syntactic sugar allowed as the RHS of
+  negative GFDs).
+
+Variables are pattern-variable indices.  Literals are immutable and hashable
+so literal sets ``X`` can be frozensets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Tuple, Union
+
+from ..pattern.pattern import variable_name
+
+__all__ = [
+    "ConstantLiteral",
+    "VariableLiteral",
+    "FalseLiteral",
+    "FALSE",
+    "Literal",
+    "rename_literal",
+    "literal_variables",
+]
+
+
+@dataclass(frozen=True)
+class ConstantLiteral:
+    """``x.A = c``: attribute ``attr`` of variable ``var`` equals ``value``."""
+
+    var: int
+    attr: str
+    value: Any
+
+    def __str__(self) -> str:
+        return f"{variable_name(self.var)}.{self.attr}={self.value!r}"
+
+
+@dataclass(frozen=True)
+class VariableLiteral:
+    """``x.A = y.B``: attributes of two variables are equal.
+
+    Stored in a normalized orientation (smallest ``(var, attr)`` first) so
+    the two spellings of the same equation compare equal.
+    """
+
+    var1: int
+    attr1: str
+    var2: int
+    attr2: str
+
+    def __post_init__(self) -> None:
+        if (self.var2, self.attr2) < (self.var1, self.attr1):
+            first = (self.var1, self.attr1)
+            object.__setattr__(self, "var1", self.var2)
+            object.__setattr__(self, "attr1", self.attr2)
+            object.__setattr__(self, "var2", first[0])
+            object.__setattr__(self, "attr2", first[1])
+
+    def __str__(self) -> str:
+        return (
+            f"{variable_name(self.var1)}.{self.attr1}="
+            f"{variable_name(self.var2)}.{self.attr2}"
+        )
+
+
+def make_variable_literal(
+    var1: int, attr1: str, var2: int, attr2: str
+) -> VariableLiteral:
+    """Create a :class:`VariableLiteral` in normalized orientation."""
+    if (var2, attr2) < (var1, attr1):
+        var1, attr1, var2, attr2 = var2, attr2, var1, attr1
+    return VariableLiteral(var1, attr1, var2, attr2)
+
+
+@dataclass(frozen=True)
+class FalseLiteral:
+    """The Boolean constant ``false`` — RHS of negative GFDs."""
+
+    def __str__(self) -> str:
+        return "false"
+
+
+#: The singleton ``false`` literal.
+FALSE = FalseLiteral()
+
+#: Any GFD literal.
+Literal = Union[ConstantLiteral, VariableLiteral, FalseLiteral]
+
+
+def rename_literal(literal: Literal, mapping) -> Literal:
+    """Apply a variable substitution (e.g. an embedding) to a literal.
+
+    ``mapping`` is indexable by variable: ``mapping[old_var] -> new_var``.
+    """
+    if isinstance(literal, ConstantLiteral):
+        return ConstantLiteral(mapping[literal.var], literal.attr, literal.value)
+    if isinstance(literal, VariableLiteral):
+        return make_variable_literal(
+            mapping[literal.var1], literal.attr1, mapping[literal.var2], literal.attr2
+        )
+    return literal
+
+
+def literal_variables(literal: Literal) -> Tuple[int, ...]:
+    """The pattern variables a literal mentions."""
+    if isinstance(literal, ConstantLiteral):
+        return (literal.var,)
+    if isinstance(literal, VariableLiteral):
+        return (literal.var1, literal.var2)
+    return ()
+
+
+def format_literal_set(literals: FrozenSet[Literal]) -> str:
+    """Human-readable rendering of a literal set ``X``."""
+    if not literals:
+        return "∅"
+    return " ∧ ".join(sorted(str(l) for l in literals))

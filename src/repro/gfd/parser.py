@@ -1,0 +1,287 @@
+"""Textual syntax for GFDs.
+
+The concrete syntax mirrors the paper's examples::
+
+    Q[x, y] { (x:person)-[create]->(y:product) } (y.type="film" -> x.type="producer")
+    Q[x, y, z] { (x:city)-[located]->(y:_), (x)-[located]->(z:_) } ( -> y.name=z.name)
+    Q[x*, y] { (x:person)-[parent]->(y:person), (y)-[parent]->(x) } ( -> false)
+
+* variables are declared in ``Q[...]``; a ``*`` suffix marks the pivot
+  (default: the first variable);
+* each pattern element is a node ``(x:label)`` or an edge
+  ``(x)-[label]->(y)`` — labels may be ``_`` (wildcard) and may be omitted
+  after the first mention of a variable;
+* the dependency is ``(X -> l)`` with ``∧``/``&``-separated literals;
+  an empty LHS and the RHS ``false`` are allowed.
+
+:func:`parse_gfd` and :func:`format_gfd` round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..pattern.pattern import Pattern, variable_name
+from .gfd import GFD
+from .literals import (
+    FALSE,
+    ConstantLiteral,
+    FalseLiteral,
+    Literal,
+    VariableLiteral,
+    make_variable_literal,
+)
+
+__all__ = ["parse_gfd", "format_gfd", "GFDSyntaxError"]
+
+
+class GFDSyntaxError(ValueError):
+    """Raised when GFD text cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<arrow>->)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_\-]*)
+  | (?P<symbol>[\[\]{}().,*=&∧:>\-])
+  | (?P<space>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match:
+            raise GFDSyntaxError(f"unexpected character {text[position]!r} at {position}")
+        kind = match.lastgroup
+        if kind != "space":
+            tokens.append((kind, match.group()))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise GFDSyntaxError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def _expect(self, value: str) -> None:
+        kind, text = self._next()
+        if text != value:
+            raise GFDSyntaxError(f"expected {value!r}, got {text!r}")
+
+    def _accept(self, value: str) -> bool:
+        token = self._peek()
+        if token is not None and token[1] == value:
+            self._index += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def parse(self) -> GFD:
+        variables, pivot = self._parse_header()
+        var_index = {name: i for i, name in enumerate(variables)}
+        labels, edges = self._parse_pattern(var_index)
+        lhs, rhs = self._parse_dependency(var_index)
+        pattern = Pattern(labels, edges, pivot)
+        return GFD(pattern, frozenset(lhs), rhs)
+
+    def _parse_header(self) -> Tuple[List[str], int]:
+        kind, text = self._next()
+        if text != "Q":
+            raise GFDSyntaxError(f"GFD must start with 'Q', got {text!r}")
+        self._expect("[")
+        variables: List[str] = []
+        pivot = 0
+        while True:
+            kind, name = self._next()
+            if kind != "name":
+                raise GFDSyntaxError(f"expected variable name, got {name!r}")
+            if self._accept("*"):
+                pivot = len(variables)
+            variables.append(name)
+            if self._accept("]"):
+                break
+            self._expect(",")
+        return variables, pivot
+
+    def _parse_pattern(
+        self, var_index: Dict[str, int]
+    ) -> Tuple[List[str], List[Tuple[int, int, str]]]:
+        from ..pattern.pattern import WILDCARD
+
+        labels: List[Optional[str]] = [None] * len(var_index)
+        edges: List[Tuple[int, int, str]] = []
+        self._expect("{")
+        while not self._accept("}"):
+            src = self._parse_node(var_index, labels)
+            if self._accept("-"):
+                self._expect("[")
+                kind, edge_label = self._next()
+                if kind != "name":
+                    raise GFDSyntaxError(f"expected edge label, got {edge_label!r}")
+                self._expect("]")
+                self._expect("->")
+                dst = self._parse_node(var_index, labels)
+                edges.append((src, dst, edge_label))
+            if not self._accept(","):
+                self._expect("}")
+                break
+        resolved = [label if label is not None else WILDCARD for label in labels]
+        return resolved, edges
+
+    def _parse_node(self, var_index: Dict[str, int], labels: List[Optional[str]]) -> int:
+        self._expect("(")
+        kind, name = self._next()
+        if kind != "name":
+            raise GFDSyntaxError(f"expected variable, got {name!r}")
+        if name not in var_index:
+            raise GFDSyntaxError(f"undeclared variable {name!r}")
+        index = var_index[name]
+        if self._accept(":"):
+            kind, label = self._next()
+            if kind != "name":
+                raise GFDSyntaxError(f"expected node label, got {label!r}")
+            if labels[index] is not None and labels[index] != label:
+                raise GFDSyntaxError(
+                    f"conflicting labels for {name!r}: {labels[index]!r} vs {label!r}"
+                )
+            labels[index] = label
+        self._expect(")")
+        return index
+
+    def _parse_dependency(
+        self, var_index: Dict[str, int]
+    ) -> Tuple[List[Literal], Literal]:
+        self._expect("(")
+        lhs: List[Literal] = []
+        token = self._peek()
+        if token is not None and token[1] != "->":
+            while True:
+                lhs.append(self._parse_literal(var_index))
+                token = self._peek()
+                if token is not None and token[1] in ("&", "∧"):
+                    self._next()
+                    continue
+                break
+        kind, text = self._next()
+        if text != "->":
+            raise GFDSyntaxError(f"expected '->', got {text!r}")
+        rhs = self._parse_literal(var_index)
+        self._expect(")")
+        if self._peek() is not None:
+            raise GFDSyntaxError("trailing input after GFD")
+        return lhs, rhs
+
+    def _parse_literal(self, var_index: Dict[str, int]) -> Literal:
+        kind, name = self._next()
+        if kind == "name" and name == "false":
+            return FALSE
+        if kind != "name" or name not in var_index:
+            raise GFDSyntaxError(f"expected variable or 'false', got {name!r}")
+        var = var_index[name]
+        self._expect(".")
+        kind, attr = self._next()
+        if kind != "name":
+            raise GFDSyntaxError(f"expected attribute name, got {attr!r}")
+        self._expect("=")
+        kind, value = self._next()
+        if kind == "string":
+            return ConstantLiteral(var, attr, _unescape(value))
+        if kind == "number":
+            number = float(value) if "." in value else int(value)
+            return ConstantLiteral(var, attr, number)
+        if kind == "name" and value in var_index:
+            other = var_index[value]
+            self._expect(".")
+            kind, attr2 = self._next()
+            if kind != "name":
+                raise GFDSyntaxError(f"expected attribute name, got {attr2!r}")
+            return make_variable_literal(var, attr, other, attr2)
+        raise GFDSyntaxError(f"expected constant or variable, got {value!r}")
+
+
+def _unescape(quoted: str) -> str:
+    body = quoted[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _escape(value: str) -> str:
+    return '"' + value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def parse_gfd(text: str) -> GFD:
+    """Parse the textual GFD syntax into a :class:`~repro.gfd.gfd.GFD`."""
+    return _Parser(text).parse()
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, str):
+        return _escape(value)
+    return repr(value)
+
+
+def _format_literal(literal: Literal) -> str:
+    if isinstance(literal, FalseLiteral):
+        return "false"
+    if isinstance(literal, ConstantLiteral):
+        return (
+            f"{variable_name(literal.var)}.{literal.attr}"
+            f"={_format_value(literal.value)}"
+        )
+    assert isinstance(literal, VariableLiteral)
+    return (
+        f"{variable_name(literal.var1)}.{literal.attr1}"
+        f"={variable_name(literal.var2)}.{literal.attr2}"
+    )
+
+
+def format_gfd(gfd: GFD) -> str:
+    """Serialize a GFD to parseable text (inverse of :func:`parse_gfd`)."""
+    pattern = gfd.pattern
+    variables = []
+    for index in pattern.variables():
+        name = variable_name(index)
+        variables.append(f"{name}*" if index == pattern.pivot else name)
+    header = f"Q[{', '.join(variables)}]"
+    elements: List[str] = []
+    mentioned = set()
+    for edge in pattern.edges:
+        src_txt = _format_node(pattern, edge.src, mentioned)
+        dst_txt = _format_node(pattern, edge.dst, mentioned)
+        elements.append(f"{src_txt}-[{edge.label}]->{dst_txt}")
+    for index in pattern.variables():
+        if index not in mentioned:
+            elements.append(_format_node(pattern, index, mentioned))
+    body = "{ " + ", ".join(elements) + " }"
+    lhs = " & ".join(sorted(_format_literal(l) for l in gfd.lhs))
+    dependency = f"({lhs} -> {_format_literal(gfd.rhs)})"
+    return f"{header} {body} {dependency}"
+
+
+def _format_node(pattern: Pattern, index: int, mentioned: set) -> str:
+    name = variable_name(index)
+    if index in mentioned:
+        return f"({name})"
+    mentioned.add(index)
+    return f"({name}:{pattern.labels[index]})"

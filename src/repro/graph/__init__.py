@@ -1,0 +1,31 @@
+"""Property-graph substrate: storage, IO, statistics and fragmentation."""
+
+from .builder import GraphBuilder
+from .graph import Edge, Graph
+from .io import (
+    graph_from_json,
+    graph_to_json,
+    load_json,
+    load_tsv,
+    save_json,
+    save_tsv,
+)
+from .partition import Fragment, fragment_graph, partition_edges
+from .statistics import GraphStatistics, compute_statistics
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "GraphBuilder",
+    "GraphStatistics",
+    "Fragment",
+    "compute_statistics",
+    "fragment_graph",
+    "partition_edges",
+    "graph_to_json",
+    "graph_from_json",
+    "save_json",
+    "load_json",
+    "save_tsv",
+    "load_tsv",
+]

@@ -1,0 +1,263 @@
+"""In-memory directed property graph.
+
+This is the substrate the paper's algorithms run on: a directed graph
+``G = (V, E, L, F_A)`` where every node and edge carries a label drawn from an
+alphabet ``Theta`` and every node carries a tuple of attribute/value pairs
+(Section 2.1 of the paper).  Real-life graphs in the paper (DBpedia, YAGO2,
+IMDB) are schemaless knowledge graphs; nodes of the same label may carry
+different attribute sets.
+
+The structure is optimized for the access paths GFD discovery needs:
+
+* candidate seeding by node label  -> ``nodes_with_label``,
+* edge extension during matching   -> ``out_neighbors`` / ``in_neighbors``,
+* O(1) edge-existence tests        -> ``has_edge``,
+* frequent-triple statistics       -> ``edges`` iteration and label indexes.
+
+``networkx`` was measured to be far too slow for the inner matching loops at
+the scales the benchmarks use, so adjacency is stored directly in
+dict-of-dict-of-set form (per source node: destination -> set of edge labels).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["Graph", "Edge"]
+
+#: An edge as exposed by iteration APIs: (source, destination, label).
+Edge = Tuple[int, int, str]
+
+
+class Graph:
+    """A directed, node- and edge-labeled property graph.
+
+    Nodes are dense integer ids assigned by :meth:`add_node` (0, 1, 2, ...).
+    At most one edge exists per ``(src, dst, label)`` triple; distinct labels
+    between the same endpoints are distinct edges, matching the paper's model
+    where ``E ⊆ V × V`` with a label per edge (we additionally allow parallel
+    edges with different labels, which knowledge graphs need).
+
+    Node attributes are stored per node as a plain ``dict`` mapping attribute
+    name to a constant value; graphs are schemaless, so any node may carry any
+    attributes (Section 2.1).
+    """
+
+    __slots__ = (
+        "_labels",
+        "_attrs",
+        "_out",
+        "_in",
+        "_label_index",
+        "_edge_label_count",
+        "_num_edges",
+    )
+
+    def __init__(self) -> None:
+        self._labels: List[str] = []
+        self._attrs: List[Dict[str, Any]] = []
+        # adjacency: per node, dst -> set of edge labels (and the reverse)
+        self._out: List[Dict[int, Set[str]]] = []
+        self._in: List[Dict[int, Set[str]]] = []
+        self._label_index: Dict[str, List[int]] = {}
+        self._edge_label_count: Dict[str, int] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, label: str, attrs: Optional[Dict[str, Any]] = None) -> int:
+        """Add a node with the given label and attribute dict; return its id."""
+        node = len(self._labels)
+        self._labels.append(label)
+        self._attrs.append(dict(attrs) if attrs else {})
+        self._out.append({})
+        self._in.append({})
+        self._label_index.setdefault(label, []).append(node)
+        return node
+
+    def add_edge(self, src: int, dst: int, label: str) -> bool:
+        """Add edge ``src -[label]-> dst``; return False if it already exists."""
+        self._check_node(src)
+        self._check_node(dst)
+        out_labels = self._out[src].setdefault(dst, set())
+        if label in out_labels:
+            return False
+        out_labels.add(label)
+        self._in[dst].setdefault(src, set()).add(label)
+        self._edge_label_count[label] = self._edge_label_count.get(label, 0) + 1
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, src: int, dst: int, label: str) -> bool:
+        """Remove edge ``src -[label]-> dst``; return False if absent."""
+        labels = self._out[src].get(dst)
+        if labels is None or label not in labels:
+            return False
+        labels.discard(label)
+        if not labels:
+            del self._out[src][dst]
+        in_labels = self._in[dst][src]
+        in_labels.discard(label)
+        if not in_labels:
+            del self._in[dst][src]
+        self._edge_label_count[label] -= 1
+        if not self._edge_label_count[label]:
+            del self._edge_label_count[label]
+        self._num_edges -= 1
+        return True
+
+    def set_attr(self, node: int, attr: str, value: Any) -> None:
+        """Set attribute ``attr`` of ``node`` to ``value``."""
+        self._check_node(node)
+        self._attrs[node][attr] = value
+
+    def remove_attr(self, node: int, attr: str) -> None:
+        """Delete attribute ``attr`` from ``node`` if present."""
+        self._attrs[node].pop(attr, None)
+
+    def relabel_node(self, node: int, label: str) -> None:
+        """Change the label of ``node`` (updates the label index)."""
+        self._check_node(node)
+        old = self._labels[node]
+        if old == label:
+            return
+        bucket = self._label_index[old]
+        bucket.remove(node)
+        if not bucket:
+            del self._label_index[old]
+        self._labels[node] = label
+        self._label_index.setdefault(label, []).append(node)
+
+    def relabel_edge(self, src: int, dst: int, old: str, new: str) -> bool:
+        """Replace the label of an existing edge; return False if absent."""
+        if not self.remove_edge(src, dst, old):
+            return False
+        self.add_edge(src, dst, new)
+        return True
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the graph."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (src, dst, label) edges in the graph."""
+        return self._num_edges
+
+    def nodes(self) -> range:
+        """All node ids."""
+        return range(len(self._labels))
+
+    def node_label(self, node: int) -> str:
+        """The label of ``node``."""
+        return self._labels[node]
+
+    def node_attrs(self, node: int) -> Dict[str, Any]:
+        """The attribute dict of ``node`` (live reference; treat as read-only)."""
+        return self._attrs[node]
+
+    def get_attr(self, node: int, attr: str, default: Any = None) -> Any:
+        """The value of ``attr`` at ``node`` or ``default`` if absent."""
+        return self._attrs[node].get(attr, default)
+
+    def has_attr(self, node: int, attr: str) -> bool:
+        """Whether ``node`` carries attribute ``attr``."""
+        return attr in self._attrs[node]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate all edges as ``(src, dst, label)`` triples."""
+        for src, adjacency in enumerate(self._out):
+            for dst, labels in adjacency.items():
+                for label in labels:
+                    yield (src, dst, label)
+
+    def has_edge(self, src: int, dst: int, label: Optional[str] = None) -> bool:
+        """Whether edge ``src -> dst`` exists (with ``label`` if given)."""
+        labels = self._out[src].get(dst)
+        if labels is None:
+            return False
+        return True if label is None else label in labels
+
+    def edge_labels(self, src: int, dst: int) -> Set[str]:
+        """Labels of edges from ``src`` to ``dst`` (empty set if none)."""
+        return self._out[src].get(dst, set())
+
+    def out_neighbors(self, node: int) -> Dict[int, Set[str]]:
+        """Outgoing adjacency of ``node``: dst -> edge-label set."""
+        return self._out[node]
+
+    def in_neighbors(self, node: int) -> Dict[int, Set[str]]:
+        """Incoming adjacency of ``node``: src -> edge-label set."""
+        return self._in[node]
+
+    def out_degree(self, node: int) -> int:
+        """Number of outgoing edges of ``node`` (counting parallel labels)."""
+        return sum(len(labels) for labels in self._out[node].values())
+
+    def in_degree(self, node: int) -> int:
+        """Number of incoming edges of ``node`` (counting parallel labels)."""
+        return sum(len(labels) for labels in self._in[node].values())
+
+    def degree(self, node: int) -> int:
+        """Total degree of ``node``."""
+        return self.out_degree(node) + self.in_degree(node)
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+    def nodes_with_label(self, label: str) -> List[int]:
+        """All nodes carrying exactly ``label`` (no wildcard semantics here)."""
+        return self._label_index.get(label, [])
+
+    def node_labels(self) -> Set[str]:
+        """The set of node labels used in the graph."""
+        return set(self._label_index)
+
+    def edge_label_counts(self) -> Dict[str, int]:
+        """Edge label -> number of edges with that label."""
+        return dict(self._edge_label_count)
+
+    def label_count(self, label: str) -> int:
+        """Number of nodes carrying ``label``."""
+        return len(self._label_index.get(label, ()))
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, nodes: Iterable[int]) -> "Graph":
+        """The subgraph induced by ``nodes`` (all edges among them), re-indexed.
+
+        Node ids are remapped densely in iteration order of ``nodes``.
+        """
+        subgraph = Graph()
+        mapping: Dict[int, int] = {}
+        for node in nodes:
+            mapping[node] = subgraph.add_node(self._labels[node], self._attrs[node])
+        for old, new in mapping.items():
+            for dst, labels in self._out[old].items():
+                if dst in mapping:
+                    for label in labels:
+                        subgraph.add_edge(new, mapping[dst], label)
+        return subgraph
+
+    def copy(self) -> "Graph":
+        """A deep, independent copy of the graph."""
+        clone = Graph()
+        for node in self.nodes():
+            clone.add_node(self._labels[node], self._attrs[node])
+        for src, dst, label in self.edges():
+            clone.add_edge(src, dst, label)
+        return clone
+
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < len(self._labels):
+            raise KeyError(f"node {node} does not exist")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(nodes={self.num_nodes}, edges={self.num_edges})"

@@ -1,0 +1,118 @@
+"""Serialization for property graphs.
+
+Two formats are supported:
+
+* **JSON**: a single document with ``nodes`` (label + attributes) and
+  ``edges`` arrays — lossless round-trip of everything :class:`Graph` holds.
+* **TSV**: the classic knowledge-graph exchange shape, three files or
+  sections — node labels, node attributes and labeled edges.  This mirrors
+  how dumps of DBpedia / YAGO-style datasets are commonly shipped.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .graph import Graph
+
+__all__ = [
+    "graph_to_json",
+    "graph_from_json",
+    "save_json",
+    "load_json",
+    "save_tsv",
+    "load_tsv",
+]
+
+PathLike = Union[str, Path]
+
+
+def graph_to_json(graph: Graph) -> dict:
+    """Encode ``graph`` as a JSON-serializable dict."""
+    return {
+        "nodes": [
+            {"label": graph.node_label(v), "attrs": graph.node_attrs(v)}
+            for v in graph.nodes()
+        ],
+        "edges": [[src, dst, label] for src, dst, label in graph.edges()],
+    }
+
+
+def graph_from_json(document: dict) -> Graph:
+    """Decode a dict produced by :func:`graph_to_json`."""
+    graph = Graph()
+    for node in document["nodes"]:
+        graph.add_node(node["label"], node.get("attrs") or {})
+    for src, dst, label in document["edges"]:
+        graph.add_edge(int(src), int(dst), label)
+    return graph
+
+
+def save_json(graph: Graph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(graph_to_json(graph), handle)
+
+
+def load_json(path: PathLike) -> Graph:
+    """Read a graph written by :func:`save_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return graph_from_json(json.load(handle))
+
+
+def save_tsv(graph: Graph, path: PathLike) -> None:
+    """Write ``graph`` as a sectioned TSV file.
+
+    Sections are introduced by ``#nodes``, ``#attrs`` and ``#edges`` header
+    lines; rows are tab-separated:
+
+    * nodes: ``id<TAB>label``
+    * attrs: ``id<TAB>attr<TAB>value`` (values stored via ``json.dumps``)
+    * edges: ``src<TAB>dst<TAB>label``
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("#nodes\n")
+        for node in graph.nodes():
+            handle.write(f"{node}\t{graph.node_label(node)}\n")
+        handle.write("#attrs\n")
+        for node in graph.nodes():
+            for attr, value in graph.node_attrs(node).items():
+                handle.write(f"{node}\t{attr}\t{json.dumps(value)}\n")
+        handle.write("#edges\n")
+        for src, dst, label in graph.edges():
+            handle.write(f"{src}\t{dst}\t{label}\n")
+
+
+def load_tsv(path: PathLike) -> Graph:
+    """Read a graph written by :func:`save_tsv`.
+
+    Node rows must appear in id order (they are written that way); a
+    ``ValueError`` is raised on gaps so corrupt files fail loudly.
+    """
+    graph = Graph()
+    section = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                section = line[1:]
+                continue
+            fields = line.split("\t")
+            if section == "nodes":
+                node_id, label = int(fields[0]), fields[1]
+                if node_id != graph.num_nodes:
+                    raise ValueError(
+                        f"line {line_number}: node id {node_id} out of order"
+                    )
+                graph.add_node(label)
+            elif section == "attrs":
+                graph.set_attr(int(fields[0]), fields[1], json.loads(fields[2]))
+            elif section == "edges":
+                graph.add_edge(int(fields[0]), int(fields[1]), fields[2])
+            else:
+                raise ValueError(f"line {line_number}: data before section header")
+    return graph

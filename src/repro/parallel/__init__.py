@@ -1,0 +1,25 @@
+"""Parallel GFD discovery: metered cluster, ParDis, ParCover, balancing."""
+
+from .balancer import (
+    assign_units_lpt,
+    is_skewed,
+    rebalance_pivot_groups,
+    rebalance_shards,
+)
+from .cluster import ClusterMetrics, SimulatedCluster, WorkerMetrics
+from .parcover import parallel_cover, parallel_cover_ungrouped
+from .pardis import ParallelDiscovery, discover_parallel
+
+__all__ = [
+    "SimulatedCluster",
+    "ClusterMetrics",
+    "WorkerMetrics",
+    "ParallelDiscovery",
+    "discover_parallel",
+    "parallel_cover",
+    "parallel_cover_ungrouped",
+    "assign_units_lpt",
+    "is_skewed",
+    "rebalance_shards",
+    "rebalance_pivot_groups",
+]

@@ -1,0 +1,658 @@
+"""``ParDis`` — parallel GFD mining over a fragmented graph (Section 6.2).
+
+The algorithm runs in supersteps on a master + ``n`` workers
+(:class:`~repro.parallel.cluster.SimulatedCluster`).  The graph is
+vertex-cut fragmented; each worker *owns* a shard of every verified
+pattern's matches (seeded from the fragment's nodes, then carried along by
+the incremental joins ``Q'(F_s) = Q(F_s) ⋈ e(F_t)``).  Per superstep,
+mirroring Figure 3:
+
+1. **Parallel pattern verification** — the master spawns extensions (from
+   merged per-worker tallies, so the spawned patterns equal ``SeqDis``'s);
+   workers join their local match shards with the shipped extension edges
+   for *all* of a parent's extensions in one round; skewed shards are
+   re-distributed (``ParGFDnb`` disables this);
+2. **Parallel GFD validation** — the master grows the LHS lattices of all
+   RHS literals level-by-level; each lattice level is validated as one
+   batch ``ΣC_{ij}`` in a single superstep: workers intersect boolean row
+   masks on their shards, the master aggregates counts and (exactly)
+   unions pivot-support sets.
+
+The discovered set equals ``SeqDis``'s output — parallel scalability
+(Theorem 5) is about time, not results — which the integration tests
+assert.  ``config.max_matches_per_pattern`` is not enforced here (shards
+are unbounded); size workloads accordingly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.config import DiscoveryConfig
+from ..core.discovery import SequentialDiscovery
+from ..core.generation_tree import GenerationTree, TreeNode
+from ..core.match_table import (
+    MatchTable,
+    constant_literals_from_counts,
+    merge_agreement_counts,
+    merge_value_counts,
+    variable_literals_from_counts,
+)
+from ..core.reduction import minimal_cover_by_reduction
+from ..core.results import DiscoveryResult
+from ..core.spawning import (
+    counts_from_statistics,
+    extension_statistics,
+    extensions_from_counts,
+    merge_extension_counts,
+    speculative_closing_extensions,
+    wildcard_extensions_from_counts,
+)
+from ..gfd.gfd import GFD
+from ..gfd.literals import FALSE, Literal
+from ..graph.graph import Graph
+from ..pattern.canonical import canonical_key
+from ..pattern.incremental import Extension, apply_extension, extend_matches
+from ..pattern.matcher import Match
+from ..pattern.pattern import WILDCARD, Pattern
+from .balancer import is_skewed, rebalance_pivot_groups
+from .cluster import SimulatedCluster
+
+__all__ = ["ParallelDiscovery", "discover_parallel"]
+
+
+class _Task:
+    """Master-side lattice state for one RHS literal."""
+
+    __slots__ = ("rhs", "rhs_position", "valid_sets", "frontier", "_next_frontier")
+
+    def __init__(self, rhs: Literal, rhs_position: int) -> None:
+        self.rhs = rhs
+        self.rhs_position = rhs_position
+        self.valid_sets: List[FrozenSet[Literal]] = []
+        # frontier entries: (lhs set, max literal index used, worker mask id)
+        self.frontier: List[Tuple[FrozenSet[Literal], int, int]] = [
+            (frozenset(), -1, 0)
+        ]
+        self._next_frontier: List[Tuple[FrozenSet[Literal], int, int]] = []
+
+
+class ParallelDiscovery(SequentialDiscovery):
+    """``ParDis``: the parallel variant of :class:`SequentialDiscovery`.
+
+    Args:
+        graph: the data graph.
+        config: discovery parameters (shared with the sequential algorithm).
+        num_workers: the number ``n`` of workers.
+        balance: enable match re-distribution on skew (Section 6.2's load
+            balancing; ``False`` gives the paper's ``ParGFDnb`` baseline).
+        cluster: optionally supply a pre-built cluster (for shared metering).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: DiscoveryConfig,
+        num_workers: int,
+        balance: bool = True,
+        cluster: Optional[SimulatedCluster] = None,
+    ) -> None:
+        super().__init__(graph, config)
+        self.cluster = cluster or SimulatedCluster(num_workers)
+        self.balance = balance
+        # per tree-node shards: node id -> per-worker match lists / tables
+        self._shards: Dict[int, List[List[Match]]] = {}
+        self._tables: Dict[int, List[MatchTable]] = {}
+        self._column_stats: Dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        """The worker count ``n``."""
+        return self.cluster.num_workers
+
+    def run(self) -> DiscoveryResult:
+        """Execute parallel discovery; results equal the sequential run's."""
+        started = time.perf_counter()
+        tree = GenerationTree()
+        self._seed_parallel(tree)
+        for node in tree.level(0):
+            self._hspawn_parallel(node)
+        for level in range(1, self.config.edge_budget + 1):
+            new_nodes = self._vspawn_parallel(tree, level)
+            if not new_nodes:
+                break
+            for node in new_nodes:
+                self._hspawn_parallel(node)
+        gfds = [gfd for gfd, _ in self._found.values()]
+        supports = {gfd: supp for gfd, supp in self._found.values()}
+        with self.cluster.master():
+            if self.config.minimality_filter:
+                gfds = minimal_cover_by_reduction(gfds)
+                supports = {gfd: supports[gfd] for gfd in gfds}
+        self.stats.positives_found = sum(1 for gfd in gfds if gfd.is_positive)
+        self.stats.negatives_found = sum(1 for gfd in gfds if gfd.is_negative)
+        self.stats.elapsed_seconds = time.perf_counter() - started
+        return DiscoveryResult(
+            gfds=gfds, supports=supports, stats=self.stats, tree=tree
+        )
+
+    # ------------------------------------------------------------------
+    # seeding and vertical spawning
+    # ------------------------------------------------------------------
+    def _seed_parallel(self, tree: GenerationTree) -> None:
+        """Cold start: single-node patterns, matches sharded by node id.
+
+        Node ownership follows the vertex cut: node ``v`` is seeded on the
+        fragment ``v mod n`` (deterministic and even).
+        """
+        n = self.num_workers
+        for label in sorted(self.graph_stats.node_label_counts):
+            count = self.graph_stats.node_label_counts[label]
+            if count < self.config.sigma:
+                continue
+            pattern = Pattern([label])
+            node, created = tree.add(pattern, level=0)
+            if not created:
+                continue
+            shards: List[List[Match]] = [[] for _ in range(n)]
+            for v in self.graph.nodes_with_label(label):
+                shards[v % n].append((v,))
+            node.support = count
+            self._install_shards(node, shards)
+            self.stats.patterns_spawned += 1
+            self.stats.patterns_frequent += 1
+
+    def _install_shards(self, node: TreeNode, shards: List[List[Match]]) -> None:
+        """Build per-worker match tables + column statistics in one superstep.
+
+        The column statistics feed the master's alphabet generation, saving
+        a dedicated round per pattern.
+        """
+        tables: List[Optional[MatchTable]] = [None] * self.num_workers
+        value_parts = []
+        agreement_parts = []
+        want_variable = (
+            self.config.variable_literals and node.pattern.num_nodes > 1
+        )
+        mined = not self.config.prune or node.support >= self.config.sigma
+        with self.cluster.superstep() as step:
+            for worker in range(self.num_workers):
+                def build(worker: int = worker):
+                    table = MatchTable(
+                        self.graph, node.pattern, shards[worker], self.gamma
+                    )
+                    if not mined:
+                        return table, {}, {}
+                    values = table.constant_value_counts()
+                    agreements = (
+                        table.variable_agreement_counts(
+                            self.config.variable_literals_same_attr_only
+                        )
+                        if want_variable
+                        else {}
+                    )
+                    return table, values, agreements
+                table, values, agreements = step.run(worker, build)
+                tables[worker] = table
+                value_parts.append(values)
+                agreement_parts.append(agreements)
+        if mined:
+            self._column_stats[id(node)] = (value_parts, agreement_parts)
+        self._shards[id(node)] = shards
+        self._tables[id(node)] = tables  # type: ignore[assignment]
+        # keep a lightweight union view for code that only reads matches
+        # (extension tallying never touches it — workers tally shards).
+        node.table = MatchTable(
+            self.graph,
+            node.pattern,
+            [match for shard in shards for match in shard],
+            [],
+        )
+
+    def _spawn_extensions(self, parent: TreeNode) -> List[Extension]:
+        """Master-side extension generation from merged worker tallies.
+
+        Workers tally their shard and collapse pivot sets into counts;
+        pivot-disjoint sharding makes the master's aggregation a plain sum,
+        so only small count dictionaries are shipped.
+        """
+        shards = self._shards[id(parent)]
+        can_add = parent.pattern.num_nodes < self.config.k
+        parts = []
+        with self.cluster.superstep() as step:
+            for worker in range(self.num_workers):
+                def tally(worker: int = worker):
+                    return counts_from_statistics(
+                        extension_statistics(
+                            self.graph, parent.pattern, shards[worker], can_add
+                        )
+                    )
+                parts.append(step.run(worker, tally))
+        with self.cluster.master():
+            merged = merge_extension_counts(parts)
+            self.cluster.ship_to_master(
+                sum(len(p.new_node) + len(p.closing) for p in parts)
+            )
+            extensions = extensions_from_counts(
+                parent.pattern, merged, self.config
+            )
+            extensions += wildcard_extensions_from_counts(
+                parent.pattern, merged, self.config
+            )
+            if self.config.mine_negative and self.config.speculative_closing_edges:
+                extensions += speculative_closing_extensions(
+                    self.graph_stats, parent, self.config
+                )
+        return extensions
+
+    def _vspawn_parallel(self, tree: GenerationTree, level: int) -> List[TreeNode]:
+        """``VSpawn(level)``: distributed tallying + batched incremental joins."""
+        created_nodes: List[TreeNode] = []
+        parents = list(tree.level(level - 1))
+        edge_label_counts = self.graph_stats.edge_label_counts
+        total_edges = self.graph.num_edges
+        n = self.num_workers
+        for parent in parents:
+            if id(parent) not in self._shards:
+                continue
+            if self.config.prune and parent.support < self.config.sigma:
+                continue
+            if parent.support == 0:
+                continue
+            extensions = self._spawn_extensions(parent)
+            # master-side dedup first, so workers only join novel patterns
+            novel: List[Tuple[TreeNode, Extension]] = []
+            with self.cluster.master():
+                for extension in extensions:
+                    pattern = apply_extension(parent.pattern, extension)
+                    if pattern.num_nodes > self.config.k:
+                        continue
+                    node, created = tree.add(pattern, level, parent)
+                    if not created:
+                        continue
+                    self.stats.patterns_spawned += 1
+                    novel.append((node, extension))
+                    if (
+                        self.config.max_patterns_per_level is not None
+                        and len(created_nodes) + len(novel)
+                        >= self.config.max_patterns_per_level
+                    ):
+                        break
+            if not novel:
+                continue
+            parent_shards = self._shards[id(parent)]
+            # one superstep: every worker joins its shard with ALL new
+            # extension edges of this parent (the (Q, e) work units).
+            joined: List[List[List[Match]]] = []  # [worker][ext] -> matches
+            pivot_parts: List[List[int]] = []  # [worker][ext] -> local supp
+            with self.cluster.superstep() as step:
+                for worker in range(n):
+                    for _, extension in novel:
+                        label = extension.edge_label
+                        label_edges = (
+                            total_edges
+                            if label == WILDCARD
+                            else edge_label_counts.get(label, 0)
+                        )
+                        step.ship(worker, label_edges - label_edges // n)
+
+                    def join(worker: int = worker):
+                        per_ext_matches: List[List[Match]] = []
+                        per_ext_supports: List[int] = []
+                        for node, extension in novel:
+                            matches = extend_matches(
+                                self.graph, parent_shards[worker], extension
+                            )
+                            pivot_var = node.pattern.pivot
+                            per_ext_matches.append(matches)
+                            per_ext_supports.append(
+                                len({match[pivot_var] for match in matches})
+                            )
+                        return per_ext_matches, per_ext_supports
+
+                    matches_w, supports_w = step.run(worker, join)
+                    joined.append(matches_w)
+                    pivot_parts.append(supports_w)
+            for position, (node, extension) in enumerate(novel):
+                new_shards = [joined[worker][position] for worker in range(n)]
+                if self.balance and is_skewed(
+                    [len(shard) for shard in new_shards]
+                ):
+                    # matches move in whole pivot groups, preserving the
+                    # pivot-disjointness that makes supports summable
+                    new_shards, moved = rebalance_pivot_groups(
+                        new_shards, node.pattern.pivot
+                    )
+                    with self.cluster.superstep() as step:
+                        for worker, received in moved.items():
+                            step.ship(
+                                worker, received * node.pattern.num_nodes
+                            )
+                with self.cluster.master():
+                    # pivot-disjoint shards: global support is a plain sum
+                    node.support = sum(
+                        pivot_parts[worker][position] for worker in range(n)
+                    )
+                    self.cluster.ship_to_master(n)
+                self._install_shards(node, new_shards)
+                if node.support >= self.config.sigma:
+                    self.stats.patterns_frequent += 1
+                if node.support == 0:
+                    self.stats.patterns_zero_support += 1
+                    if (
+                        self.config.mine_negative
+                        and parent.support >= self.config.sigma
+                    ):
+                        negative = GFD(node.pattern, frozenset(), FALSE)
+                        self._emit(negative, parent.support)
+                created_nodes.append(node)
+            if (
+                self.config.max_patterns_per_level is not None
+                and len(created_nodes) >= self.config.max_patterns_per_level
+            ):
+                return created_nodes
+        return created_nodes
+
+    # ------------------------------------------------------------------
+    # horizontal spawning (parallel validation)
+    # ------------------------------------------------------------------
+    def _literal_alphabet_parallel(self, node: TreeNode) -> List[Literal]:
+        """The candidate alphabet from merged per-worker column statistics.
+
+        The per-worker statistics were collected in the table-building
+        superstep (:meth:`_install_shards`).
+        """
+        want_variable = (
+            self.config.variable_literals and node.pattern.num_nodes > 1
+        )
+        value_parts, agreement_parts = self._column_stats.pop(id(node))
+        with self.cluster.master():
+            merged_values = merge_value_counts(value_parts)
+            self.cluster.ship_to_master(
+                sum(len(counter) for part in value_parts for counter in part.values())
+            )
+            literals: List[Literal] = list(
+                constant_literals_from_counts(
+                    merged_values,
+                    self.config.max_constants,
+                    self.config.min_literal_rows,
+                )
+            )
+            if want_variable:
+                merged_agreements = merge_agreement_counts(agreement_parts)
+                literals.extend(
+                    variable_literals_from_counts(
+                        merged_agreements, self.config.min_literal_rows
+                    )
+                )
+        return literals
+
+    def _hspawn_parallel(self, node: TreeNode) -> None:
+        """``HSpawn`` with per-level batched validation (the ``ΣC_{ij}`` rounds)."""
+        if id(node) not in self._tables:
+            return
+        if node.support < self.config.sigma and self.config.prune:
+            return
+        literals = self._literal_alphabet_parallel(node)
+        if not literals:
+            return
+        tables = self._tables[id(node)]
+        n = self.num_workers
+        total_rows = sum(table.num_rows for table in tables)
+
+        # batch 0 — one superstep: per-literal counts and *local* distinct
+        # pivot counts on every shard (warms the workers' mask caches);
+        # pivot-disjoint sharding makes the global support a plain sum.
+        count_parts: List[List[int]] = []
+        support_parts: List[List[int]] = []
+        with self.cluster.superstep() as step:
+            for worker, table in enumerate(tables):
+                def scan(table: MatchTable = table):
+                    counts, supports = [], []
+                    for literal in literals:
+                        mask = table.literal_mask(literal)
+                        counts.append(table.mask_count(mask))
+                        supports.append(table.mask_support(mask))
+                    return counts, supports
+                counts, supports = step.run(worker, scan)
+                count_parts.append(counts)
+                support_parts.append(supports)
+        self.cluster.ship_to_master(2 * len(literals) * len(tables))
+        literal_count: Dict[Literal, int] = {}
+        literal_support: Dict[Literal, int] = {}
+        for position, literal in enumerate(literals):
+            literal_count[literal] = sum(part[position] for part in count_parts)
+            literal_support[literal] = sum(
+                part[position] for part in support_parts
+            )
+
+        if self.config.prune:
+            lattice_literals = [
+                literal
+                for literal in literals
+                if literal_support[literal] >= self.config.sigma
+            ]
+        else:
+            lattice_literals = literals
+
+        # worker-side mask stores; id 0 is the full mask
+        stores: List[Dict[int, np.ndarray]] = [
+            {0: table.full_mask()} for table in tables
+        ]
+        next_mask_id = 1
+        empty: FrozenSet[Literal] = frozenset()
+        indexed = list(enumerate(lattice_literals))
+
+        # NHSpawn bases: (lhs, rhs, rows mask id, base support)
+        nh_bases: List[Tuple[FrozenSet[Literal], Literal, int, int]] = []
+
+        tasks: List[_Task] = []
+        with self.cluster.master():
+            for position, rhs in enumerate(lattice_literals):
+                count_rhs = literal_count[rhs]
+                support_rhs = literal_support[rhs]
+                if self.config.prune and support_rhs < self.config.sigma:
+                    continue
+                self._charge_candidate()
+                if (empty, rhs) in node.covered:
+                    continue
+                if count_rhs == total_rows and total_rows:
+                    node.valid_pairs.add((empty, rhs))
+                    if support_rhs >= self.config.sigma:
+                        self._emit(GFD(node.pattern, empty, rhs), support_rhs)
+                        nh_bases.append((empty, rhs, 0, support_rhs))
+                    continue
+                tasks.append(_Task(rhs, position))
+
+        for _ in range(self.config.max_lhs_size):
+            specs: List[Tuple[int, Literal, Literal, int]] = []
+            meta: List[Tuple[_Task, FrozenSet[Literal], int, int]] = []
+            with self.cluster.master():
+                for task in tasks:
+                    for lhs, max_index, rows_id in task.frontier:
+                        for index, literal in indexed:
+                            if index <= max_index or literal == task.rhs:
+                                continue
+                            extended = lhs | {literal}
+                            if any(v <= extended for v in task.valid_sets):
+                                continue
+                            if self._is_trivial(extended, task.rhs):
+                                continue
+                            self._charge_candidate()
+                            mask_id = next_mask_id
+                            next_mask_id += 1
+                            specs.append((rows_id, literal, task.rhs, mask_id))
+                            meta.append((task, extended, index, mask_id))
+            if not specs:
+                break
+            # group spec positions by their parent mask so each worker can
+            # evaluate a whole group with one stacked numpy operation
+            groups: Dict[int, List[int]] = {}
+            for position, (rows_id, _, _, _) in enumerate(specs):
+                groups.setdefault(rows_id, []).append(position)
+            group_items = sorted(groups.items())
+            # one superstep: the whole level's candidate batch
+            total_lhs = np.zeros(len(specs), dtype=np.int64)
+            total_both = np.zeros(len(specs), dtype=np.int64)
+            total_supp = np.zeros(len(specs), dtype=np.int64)
+            with self.cluster.superstep() as step:
+                for worker, table in enumerate(tables):
+                    def evaluate(
+                        worker: int = worker, table: MatchTable = table
+                    ):
+                        count_lhs_arr = np.zeros(len(specs), dtype=np.int64)
+                        count_both_arr = np.zeros(len(specs), dtype=np.int64)
+                        support_arr = np.zeros(len(specs), dtype=np.int64)
+                        store = stores[worker]
+                        for rows_id, positions in group_items:
+                            parent = store[rows_id]
+                            lhs_stack = np.stack(
+                                [
+                                    table.literal_mask(specs[p][1])
+                                    for p in positions
+                                ]
+                            )
+                            lhs_stack &= parent
+                            rhs_stack = np.stack(
+                                [
+                                    table.literal_mask(specs[p][2])
+                                    for p in positions
+                                ]
+                            )
+                            rhs_stack &= lhs_stack
+                            count_lhs = lhs_stack.sum(axis=1)
+                            count_both = rhs_stack.sum(axis=1)
+                            active = np.flatnonzero(count_both)
+                            if active.size:
+                                supports = table.stack_supports(
+                                    rhs_stack[active]
+                                )
+                                for where, offset in enumerate(active):
+                                    support_arr[positions[offset]] = supports[where]
+                            for offset, p in enumerate(positions):
+                                store[specs[p][3]] = lhs_stack[offset]
+                                count_lhs_arr[p] = count_lhs[offset]
+                                count_both_arr[p] = count_both[offset]
+                        return count_lhs_arr, count_both_arr, support_arr
+                    lhs_arr, both_arr, supp_arr = step.run(worker, evaluate)
+                    total_lhs += lhs_arr
+                    total_both += both_arr
+                    total_supp += supp_arr
+            self.cluster.ship_to_master(3 * len(specs) * len(tables))
+            with self.cluster.master():
+                for position, (task, extended, index, mask_id) in enumerate(meta):
+                    count_lhs = int(total_lhs[position])
+                    count_both = int(total_both[position])
+                    supp = int(total_supp[position])
+                    keep = False
+                    if not (
+                        self.config.prune and supp < self.config.sigma
+                    ):
+                        if count_lhs and count_both == count_lhs:
+                            task.valid_sets.append(extended)
+                            node.valid_pairs.add((extended, task.rhs))
+                            if (extended, task.rhs) not in node.covered:
+                                if supp >= self.config.sigma:
+                                    self._emit(
+                                        GFD(node.pattern, extended, task.rhs),
+                                        supp,
+                                    )
+                                    nh_bases.append(
+                                        (extended, task.rhs, mask_id, supp)
+                                    )
+                                    keep = True
+                        else:
+                            task._next_frontier.append((extended, index, mask_id))
+                            keep = True
+                    if not keep:
+                        for store in stores:
+                            store.pop(mask_id, None)
+            for task in tasks:
+                task.frontier = task._next_frontier
+                task._next_frontier = []
+            tasks = [task for task in tasks if task.frontier]
+            if not tasks and not nh_bases:
+                break
+
+        self._nhspawn_batched(node, tables, stores, literals, literal_count, nh_bases)
+
+    def _nhspawn_batched(
+        self,
+        node: TreeNode,
+        tables: List[MatchTable],
+        stores: List[Dict[int, np.ndarray]],
+        literals: List[Literal],
+        literal_count: Dict[Literal, int],
+        nh_bases: List[Tuple[FrozenSet[Literal], Literal, int, int]],
+    ) -> None:
+        """``NHSpawn`` for all bases of a pattern in one superstep."""
+        if not self.config.mine_negative or not nh_bases:
+            return
+        threshold = self.config.negative_literal_min_rows
+        if threshold is None:
+            threshold = self.config.sigma
+        specs: List[Tuple[int, Literal]] = []
+        meta: List[Tuple[int, FrozenSet[Literal], Literal, int]] = []
+        with self.cluster.master():
+            for base_index, (lhs, rhs, rows_id, base_support) in enumerate(nh_bases):
+                for literal in literals:
+                    if literal == rhs or literal in lhs:
+                        continue
+                    if self._lhs_unsatisfiable(lhs | {literal}):
+                        continue
+                    if literal_count.get(literal, 0) < threshold:
+                        continue
+                    specs.append((rows_id, literal))
+                    meta.append((base_index, lhs, literal, base_support))
+        if not specs:
+            return
+        groups: Dict[int, List[int]] = {}
+        for position, (rows_id, _) in enumerate(specs):
+            groups.setdefault(rows_id, []).append(position)
+        group_items = sorted(groups.items())
+        overlap_parts: List[List[bool]] = []
+        with self.cluster.superstep() as step:
+            for worker, table in enumerate(tables):
+                def probe(worker: int = worker, table: MatchTable = table):
+                    overlaps: List[bool] = [False] * len(specs)
+                    store = stores[worker]
+                    for rows_id, positions in group_items:
+                        parent = store[rows_id]
+                        stack = np.stack(
+                            [table.literal_mask(specs[p][1]) for p in positions]
+                        )
+                        stack &= parent
+                        hits = stack.any(axis=1)
+                        for offset, p in enumerate(positions):
+                            overlaps[p] = bool(hits[offset])
+                    return overlaps
+                overlap_parts.append(step.run(worker, probe))
+        self.cluster.ship_to_master(len(specs) * len(tables))
+        with self.cluster.master():
+            emitted_per_base: Dict[int, int] = {}
+            for position, (base_index, lhs, literal, base_support) in enumerate(meta):
+                if any(part[position] for part in overlap_parts):
+                    continue  # some match satisfies X ∪ {l''}
+                emitted = emitted_per_base.get(base_index, 0)
+                if emitted >= self.config.max_negatives_per_pattern:
+                    continue
+                self._emit(GFD(node.pattern, lhs | {literal}, FALSE), base_support)
+                emitted_per_base[base_index] = emitted + 1
+
+
+def discover_parallel(
+    graph: Graph,
+    config: Optional[DiscoveryConfig] = None,
+    num_workers: int = 4,
+    balance: bool = True,
+) -> Tuple[DiscoveryResult, SimulatedCluster]:
+    """Run ``ParDis`` and return (result, metered cluster)."""
+    runner = ParallelDiscovery(
+        graph, config or DiscoveryConfig(), num_workers, balance=balance
+    )
+    result = runner.run()
+    return result, runner.cluster

@@ -1,0 +1,145 @@
+"""Pattern-into-pattern embeddings.
+
+A GFD ``φ' = Q'[x̄'](X' → Y')`` is *embedded* in a pattern ``Q`` when there is
+an isomorphism from ``Q'`` onto a subgraph of ``Q`` (Section 3).  Embeddings
+drive the closure characterization of implication/satisfiability and the
+reduction ordering ``≪`` (Section 4.1).
+
+The label condition is directional: ``Q``'s label at the image must *match*
+``Q'``'s requirement — i.e. ``L_Q(f(u)) ⪯ L_{Q'}(u)`` — so that every graph
+node matching ``Q`` also matches ``Q'`` through ``f``.  Concretely, a
+wildcard in the inner (embedded) pattern accepts anything; a wildcard in the
+outer pattern only satisfies a wildcard requirement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .pattern import WILDCARD, Pattern, label_matches
+
+__all__ = ["embeddings", "is_embedded", "embeds_strictly"]
+
+#: An embedding: image in the outer pattern per inner-pattern variable.
+Embedding = Tuple[int, ...]
+
+
+def embeddings(
+    inner: Pattern,
+    outer: Pattern,
+    pivot_preserving: bool = False,
+    max_results: Optional[int] = None,
+) -> Iterator[Embedding]:
+    """Enumerate injective embeddings of ``inner`` into ``outer``.
+
+    Args:
+        inner: the pattern being embedded (e.g. the pattern of a known GFD).
+        outer: the host pattern.
+        pivot_preserving: require ``f(inner.pivot) == outer.pivot`` — the
+            condition of the GFD ordering ``≪`` (Section 4.1).
+        max_results: stop after this many embeddings.
+
+    Yields tuples ``f`` with ``f[u]`` the outer variable for inner ``u``.
+    """
+    if inner.num_nodes > outer.num_nodes or inner.num_edges > outer.num_edges:
+        return
+
+    # adjacency of outer for O(1) edge lookups: (src, dst) -> set of labels
+    outer_edges: Dict[Tuple[int, int], set] = {}
+    for edge in outer.edges:
+        outer_edges.setdefault((edge.src, edge.dst), set()).add(edge.label)
+
+    inner_adjacency = inner.adjacency()
+    order: List[int] = []
+    visited = set()
+    start = inner.pivot
+    # BFS order from the pivot keeps back-edge constraints available early.
+    frontier = [start]
+    visited.add(start)
+    while frontier:
+        node = frontier.pop(0)
+        order.append(node)
+        for other, _, _, _ in inner_adjacency[node]:
+            if other not in visited:
+                visited.add(other)
+                frontier.append(other)
+    # patterns handed to embeddings are connected; defend anyway:
+    for node in inner.variables():
+        if node not in visited:
+            order.append(node)
+
+    assignment: List[int] = [-1] * inner.num_nodes
+    used = [False] * outer.num_nodes
+    emitted = 0
+
+    def label_ok(inner_var: int, outer_var: int) -> bool:
+        return label_matches(outer.labels[outer_var], inner.labels[inner_var])
+
+    def edges_ok(inner_var: int, outer_var: int) -> bool:
+        for other, _, label, is_out in inner_adjacency[inner_var]:
+            image = assignment[other]
+            if image == -1:
+                continue
+            pair = (outer_var, image) if is_out else (image, outer_var)
+            labels = outer_edges.get(pair)
+            if not labels:
+                return False
+            if label == WILDCARD:
+                continue
+            # the outer edge label must itself match the inner requirement:
+            # L_outer(e) ⪯ l_inner means equality for concrete inner labels
+            # (a wildcard outer edge only satisfies a wildcard inner edge).
+            if label not in labels:
+                return False
+        return True
+
+    def backtrack(position: int) -> Iterator[Embedding]:
+        nonlocal emitted
+        if position == len(order):
+            emitted += 1
+            yield tuple(assignment)
+            return
+        inner_var = order[position]
+        if pivot_preserving and inner_var == inner.pivot:
+            candidates: Iterator[int] = iter((outer.pivot,))
+        else:
+            candidates = iter(range(outer.num_nodes))
+        for outer_var in candidates:
+            if used[outer_var]:
+                continue
+            if not label_ok(inner_var, outer_var):
+                continue
+            if not edges_ok(inner_var, outer_var):
+                continue
+            assignment[inner_var] = outer_var
+            used[outer_var] = True
+            yield from backtrack(position + 1)
+            used[outer_var] = False
+            assignment[inner_var] = -1
+            if max_results is not None and emitted >= max_results:
+                return
+
+    yield from backtrack(0)
+
+
+def is_embedded(inner: Pattern, outer: Pattern, pivot_preserving: bool = False) -> bool:
+    """Whether at least one embedding of ``inner`` into ``outer`` exists."""
+    for _ in embeddings(inner, outer, pivot_preserving, max_results=1):
+        return True
+    return False
+
+
+def embeds_strictly(inner: Pattern, outer: Pattern) -> bool:
+    """Pivot-preserving embedding that is *not* an isomorphism.
+
+    This is the topological half of ``Q ≪ Q'``: ``inner`` removes
+    nodes/edges from ``outer`` or upgrades labels to wildcard.
+    """
+    if not is_embedded(inner, outer, pivot_preserving=True):
+        return False
+    if inner.num_nodes < outer.num_nodes or inner.num_edges < outer.num_edges:
+        return True
+    # same size: strict only if some label is strictly more general
+    from .canonical import canonical_key  # local import avoids a cycle
+
+    return canonical_key(inner) != canonical_key(outer)

@@ -1,0 +1,112 @@
+"""Incremental pattern matching: ``Q'(F) = Q(F) ⋈ e``.
+
+Both ``SeqDis`` and ``ParDis`` grow patterns one edge at a time and extend
+the *stored* matches of the parent pattern instead of re-matching from
+scratch (Sections 5.1 and 6.2).  An :class:`Extension` describes the added
+edge; :func:`extend_matches` performs the join against a graph (sequential
+case) and :func:`extend_match` against a single base match (the per-work-unit
+operation workers execute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..graph.graph import Graph
+from .matcher import Match
+from .pattern import WILDCARD, Pattern
+
+__all__ = ["Extension", "apply_extension", "extend_match", "extend_matches"]
+
+
+@dataclass(frozen=True)
+class Extension:
+    """One-edge extension of a pattern.
+
+    Two shapes exist (Section 5.1's ``VSpawn``):
+
+    * **closing edge** — ``new_node_label is None``: an edge between the two
+      existing variables ``src`` and ``dst``.
+    * **new node** — ``new_node_label`` set: a fresh variable carrying that
+      label; the edge runs ``anchor -> new`` when ``outward`` else
+      ``new -> anchor``, where ``anchor`` is ``src``.
+    """
+
+    src: int
+    dst: int
+    edge_label: str
+    new_node_label: Optional[str] = None
+    outward: bool = True
+
+    @property
+    def is_closing(self) -> bool:
+        """Whether this extension adds an edge between existing variables."""
+        return self.new_node_label is None
+
+
+def apply_extension(pattern: Pattern, extension: Extension) -> Pattern:
+    """The extended pattern ``Q' = Q + e``."""
+    if extension.is_closing:
+        return pattern.with_edge(extension.src, extension.dst, extension.edge_label)
+    return pattern.with_new_node(
+        extension.new_node_label,
+        extension.src,
+        extension.outward,
+        extension.edge_label,
+    )
+
+
+def extend_match(
+    graph: Graph,
+    match: Match,
+    extension: Extension,
+) -> Iterator[Match]:
+    """Extend one match of ``Q`` to matches of ``Q + e``.
+
+    For a closing edge this filters (yields the unchanged match when the edge
+    exists in the graph); for a new-node extension it fans out over candidate
+    neighbors, enforcing label and injectivity constraints.
+    """
+    if extension.is_closing:
+        source_node = match[extension.src]
+        target_node = match[extension.dst]
+        labels = graph.edge_labels(source_node, target_node)
+        if not labels:
+            return
+        if extension.edge_label != WILDCARD and extension.edge_label not in labels:
+            return
+        yield match
+        return
+
+    anchor_node = match[extension.src]
+    if extension.outward:
+        neighbors = graph.out_neighbors(anchor_node)
+    else:
+        neighbors = graph.in_neighbors(anchor_node)
+    wanted_edge = extension.edge_label
+    wanted_node = extension.new_node_label
+    for neighbor, labels in neighbors.items():
+        if wanted_edge != WILDCARD and wanted_edge not in labels:
+            continue
+        if wanted_node != WILDCARD and graph.node_label(neighbor) != wanted_node:
+            continue
+        if neighbor in match:
+            continue  # injectivity
+        yield match + (neighbor,)
+
+
+def extend_matches(
+    graph: Graph,
+    matches: Sequence[Match],
+    extension: Extension,
+    max_matches: Optional[int] = None,
+) -> List[Match]:
+    """Join a batch of base matches with the extension edge."""
+    result: List[Match] = []
+    for match in matches:
+        for extended in extend_match(graph, match, extension):
+            result.append(extended)
+            if max_matches is not None and len(result) >= max_matches:
+                return result
+    return result

@@ -1,0 +1,267 @@
+"""Subgraph isomorphism with wildcard labels.
+
+A *match* of pattern ``Q`` in graph ``G`` (Section 2.1) is an injective
+mapping ``h`` from pattern variables to graph nodes such that
+
+* node labels satisfy ``L_G(h(u)) ⪯ L_Q(u)`` (wildcard matches anything),
+* every pattern edge ``(u, v, l)`` maps to a graph edge ``(h(u), h(v), l')``
+  with ``l' ⪯ l``, and parallel pattern edges between the same endpoints map
+  to *distinct* graph edges.
+
+Matches are the non-induced kind: extra graph edges among matched nodes are
+allowed (the match subgraph consists of exactly the images of pattern edges).
+
+The matcher is a VF2-style backtracking search with a connectivity-driven
+search plan and label-index candidate seeding.  It is the hot loop of the
+whole library; keep it allocation-light.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..graph.graph import Graph
+from .pattern import WILDCARD, Pattern, label_matches
+
+__all__ = [
+    "Match",
+    "find_matches",
+    "count_matches",
+    "pivot_image",
+    "has_match",
+    "match_exists_at_pivot",
+]
+
+#: A match: graph node per pattern variable, indexed by variable.
+Match = Tuple[int, ...]
+
+
+def _search_order(pattern: Pattern, root: int) -> List[int]:
+    """Visit order over pattern variables: root first, then by connectivity.
+
+    Greedy: always pick the unvisited variable with the most edges to visited
+    ones (maximizes pruning), tie-broken by non-wildcard label then index.
+    Assumes the pattern is connected (discovery only mines connected patterns).
+    """
+    adjacency = pattern.adjacency()
+    order = [root]
+    visited = {root}
+    while len(order) < pattern.num_nodes:
+        best = None
+        best_key = None
+        for candidate in pattern.variables():
+            if candidate in visited:
+                continue
+            links = sum(
+                1 for other, _, _, _ in adjacency[candidate] if other in visited
+            )
+            key = (links, pattern.labels[candidate] != WILDCARD, -candidate)
+            if best_key is None or key > best_key:
+                best, best_key = candidate, key
+        assert best is not None
+        order.append(best)
+        visited.add(best)
+    return order
+
+
+def _root_candidates(
+    graph: Graph, pattern: Pattern, root: int, seeds: Optional[Iterable[int]]
+) -> Iterable[int]:
+    """Candidate graph nodes for the first variable of the search plan."""
+    label = pattern.labels[root]
+    if seeds is not None:
+        if label == WILDCARD:
+            return seeds
+        return (v for v in seeds if graph.node_label(v) == label)
+    if label == WILDCARD:
+        return graph.nodes()
+    return graph.nodes_with_label(label)
+
+
+def _parallel_edges_ok(
+    pattern_labels: Sequence[str], graph_labels: Set[str]
+) -> bool:
+    """Injective assignment test for parallel pattern edges on one node pair.
+
+    Concrete pattern labels must all be present; wildcard pattern edges then
+    need enough *distinct remaining* graph labels to map to injectively.
+    """
+    concrete = [l for l in pattern_labels if l != WILDCARD]
+    for label in concrete:
+        if label not in graph_labels:
+            return False
+    wildcards = len(pattern_labels) - len(concrete)
+    return len(graph_labels) - len(concrete) >= wildcards
+
+
+def find_matches(
+    graph: Graph,
+    pattern: Pattern,
+    seeds: Optional[Iterable[int]] = None,
+    max_matches: Optional[int] = None,
+    root: Optional[int] = None,
+) -> Iterator[Match]:
+    """Enumerate matches of ``pattern`` in ``graph``.
+
+    Args:
+        graph: the data graph.
+        pattern: a connected pattern.
+        seeds: restrict the *root* variable (default: the pivot) to these
+            graph nodes — used for pivot-local matching.
+        max_matches: stop after this many matches (None = all).
+        root: which variable anchors the search (default: the pivot).
+
+    Yields match tuples (graph node per variable, in variable order).
+    """
+    anchor = pattern.pivot if root is None else root
+    order = _search_order(pattern, anchor)
+    adjacency = pattern.adjacency()
+    labels = pattern.labels
+
+    # Pre-compute, for each plan position > 0, the edges back to already
+    # mapped variables: (mapped_var, label, is_out_from_new).
+    position_of = {variable: position for position, variable in enumerate(order)}
+    back_edges: List[List[Tuple[int, str, bool]]] = [[] for _ in order]
+    for position, variable in enumerate(order):
+        for other, _, label, is_out in adjacency[variable]:
+            if position_of[other] < position:
+                back_edges[position].append((other, label, is_out))
+
+    # Parallel-edge groups (same unordered endpoints, same direction) needing
+    # the injective label assignment check.
+    parallel: Dict[Tuple[int, int], List[str]] = {}
+    for edge in pattern.edges:
+        parallel.setdefault((edge.src, edge.dst), []).append(edge.label)
+    parallel_groups = {
+        pair: edge_labels
+        for pair, edge_labels in parallel.items()
+        if len(edge_labels) > 1
+    }
+
+    assignment: List[int] = [-1] * pattern.num_nodes
+    used: Set[int] = set()
+    emitted = 0
+
+    def candidates_for(position: int) -> Iterable[int]:
+        """Graph-node candidates for plan position ``position``."""
+        variable = order[position]
+        required_label = labels[variable]
+        # choose the cheapest back-edge to drive candidate generation
+        best: Optional[Iterable[int]] = None
+        best_size = None
+        for mapped_var, edge_label, is_out in back_edges[position]:
+            mapped_node = assignment[mapped_var]
+            if is_out:
+                # pattern edge variable -> mapped_var, so candidate has an
+                # out-edge to mapped_node: candidates are in-neighbors sources
+                neighbors = graph.in_neighbors(mapped_node)
+            else:
+                neighbors = graph.out_neighbors(mapped_node)
+            if edge_label == WILDCARD:
+                pool = list(neighbors)
+            else:
+                pool = [n for n, ls in neighbors.items() if edge_label in ls]
+            if best_size is None or len(pool) < best_size:
+                best, best_size = pool, len(pool)
+                if best_size == 0:
+                    return ()
+        assert best is not None
+        if required_label == WILDCARD:
+            return best
+        return [n for n in best if graph.node_label(n) == required_label]
+
+    def edges_consistent(position: int, node: int) -> bool:
+        """Verify all back edges from plan position ``position`` map to graph edges."""
+        variable = order[position]
+        for mapped_var, edge_label, is_out in back_edges[position]:
+            mapped_node = assignment[mapped_var]
+            if is_out:
+                graph_labels = graph.edge_labels(node, mapped_node)
+            else:
+                graph_labels = graph.edge_labels(mapped_node, node)
+            if not graph_labels:
+                return False
+            if edge_label != WILDCARD and edge_label not in graph_labels:
+                return False
+        # group check for parallel pattern edges whose endpoints are now mapped
+        for (src, dst), group_labels in parallel_groups.items():
+            if position_of[src] <= position and position_of[dst] <= position:
+                s_node = node if src == variable else assignment[src]
+                d_node = node if dst == variable else assignment[dst]
+                if s_node == -1 or d_node == -1:
+                    continue
+                if not _parallel_edges_ok(
+                    group_labels, graph.edge_labels(s_node, d_node)
+                ):
+                    return False
+        return True
+
+    def backtrack(position: int) -> Iterator[Match]:
+        nonlocal emitted
+        if position == len(order):
+            emitted += 1
+            yield tuple(assignment)
+            return
+        variable = order[position]
+        if position == 0:
+            pool: Iterable[int] = _root_candidates(graph, pattern, variable, seeds)
+        else:
+            pool = candidates_for(position)
+        for node in pool:
+            if node in used:
+                continue
+            if position == 0 and labels[variable] != WILDCARD:
+                if graph.node_label(node) != labels[variable]:
+                    continue
+            if position > 0 and not edges_consistent(position, node):
+                continue
+            assignment[variable] = node
+            used.add(node)
+            yield from backtrack(position + 1)
+            used.discard(node)
+            assignment[variable] = -1
+            if max_matches is not None and emitted >= max_matches:
+                return
+
+    yield from backtrack(0)
+
+
+def count_matches(graph: Graph, pattern: Pattern, limit: Optional[int] = None) -> int:
+    """Number of matches of ``pattern`` in ``graph`` (capped at ``limit``)."""
+    count = 0
+    for _ in find_matches(graph, pattern, max_matches=limit):
+        count += 1
+    return count
+
+
+def pivot_image(
+    graph: Graph, pattern: Pattern, seeds: Optional[Iterable[int]] = None
+) -> Set[int]:
+    """``Q(G, z)``: the distinct graph nodes the pivot maps to over all matches.
+
+    This is the paper's pattern support set (Section 4.2).  The search is
+    anchored at the pivot and stops at the *first* match per pivot candidate,
+    so it is much cheaper than full enumeration.
+    """
+    image: Set[int] = set()
+    candidates = _root_candidates(graph, pattern, pattern.pivot, seeds)
+    for candidate in candidates:
+        if candidate in image:
+            continue
+        if match_exists_at_pivot(graph, pattern, candidate):
+            image.add(candidate)
+    return image
+
+
+def match_exists_at_pivot(graph: Graph, pattern: Pattern, pivot_node: int) -> bool:
+    """Whether some match maps the pivot to ``pivot_node``."""
+    for _ in find_matches(graph, pattern, seeds=(pivot_node,), max_matches=1):
+        return True
+    return False
+
+
+def has_match(graph: Graph, pattern: Pattern) -> bool:
+    """Whether ``pattern`` has at least one match in ``graph``."""
+    for _ in find_matches(graph, pattern, max_matches=1):
+        return True
+    return False

@@ -1,0 +1,18 @@
+"""Error detection and accuracy metrics (Exp-5)."""
+
+from .detector import (
+    amie_detection,
+    detect_gfd_violations,
+    gfd_detection,
+    nodes_in_violations,
+)
+from .metrics import DetectionMetrics, detection_metrics
+
+__all__ = [
+    "DetectionMetrics",
+    "detection_metrics",
+    "detect_gfd_violations",
+    "nodes_in_violations",
+    "gfd_detection",
+    "amie_detection",
+]

@@ -1,0 +1,81 @@
+"""Error detection with discovered rules (Exp-5's consumers).
+
+Three detectors, one per rule system compared in Figure 7:
+
+* **GFDs** — nodes contained in violations of the discovered GFDs
+  (validation of Section 2.2; for negative GFDs, any match satisfying ``X``
+  is a violation);
+* **GCFDs** — same machinery over the path-restricted rule set;
+* **AMIE** — nodes incident to a body grounding whose predicted head fact
+  is absent (under the PCA, only subjects with some head fact count).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from ..baselines.amie import AmieMiner, AmieRule
+from ..gfd.gfd import GFD
+from ..gfd.satisfaction import Violation, find_violations
+from ..graph.graph import Graph
+from .metrics import DetectionMetrics, detection_metrics
+
+__all__ = [
+    "detect_gfd_violations",
+    "nodes_in_violations",
+    "gfd_detection",
+    "amie_detection",
+]
+
+
+def detect_gfd_violations(
+    graph: Graph, sigma: Sequence[GFD], max_per_gfd: int = 10_000
+) -> List[Violation]:
+    """All violations of ``Σ`` in ``graph`` (capped per GFD)."""
+    violations: List[Violation] = []
+    for gfd in sigma:
+        violations.extend(find_violations(graph, gfd, max_violations=max_per_gfd))
+    return violations
+
+
+def nodes_in_violations(violations: Iterable[Violation]) -> Set[int]:
+    """``V^GFD``: every node contained in some violating match."""
+    nodes: Set[int] = set()
+    for violation in violations:
+        nodes.update(violation.match)
+    return nodes
+
+
+def gfd_detection(
+    graph: Graph,
+    sigma: Sequence[GFD],
+    dirty_nodes: Iterable[int],
+    max_per_gfd: int = 10_000,
+) -> DetectionMetrics:
+    """Run GFD validation on a dirty graph and score against ground truth."""
+    violations = detect_gfd_violations(graph, sigma, max_per_gfd)
+    return detection_metrics(nodes_in_violations(violations), dirty_nodes)
+
+
+def amie_detection(
+    graph: Graph,
+    rules: Sequence[AmieRule],
+    dirty_nodes: Iterable[int],
+    miner: AmieMiner = None,
+) -> DetectionMetrics:
+    """Score AMIE's missing-fact predictions against ground truth.
+
+    ``V^A`` is the set of nodes appearing in a body grounding that lacks the
+    predicted head relation (the paper: "the nodes that do not have the
+    predicted relation").
+    """
+    if miner is None:
+        miner = AmieMiner(graph)
+    flagged: Set[int] = set()
+    for rule in rules:
+        if rule.head.relation not in miner.relations:
+            continue
+        for x, y in miner.predicted_missing(rule):
+            flagged.add(x)
+            flagged.add(y)
+    return detection_metrics(flagged, dirty_nodes)

@@ -1,0 +1,45 @@
+"""Detection-quality metrics (Exp-5).
+
+The paper's accuracy is ``|V^X ∩ V^E| / |V^E|`` — the fraction of truly
+dirty nodes a rule system flags (a recall).  Precision is reported as a
+bonus diagnostic for the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set
+
+__all__ = ["DetectionMetrics", "detection_metrics"]
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Accuracy of an error-detection run against ground truth."""
+
+    flagged: int
+    dirty: int
+    true_positives: int
+
+    @property
+    def accuracy(self) -> float:
+        """The paper's measure: ``|V^X ∩ V^E| / |V^E|``."""
+        return self.true_positives / self.dirty if self.dirty else 0.0
+
+    @property
+    def precision(self) -> float:
+        """``|V^X ∩ V^E| / |V^X|`` (not reported in the paper; diagnostic)."""
+        return self.true_positives / self.flagged if self.flagged else 0.0
+
+
+def detection_metrics(
+    flagged_nodes: Iterable[int], dirty_nodes: Iterable[int]
+) -> DetectionMetrics:
+    """Compute detection metrics from flagged and ground-truth node sets."""
+    flagged: Set[int] = set(flagged_nodes)
+    dirty: Set[int] = set(dirty_nodes)
+    return DetectionMetrics(
+        flagged=len(flagged),
+        dirty=len(dirty),
+        true_positives=len(flagged & dirty),
+    )

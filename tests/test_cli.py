@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import load_rules, main, save_rules
+from repro.gfd import parse_gfd
+from repro.graph import save_json, save_tsv
+
+
+@pytest.fixture
+def graph_file(tmp_path, film_graph):
+    path = tmp_path / "graph.json"
+    save_json(film_graph, path)
+    return str(path)
+
+
+@pytest.fixture
+def rules_file(tmp_path):
+    path = tmp_path / "rules.gfd"
+    path.write_text(
+        "# comment line\n"
+        'Q[x, y] { (x:person)-[create]->(y:product) } '
+        '(y.type="film" -> x.type="producer")\n'
+        "\n"
+        'Q[x, y] { (x:person)-[create]->(y:product) } '
+        '(y.type="film" & y.title="f0" -> x.type="producer")\n'
+    )
+    return str(path)
+
+
+class TestCLI:
+    def test_stats(self, graph_file, capsys):
+        assert main(["stats", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "nodes: 240" in out
+        assert "person" in out
+
+    def test_discover(self, graph_file, capsys, tmp_path):
+        out_file = tmp_path / "found.gfd"
+        code = main(
+            [
+                "discover",
+                graph_file,
+                "--k", "2",
+                "--sigma", "30",
+                "--max-lhs", "1",
+                "--output", str(out_file),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "producer" in out
+        saved = load_rules(str(out_file))
+        assert saved
+
+    def test_discover_parallel(self, graph_file, capsys):
+        assert main(
+            ["discover", graph_file, "--k", "2", "--sigma", "30", "--workers", "3"]
+        ) == 0
+        assert "producer" in capsys.readouterr().out
+
+    def test_validate_clean(self, graph_file, rules_file):
+        assert main(["validate", graph_file, rules_file]) == 0
+
+    def test_validate_dirty(self, tmp_path, film_graph, rules_file, capsys):
+        film_graph.set_attr(0, "type", "gardener")  # break the rule
+        dirty_path = tmp_path / "dirty.json"
+        save_json(film_graph, dirty_path)
+        assert main(["validate", str(dirty_path), rules_file]) == 1
+        assert "violation" in capsys.readouterr().out
+
+    def test_cover(self, rules_file, capsys, tmp_path):
+        out_file = tmp_path / "cover.gfd"
+        assert main(["cover", rules_file, "--output", str(out_file)]) == 0
+        assert len(load_rules(str(out_file))) == 1  # redundant rule removed
+
+    def test_tsv_graph(self, tmp_path, film_graph, capsys):
+        path = tmp_path / "graph.tsv"
+        save_tsv(film_graph, path)
+        assert main(["stats", str(path)]) == 0
+
+    def test_bad_extension(self, tmp_path):
+        path = tmp_path / "graph.xml"
+        path.write_text("<x/>")
+        with pytest.raises(SystemExit):
+            main(["stats", str(path)])
+
+    def test_bad_rule_file(self, tmp_path, graph_file):
+        rules = tmp_path / "bad.gfd"
+        rules.write_text("this is not a GFD\n")
+        with pytest.raises(SystemExit):
+            main(["validate", graph_file, str(rules)])
+
+    def test_round_trip_rules(self, tmp_path):
+        rules = [
+            parse_gfd('Q[x] { (x:a) } ( -> x.v="1")'),
+            parse_gfd("Q[x, y] { (x:a)-[e]->(y:b) } ( -> false)"),
+        ]
+        path = tmp_path / "r.gfd"
+        save_rules(rules, str(path))
+        loaded = load_rules(str(path))
+        assert [str(r) for r in loaded] == [str(r) for r in rules]

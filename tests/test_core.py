@@ -1,0 +1,374 @@
+"""Tests for match tables, support, reduction, discovery and cover."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DiscoveryConfig,
+    MatchTable,
+    correlation,
+    discover,
+    gfd_identity,
+    gfd_reduces,
+    gfd_support,
+    gfd_support_any,
+    minimal_cover_by_reduction,
+    negative_base_support,
+    normalize_gfd,
+    pattern_support,
+    sequential_cover,
+)
+from repro.core.config import CandidateBudgetExceeded
+from repro.gfd import (
+    FALSE,
+    GFD,
+    ConstantLiteral,
+    graph_satisfies,
+    implies,
+    make_variable_literal,
+    validate_set,
+)
+from repro.graph import Graph
+from repro.pattern import WILDCARD, Pattern, find_matches
+
+
+def table_fixture():
+    graph = Graph()
+    values = ["red", "red", "blue", None]
+    pivots = []
+    for value in values:
+        attrs = {"color": value} if value is not None else {}
+        pivots.append(graph.add_node("thing", attrs))
+    matches = [(node,) for node in pivots]
+    return graph, MatchTable(graph, Pattern(["thing"]), matches, ["color"])
+
+
+class TestMatchTable:
+    def test_columns_and_missing(self):
+        graph, table = table_fixture()
+        assert table.num_rows == 4
+        red = ConstantLiteral(0, "color", "red")
+        assert table.literal_count(red) == 2
+        missing = ConstantLiteral(0, "color", "green")
+        assert table.literal_count(missing) == 0
+
+    def test_masks_and_support(self):
+        graph, table = table_fixture()
+        red = ConstantLiteral(0, "color", "red")
+        mask = table.literal_mask(red)
+        assert table.mask_count(mask) == 2
+        assert table.mask_support(mask) == 2
+        assert table.mask_support(np.zeros(4, dtype=bool)) == 0
+
+    def test_rows_sorted_by_pivot(self):
+        graph = Graph()
+        a, b = graph.add_node("t"), graph.add_node("t")
+        table = MatchTable(graph, Pattern(["t"]), [(b,), (a,), (b,)], [])
+        assert [m[0] for m in table.matches] == [a, b, b]
+
+    def test_stack_supports(self):
+        graph = Graph()
+        a, b = graph.add_node("t"), graph.add_node("t")
+        # two matches share pivot a, one has pivot b
+        pattern = Pattern(["t", "t"], [(0, 1, "e")], pivot=0)
+        graph.add_edge(a, b, "e")
+        graph.add_edge(b, a, "e")
+        table = MatchTable(graph, pattern, [(a, b), (b, a)], [])
+        stack = np.array([[True, True], [True, False], [False, False]])
+        assert list(table.stack_supports(stack)) == [2, 1, 0]
+
+    def test_rows_satisfying_variable_literal(self):
+        graph = Graph()
+        a = graph.add_node("p", {"u": 1, "v": 1})
+        b = graph.add_node("p", {"u": 1, "v": 2})
+        graph.add_edge(a, b, "e")
+        graph.add_edge(b, a, "e")
+        pattern = Pattern(["p", "p"], [(0, 1, "e")])
+        matches = list(find_matches(graph, pattern))
+        table = MatchTable(graph, pattern, matches, ["u", "v"])
+        literal = make_variable_literal(0, "u", 1, "u")
+        assert len(table.rows_satisfying(literal, set(table.all_rows()))) == 2
+        other = make_variable_literal(0, "v", 1, "v")
+        assert len(table.rows_satisfying(other, set(table.all_rows()))) == 0
+
+    def test_candidate_constants_ranked(self):
+        graph, table = table_fixture()
+        literals = table.candidate_constant_literals(max_constants=1)
+        assert literals == [ConstantLiteral(0, "color", "red")]
+
+    def test_candidate_min_rows(self):
+        graph, table = table_fixture()
+        literals = table.candidate_constant_literals(max_constants=5, min_rows=2)
+        assert literals == [ConstantLiteral(0, "color", "red")]
+
+    def test_truncated_flag(self):
+        graph, _ = table_fixture()
+        table = MatchTable(graph, Pattern(["thing"]), [(0,)], [], truncated=True)
+        assert table.truncated
+
+
+class TestSupport:
+    def build(self):
+        graph = Graph()
+        person = graph.add_node("person", {"kind": "producer"})
+        others = [graph.add_node("person", {"kind": "actor"}) for _ in range(2)]
+        films = []
+        for index in range(3):
+            film = graph.add_node("product", {"kind": "film"})
+            graph.add_edge(person, film, "create")
+            films.append(film)
+        graph.add_edge(others[0], films[0], "create")
+        return graph
+
+    def test_pattern_support_counts_pivots(self):
+        graph = self.build()
+        pattern = Pattern(["person", "product"], [(0, 1, "create")], pivot=0)
+        assert pattern_support(graph, pattern) == 2
+        assert pattern_support(graph, pattern.with_pivot(1)) == 3
+
+    def test_gfd_support(self):
+        graph = self.build()
+        pattern = Pattern(["person", "product"], [(0, 1, "create")], pivot=0)
+        gfd = GFD(
+            pattern,
+            frozenset(),
+            ConstantLiteral(0, "kind", "producer"),
+        )
+        assert gfd_support(graph, gfd) == 1
+
+    def test_correlation(self):
+        graph = self.build()
+        pattern = Pattern(["person", "product"], [(0, 1, "create")], pivot=0)
+        gfd = GFD(pattern, frozenset(), ConstantLiteral(0, "kind", "producer"))
+        assert correlation(graph, gfd) == pytest.approx(0.5)
+
+    def test_negative_base_support_structural(self):
+        graph = self.build()
+        mutual = Pattern(
+            ["person", "product"],
+            [(0, 1, "create"), (1, 0, "create")],
+            pivot=0,
+        )
+        negative = GFD(mutual, frozenset(), FALSE)
+        # base: remove one edge -> the plain create pattern, support 2
+        assert negative_base_support(graph, negative) == 2
+        assert gfd_support_any(graph, negative) == 2
+
+    def test_negative_base_support_literal(self):
+        graph = self.build()
+        pattern = Pattern(["person", "product"], [(0, 1, "create")], pivot=0)
+        negative = GFD(
+            pattern,
+            frozenset(
+                {
+                    ConstantLiteral(0, "kind", "producer"),
+                    ConstantLiteral(1, "kind", "book"),
+                }
+            ),
+            FALSE,
+        )
+        assert negative_base_support(graph, negative) >= 1
+
+    def test_anti_monotonicity_on_extension(self):
+        """Theorem 3: extending the pattern cannot raise support."""
+        graph = self.build()
+        small = Pattern(["person", "product"], [(0, 1, "create")], pivot=0)
+        big = small.with_new_node("product", 0, True, "create")
+        small_gfd = GFD(small, frozenset(), ConstantLiteral(0, "kind", "producer"))
+        big_gfd = GFD(big, frozenset(), ConstantLiteral(0, "kind", "producer"))
+        assert gfd_reduces(small_gfd, big_gfd)
+        assert gfd_support(graph, small_gfd) >= gfd_support(graph, big_gfd)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_anti_monotonicity_property(self, seed):
+        """supp is anti-monotone in the ≪ order on random graphs."""
+        import random
+
+        rng = random.Random(seed)
+        graph = Graph()
+        for _ in range(12):
+            graph.add_node(rng.choice("ab"), {"v": rng.choice([1, 2])})
+        for _ in range(20):
+            s, d = rng.randrange(12), rng.randrange(12)
+            if s != d:
+                graph.add_edge(s, d, rng.choice("ef"))
+        base = Pattern(["a", WILDCARD], [(0, 1, "e")], pivot=0)
+        bigger = base.with_new_node(WILDCARD, 1, True, "f")
+        base_gfd = GFD(base, frozenset(), ConstantLiteral(0, "v", 1))
+        bigger_gfd = GFD(bigger, frozenset(), ConstantLiteral(0, "v", 1))
+        assert gfd_support(graph, base_gfd) >= gfd_support(graph, bigger_gfd)
+
+
+PHI1 = GFD(
+    Pattern(["person", "product"], [(0, 1, "create")], pivot=0),
+    frozenset({ConstantLiteral(1, "type", "film")}),
+    ConstantLiteral(0, "type", "producer"),
+)
+
+
+class TestReduction:
+    def test_reduces_by_lhs_subset(self):
+        stronger = GFD(
+            PHI1.pattern,
+            PHI1.lhs | {ConstantLiteral(1, "year", 2000)},
+            PHI1.rhs,
+        )
+        assert gfd_reduces(PHI1, stronger)
+        assert not gfd_reduces(stronger, PHI1)
+
+    def test_reduces_by_pattern_extension(self):
+        bigger = PHI1.pattern.with_new_node("award", 1, True, "receive")
+        extended = GFD(bigger, PHI1.lhs, PHI1.rhs)
+        assert gfd_reduces(PHI1, extended)
+
+    def test_reduces_by_wildcard_upgrade(self):
+        general = GFD(
+            Pattern([WILDCARD, "product"], [(0, 1, "create")], pivot=0),
+            PHI1.lhs,
+            ConstantLiteral(0, "type", "producer"),
+        )
+        assert gfd_reduces(general, PHI1)
+
+    def test_no_reduction_between_different_rhs(self):
+        other = GFD(PHI1.pattern, PHI1.lhs, ConstantLiteral(0, "type", "actor"))
+        assert not gfd_reduces(PHI1, other)
+        assert not gfd_reduces(other, PHI1)
+
+    def test_pivot_must_be_preserved(self):
+        re_pivoted = GFD(PHI1.pattern.with_pivot(1), PHI1.lhs, PHI1.rhs)
+        assert not gfd_reduces(PHI1, re_pivoted)
+
+    def test_normalize_stable_across_renaming(self):
+        renamed_pattern = Pattern(
+            ["product", "person"], [(1, 0, "create")], pivot=1
+        )
+        renamed = GFD(
+            renamed_pattern,
+            frozenset({ConstantLiteral(0, "type", "film")}),
+            ConstantLiteral(1, "type", "producer"),
+        )
+        assert gfd_identity(renamed) == gfd_identity(PHI1)
+        assert normalize_gfd(renamed) == normalize_gfd(PHI1)
+
+    def test_minimal_cover_removes_dominated(self):
+        stronger = GFD(
+            PHI1.pattern,
+            PHI1.lhs | {ConstantLiteral(1, "year", 2000)},
+            PHI1.rhs,
+        )
+        survivors = minimal_cover_by_reduction([PHI1, stronger])
+        assert survivors == [PHI1]
+
+    def test_minimal_cover_dedupes(self):
+        duplicate = GFD(PHI1.pattern, PHI1.lhs, PHI1.rhs)
+        assert len(minimal_cover_by_reduction([PHI1, duplicate])) == 1
+
+
+class TestDiscovery:
+    def test_finds_planted_rules(self, film_graph, film_config):
+        result = discover(film_graph, film_config)
+        texts = {str(gfd) for gfd in result.gfds}
+        assert any(
+            "x.type='producer' → y.type='film'" in text
+            or "y.type='film'" in text and "producer" in text
+            for text in texts
+        )
+        assert validate_set(film_graph, result.gfds)
+
+    def test_finds_structural_negative(self, film_graph, film_config):
+        result = discover(film_graph, film_config)
+        negatives = [gfd for gfd in result.negatives if not gfd.lhs]
+        assert negatives, "mutual-parent negative expected"
+        mutual = [g for g in negatives if g.pattern.num_edges == 2]
+        assert mutual
+
+    def test_finds_literal_negative(self, film_graph, film_config):
+        result = discover(film_graph, film_config)
+        literal_negatives = [gfd for gfd in result.negatives if gfd.lhs]
+        assert literal_negatives
+        # e.g. actor ∧ film → false
+        assert any(len(gfd.lhs) == 2 for gfd in literal_negatives)
+
+    def test_supports_respect_sigma(self, film_graph, film_config):
+        result = discover(film_graph, film_config)
+        assert all(
+            supp >= film_config.sigma for supp in result.supports.values()
+        )
+
+    def test_results_are_minimal(self, film_graph, film_config):
+        result = discover(film_graph, film_config)
+        for gfd in result.gfds:
+            for other in result.gfds:
+                if gfd is other:
+                    continue
+                assert not gfd_reduces(other, gfd)
+
+    def test_all_positives_hold(self, film_graph, film_config):
+        result = discover(film_graph, film_config)
+        for gfd in result.positives:
+            assert graph_satisfies(film_graph, gfd)
+
+    def test_negative_mining_disabled(self, film_graph, film_config):
+        from dataclasses import replace
+
+        config = replace(film_config, mine_negative=False)
+        result = discover(film_graph, config)
+        assert not result.negatives
+
+    def test_higher_sigma_finds_subset(self, film_graph, film_config):
+        from dataclasses import replace
+
+        low = discover(film_graph, film_config)
+        high = discover(film_graph, replace(film_config, sigma=70))
+        low_ids = {gfd_identity(g) for g in low.gfds}
+        high_ids = {gfd_identity(g) for g in high.gfds}
+        assert high_ids <= low_ids
+
+    def test_candidate_budget(self, film_graph, film_config):
+        from dataclasses import replace
+
+        config = replace(film_config, max_candidates=5)
+        with pytest.raises(CandidateBudgetExceeded):
+            discover(film_graph, config)
+
+    def test_stats_populated(self, film_graph, film_config):
+        result = discover(film_graph, film_config)
+        assert result.stats.patterns_spawned > 0
+        assert result.stats.candidates_checked > 0
+        assert result.stats.elapsed_seconds > 0
+        assert result.stats.positives_found == len(result.positives)
+
+    def test_average_support_and_order(self, film_graph, film_config):
+        result = discover(film_graph, film_config)
+        assert result.average_support() >= film_config.sigma
+        ordered = result.sorted_by_support()
+        supports = [result.supports[g] for g in ordered]
+        assert supports == sorted(supports, reverse=True)
+
+
+class TestCover:
+    def test_cover_is_equivalent_and_minimal(self, film_graph, film_config):
+        result = discover(film_graph, film_config)
+        cover = sequential_cover(result.gfds)
+        # equivalence: every removed GFD implied by the cover
+        for removed in cover.removed:
+            assert implies(cover.cover, removed)
+        # minimality: nothing in the cover implied by the rest
+        for index, gfd in enumerate(cover.cover):
+            rest = cover.cover[:index] + cover.cover[index + 1:]
+            assert not implies(rest, gfd)
+
+    def test_cover_of_duplicate_set(self):
+        cover = sequential_cover([PHI1, GFD(PHI1.pattern, PHI1.lhs, PHI1.rhs)])
+        assert len(cover.cover) == 1
+        assert cover.reduction_ratio == pytest.approx(0.5)
+
+    def test_cover_of_empty(self):
+        cover = sequential_cover([])
+        assert cover.cover == []
+        assert cover.reduction_ratio == 0

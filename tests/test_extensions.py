@@ -1,0 +1,105 @@
+"""Tests for the comparison-predicate extension (paper's future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gfd import FALSE, ConstantLiteral
+from repro.gfd.extensions import (
+    ComparisonLiteral,
+    ExtendedGFD,
+    find_extended_violations,
+)
+from repro.graph import Graph
+from repro.pattern import Pattern
+
+
+def film_graph() -> Graph:
+    graph = Graph()
+    for year, oscar in [(1920, "no"), (1925, "no"), (1930, "yes"), (1935, "yes")]:
+        film = graph.add_node("film", {"year": year, "oscar": oscar})
+        award = graph.add_node("award", {"name": "Oscar"})
+        if oscar == "yes":
+            graph.add_edge(film, award, "receive")
+    return graph
+
+
+PATTERN = Pattern(["film"])
+
+
+class TestComparisonLiteral:
+    def test_operators(self):
+        graph = film_graph()
+        match = (0,)  # the 1920 film
+        assert ComparisonLiteral(0, "year", "<", 1928).satisfied(graph, match)
+        assert not ComparisonLiteral(0, "year", ">", 1928).satisfied(graph, match)
+        assert ComparisonLiteral(0, "year", "<=", 1920).satisfied(graph, match)
+        assert ComparisonLiteral(0, "year", ">=", 1920).satisfied(graph, match)
+        assert ComparisonLiteral(0, "year", "!=", 1921).satisfied(graph, match)
+
+    def test_missing_attribute_unsatisfied(self):
+        graph = film_graph()
+        assert not ComparisonLiteral(0, "budget", "<", 10).satisfied(graph, (0,))
+
+    def test_type_mismatch_unsatisfied(self):
+        graph = film_graph()
+        literal = ComparisonLiteral(0, "oscar", "<", 10)  # str vs int
+        assert not literal.satisfied(graph, (0,))
+
+    def test_invalid_operator(self):
+        with pytest.raises(ValueError):
+            ComparisonLiteral(0, "year", "~", 1)
+
+
+class TestExtendedGFD:
+    def test_negative_rule_with_comparison(self):
+        """Films before 1928 never carry oscar='yes'."""
+        graph = film_graph()
+        rule = ExtendedGFD(
+            PATTERN,
+            frozenset(
+                {
+                    ComparisonLiteral(0, "year", "<", 1928),
+                    ConstantLiteral(0, "oscar", "yes"),
+                }
+            ),
+            FALSE,
+        )
+        assert find_extended_violations(graph, rule) == []
+        # plant a violation
+        graph.set_attr(0, "oscar", "yes")
+        assert find_extended_violations(graph, rule) == [(0,)]
+
+    def test_positive_rule(self):
+        graph = film_graph()
+        rule = ExtendedGFD(
+            PATTERN,
+            frozenset({ComparisonLiteral(0, "year", ">=", 1930)}),
+            ConstantLiteral(0, "oscar", "yes"),
+        )
+        assert find_extended_violations(graph, rule) == []
+
+    def test_core_gfd_round_trip(self):
+        rule = ExtendedGFD(
+            PATTERN,
+            frozenset({ConstantLiteral(0, "year", 1930)}),
+            ConstantLiteral(0, "oscar", "yes"),
+        )
+        core = rule.core_gfd()
+        assert core is not None
+        assert core.lhs == rule.lhs
+
+    def test_core_gfd_none_with_comparisons(self):
+        rule = ExtendedGFD(
+            PATTERN,
+            frozenset({ComparisonLiteral(0, "year", "<", 1928)}),
+            FALSE,
+        )
+        assert rule.core_gfd() is None
+
+    def test_max_violations(self):
+        graph = film_graph()
+        rule = ExtendedGFD(
+            PATTERN, frozenset(), ConstantLiteral(0, "oscar", "never")
+        )
+        assert len(find_extended_violations(graph, rule, max_violations=2)) == 2

@@ -1,0 +1,290 @@
+"""Unit tests for the property-graph substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphBuilder,
+    compute_statistics,
+    fragment_graph,
+    graph_from_json,
+    graph_to_json,
+    load_json,
+    load_tsv,
+    partition_edges,
+    save_json,
+    save_tsv,
+)
+from repro.graph.partition import edge_balance, replication_factor
+
+
+def build_sample() -> Graph:
+    graph = Graph()
+    a = graph.add_node("person", {"name": "Ann", "age": 30})
+    b = graph.add_node("person", {"name": "Bob"})
+    c = graph.add_node("city", {"name": "Paris"})
+    graph.add_edge(a, b, "knows")
+    graph.add_edge(a, c, "livesIn")
+    graph.add_edge(b, c, "livesIn")
+    return graph
+
+
+class TestGraphBasics:
+    def test_counts(self):
+        graph = build_sample()
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 3
+
+    def test_node_labels_and_attrs(self):
+        graph = build_sample()
+        assert graph.node_label(0) == "person"
+        assert graph.get_attr(0, "name") == "Ann"
+        assert graph.get_attr(1, "age") is None
+        assert graph.has_attr(0, "age")
+        assert not graph.has_attr(1, "age")
+
+    def test_duplicate_edge_rejected(self):
+        graph = build_sample()
+        assert not graph.add_edge(0, 1, "knows")
+        assert graph.num_edges == 3
+
+    def test_parallel_edge_different_label(self):
+        graph = build_sample()
+        assert graph.add_edge(0, 1, "admires")
+        assert graph.edge_labels(0, 1) == {"knows", "admires"}
+
+    def test_has_edge(self):
+        graph = build_sample()
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(0, 1, "knows")
+        assert not graph.has_edge(0, 1, "livesIn")
+        assert not graph.has_edge(1, 0)
+
+    def test_neighbors(self):
+        graph = build_sample()
+        assert set(graph.out_neighbors(0)) == {1, 2}
+        assert set(graph.in_neighbors(2)) == {0, 1}
+
+    def test_degrees(self):
+        graph = build_sample()
+        assert graph.out_degree(0) == 2
+        assert graph.in_degree(2) == 2
+        assert graph.degree(1) == 2
+
+    def test_remove_edge(self):
+        graph = build_sample()
+        assert graph.remove_edge(0, 1, "knows")
+        assert not graph.has_edge(0, 1)
+        assert graph.num_edges == 2
+        assert not graph.remove_edge(0, 1, "knows")
+
+    def test_relabel_node(self):
+        graph = build_sample()
+        graph.relabel_node(0, "robot")
+        assert graph.node_label(0) == "robot"
+        assert 0 in graph.nodes_with_label("robot")
+        assert 0 not in graph.nodes_with_label("person")
+
+    def test_relabel_edge(self):
+        graph = build_sample()
+        assert graph.relabel_edge(0, 1, "knows", "met")
+        assert graph.has_edge(0, 1, "met")
+        assert not graph.has_edge(0, 1, "knows")
+        assert not graph.relabel_edge(0, 1, "gone", "met")
+
+    def test_set_and_remove_attr(self):
+        graph = build_sample()
+        graph.set_attr(1, "age", 44)
+        assert graph.get_attr(1, "age") == 44
+        graph.remove_attr(1, "age")
+        assert not graph.has_attr(1, "age")
+
+    def test_label_index(self):
+        graph = build_sample()
+        assert graph.nodes_with_label("person") == [0, 1]
+        assert graph.node_labels() == {"person", "city"}
+        assert graph.label_count("person") == 2
+
+    def test_edge_label_counts(self):
+        graph = build_sample()
+        assert graph.edge_label_counts() == {"knows": 1, "livesIn": 2}
+
+    def test_edges_iteration(self):
+        graph = build_sample()
+        assert sorted(graph.edges()) == [
+            (0, 1, "knows"),
+            (0, 2, "livesIn"),
+            (1, 2, "livesIn"),
+        ]
+
+    def test_induced_subgraph(self):
+        graph = build_sample()
+        sub = graph.induced_subgraph([0, 2])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+        assert sub.node_label(0) == "person"
+        assert sub.has_edge(0, 1, "livesIn")
+
+    def test_copy_independent(self):
+        graph = build_sample()
+        clone = graph.copy()
+        clone.add_edge(2, 0, "contains")
+        clone.set_attr(0, "name", "Zoe")
+        assert not graph.has_edge(2, 0)
+        assert graph.get_attr(0, "name") == "Ann"
+
+    def test_missing_node_raises(self):
+        graph = build_sample()
+        with pytest.raises(KeyError):
+            graph.add_edge(0, 99, "x")
+
+
+class TestGraphBuilder:
+    def test_keyed_construction(self):
+        builder = GraphBuilder()
+        builder.node("a", "person", name="Ann")
+        builder.node("b", "person")
+        builder.edge("a", "b", "knows")
+        graph, ids = builder.build()
+        assert graph.num_nodes == 2
+        assert graph.has_edge(ids["a"], ids["b"], "knows")
+
+    def test_attribute_extension(self):
+        builder = GraphBuilder()
+        builder.node("a", "person")
+        builder.node("a", age=9)
+        graph, ids = builder.build()
+        assert graph.get_attr(ids["a"], "age") == 9
+
+    def test_label_conflict_raises(self):
+        builder = GraphBuilder()
+        builder.node("a", "person")
+        with pytest.raises(ValueError):
+            builder.node("a", "robot")
+
+    def test_unknown_endpoint_raises(self):
+        builder = GraphBuilder()
+        builder.node("a", "person")
+        with pytest.raises(KeyError):
+            builder.edge("a", "missing", "knows")
+
+    def test_first_reference_needs_label(self):
+        builder = GraphBuilder()
+        with pytest.raises(ValueError):
+            builder.node("a")
+
+
+class TestIO:
+    def test_json_round_trip(self, tmp_path):
+        graph = build_sample()
+        path = tmp_path / "graph.json"
+        save_json(graph, path)
+        loaded = load_json(path)
+        assert graph_to_json(loaded) == graph_to_json(graph)
+
+    def test_json_dict_round_trip(self):
+        graph = build_sample()
+        clone = graph_from_json(graph_to_json(graph))
+        assert sorted(clone.edges()) == sorted(graph.edges())
+        assert clone.node_attrs(0) == graph.node_attrs(0)
+
+    def test_tsv_round_trip(self, tmp_path):
+        graph = build_sample()
+        path = tmp_path / "graph.tsv"
+        save_tsv(graph, path)
+        loaded = load_tsv(path)
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+        assert loaded.node_attrs(0) == graph.node_attrs(0)
+        assert loaded.node_label(2) == "city"
+
+    def test_tsv_rejects_out_of_order(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("#nodes\n1\tperson\n")
+        with pytest.raises(ValueError):
+            load_tsv(path)
+
+    def test_tsv_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("0\tperson\n")
+        with pytest.raises(ValueError):
+            load_tsv(path)
+
+
+class TestPartition:
+    def test_block_partition_covers_all_edges(self):
+        graph = build_sample()
+        buckets = partition_edges(graph, 2, strategy="block")
+        merged = sorted(edge for bucket in buckets for edge in bucket)
+        assert merged == sorted(graph.edges())
+
+    def test_hash_partition_covers_all_edges(self):
+        graph = build_sample()
+        buckets = partition_edges(graph, 2, strategy="hash")
+        merged = sorted(edge for bucket in buckets for edge in bucket)
+        assert merged == sorted(graph.edges())
+
+    def test_even_balance(self):
+        graph = Graph()
+        nodes = [graph.add_node("n") for _ in range(20)]
+        for index in range(19):
+            graph.add_edge(nodes[index], nodes[index + 1], "e")
+        fragments = fragment_graph(graph, 4)
+        low, high = edge_balance(fragments)
+        assert high - low <= 1
+
+    def test_border_nodes(self):
+        graph = build_sample()
+        fragments = fragment_graph(graph, 3)
+        for fragment in fragments:
+            for src, dst, _ in fragment.edges:
+                assert src in fragment.border_nodes
+                assert dst in fragment.border_nodes
+
+    def test_replication_factor_at_least_one(self):
+        graph = build_sample()
+        fragments = fragment_graph(graph, 2)
+        assert replication_factor(fragments) >= 1.0
+
+    def test_invalid_fragment_count(self):
+        with pytest.raises(ValueError):
+            partition_edges(build_sample(), 0)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            partition_edges(build_sample(), 2, strategy="magic")
+
+    def test_edges_with_label(self):
+        graph = build_sample()
+        fragments = fragment_graph(graph, 1)
+        assert len(fragments[0].edges_with_label("livesIn")) == 2
+
+
+class TestStatistics:
+    def test_label_counts(self):
+        stats = compute_statistics(build_sample())
+        assert stats.node_label_counts == {"person": 2, "city": 1}
+        assert stats.edge_label_counts == {"knows": 1, "livesIn": 2}
+
+    def test_triples(self):
+        stats = compute_statistics(build_sample())
+        assert stats.triple_counts[("person", "livesIn", "city")] == 2
+        assert stats.frequent_triples(2) == [("person", "livesIn", "city")]
+
+    def test_attr_counts(self):
+        stats = compute_statistics(build_sample())
+        assert stats.attr_counts == {"name": 3, "age": 1}
+        assert stats.top_attributes(1) == ["name"]
+
+    def test_top_values(self):
+        graph = Graph()
+        for value in ["x", "x", "y"]:
+            graph.add_node("n", {"a": value})
+        stats = compute_statistics(graph)
+        assert stats.top_values("n", "a", 2) == ["x", "y"]
+        assert stats.top_values("n", "missing", 2) == []
+
+    def test_max_degree(self):
+        stats = compute_statistics(build_sample())
+        assert stats.max_degree == 2

@@ -1,0 +1,117 @@
+"""Tests for the textual GFD syntax."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gfd import (
+    FALSE,
+    GFD,
+    ConstantLiteral,
+    GFDSyntaxError,
+    format_gfd,
+    make_variable_literal,
+    parse_gfd,
+)
+from repro.pattern import WILDCARD, Pattern
+
+
+class TestParse:
+    def test_phi1(self):
+        gfd = parse_gfd(
+            'Q[x, y] { (x:person)-[create]->(y:product) } '
+            '(y.type="film" -> x.type="producer")'
+        )
+        assert gfd.pattern.labels == ("person", "product")
+        assert gfd.pattern.edges[0].as_tuple() == (0, 1, "create")
+        assert gfd.lhs == frozenset({ConstantLiteral(1, "type", "film")})
+        assert gfd.rhs == ConstantLiteral(0, "type", "producer")
+
+    def test_phi2_wildcards_and_variable_literal(self):
+        gfd = parse_gfd(
+            "Q[x, y, z] { (x:city)-[located]->(y:_), (x)-[located]->(z:_) } "
+            "( -> y.name=z.name)"
+        )
+        assert gfd.pattern.labels == ("city", WILDCARD, WILDCARD)
+        assert gfd.lhs == frozenset()
+        assert gfd.rhs == make_variable_literal(1, "name", 2, "name")
+
+    def test_phi3_negative(self):
+        gfd = parse_gfd(
+            "Q[x, y] { (x:person)-[parent]->(y:person), (y)-[parent]->(x) } "
+            "( -> false)"
+        )
+        assert gfd.is_negative
+        assert gfd.pattern.num_edges == 2
+
+    def test_pivot_marker(self):
+        gfd = parse_gfd("Q[x, y*] { (x:a)-[e]->(y:b) } ( -> x.v=1)")
+        assert gfd.pattern.pivot == 1
+
+    def test_default_pivot(self):
+        gfd = parse_gfd("Q[x, y] { (x:a)-[e]->(y:b) } ( -> x.v=1)")
+        assert gfd.pattern.pivot == 0
+
+    def test_conjunction_lhs(self):
+        gfd = parse_gfd(
+            'Q[x] { (x:a) } (x.u="p" & x.v=2 -> x.w=3)'
+        )
+        assert len(gfd.lhs) == 2
+
+    def test_numeric_values(self):
+        gfd = parse_gfd("Q[x] { (x:a) } (x.u=-4 -> x.w=3.5)")
+        assert ConstantLiteral(0, "u", -4) in gfd.lhs
+        assert gfd.rhs == ConstantLiteral(0, "w", 3.5)
+
+    def test_string_escapes(self):
+        gfd = parse_gfd('Q[x] { (x:a) } ( -> x.v="say \\"hi\\"")')
+        assert gfd.rhs == ConstantLiteral(0, "v", 'say "hi"')
+
+    def test_isolated_node_gets_wildcard(self):
+        gfd = parse_gfd("Q[x] { (x) } ( -> x.v=1)")
+        assert gfd.pattern.labels == (WILDCARD,)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "P[x] { (x:a) } ( -> x.v=1)",  # must start with Q
+            "Q[x] { (y:a) } ( -> x.v=1)",  # undeclared variable
+            "Q[x] { (x:a) } (x.v=1)",  # missing arrow
+            "Q[x] { (x:a) } ( -> )",  # missing RHS
+            "Q[x] { (x:a) } ( -> x.v=1) junk",  # trailing input
+            "Q[x] { (x:a } ( -> x.v=1)",  # broken pattern
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(GFDSyntaxError):
+            parse_gfd(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            'Q[x, y] { (x:person)-[create]->(y:product) } '
+            '(y.type="film" -> x.type="producer")',
+            "Q[x, y, z] { (x:city)-[located]->(y:_), (x)-[located]->(z:_) } "
+            "( -> y.name=z.name)",
+            "Q[x, y] { (x:person)-[parent]->(y:person), (y)-[parent]->(x) } "
+            "( -> false)",
+            'Q[x*, y] { (y:a)-[e]->(x:b) } (x.v=1 & y.w="two" -> false)',
+        ],
+    )
+    def test_parse_format_parse(self, text):
+        first = parse_gfd(text)
+        second = parse_gfd(format_gfd(first))
+        assert first.pattern == second.pattern
+        assert first.lhs == second.lhs
+        assert first.rhs == second.rhs
+
+    def test_format_single_node_pattern(self):
+        gfd = GFD(Pattern(["a"]), frozenset(), ConstantLiteral(0, "v", 1))
+        text = format_gfd(gfd)
+        parsed = parse_gfd(text)
+        assert parsed.pattern == gfd.pattern
+        assert parsed.rhs == gfd.rhs
