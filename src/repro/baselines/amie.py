@@ -27,7 +27,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..graph.graph import Graph
+from ..graph.index import sort_unique
 from ..parallel.cluster import SimulatedCluster
 
 __all__ = ["Atom", "AmieRule", "AmieMiner", "AmieResult", "mine_amie", "mine_amie_parallel"]
@@ -83,9 +86,27 @@ class AmieResult:
 
 
 class _RelationIndex:
-    """Forward/backward indexes of one edge relation."""
+    """Forward/backward indexes of one edge relation.
 
-    __slots__ = ("pairs", "by_subject", "by_object", "subjects")
+    After construction, :meth:`finalize` freezes the relation into sorted
+    numpy join structures: path-body groundings then become ragged
+    ``searchsorted`` joins and membership tests become binary searches over
+    integer pair keys ``subject·N + object`` — the same flat-layout idiom as
+    :class:`~repro.graph.index.GraphIndex`.
+    """
+
+    __slots__ = (
+        "pairs",
+        "by_subject",
+        "by_object",
+        "subjects",
+        "subj_sorted",
+        "obj_of_subj",
+        "obj_sorted",
+        "subj_of_obj",
+        "pair_keys",
+        "subjects_sorted",
+    )
 
     def __init__(self) -> None:
         self.pairs: Set[Tuple[int, int]] = set()
@@ -100,6 +121,22 @@ class _RelationIndex:
         self.by_subject.setdefault(subject, []).append(obj)
         self.by_object.setdefault(obj, []).append(subject)
         self.subjects.add(subject)
+
+    def finalize(self, num_nodes: int) -> None:
+        subjects = np.fromiter(
+            (s for s, _ in self.pairs), dtype=np.int64, count=len(self.pairs)
+        )
+        objects = np.fromiter(
+            (o for _, o in self.pairs), dtype=np.int64, count=len(self.pairs)
+        )
+        by_subject = np.argsort(subjects, kind="stable")
+        self.subj_sorted = subjects[by_subject]
+        self.obj_of_subj = objects[by_subject]
+        by_object = np.argsort(objects, kind="stable")
+        self.obj_sorted = objects[by_object]
+        self.subj_of_obj = subjects[by_object]
+        self.pair_keys = np.sort(subjects * num_nodes + objects)
+        self.subjects_sorted = np.unique(subjects)
 
 
 class AmieMiner:
@@ -124,13 +161,18 @@ class AmieMiner:
         self.min_head_coverage = min_head_coverage
         self.min_pca_confidence = min_pca_confidence
         self.min_support = min_support
+        self.num_nodes = graph.num_nodes
         self.relations = self._index_relations(graph)
+        # body groundings are head-independent: cache the (rel1, dir1,
+        # rel2, dir2) joins so the sweep over head relations reuses them
+        self._path_cache: Dict[Tuple[str, bool, str, bool], np.ndarray] = {}
 
-    @staticmethod
-    def _index_relations(graph: Graph) -> Dict[str, _RelationIndex]:
+    def _index_relations(self, graph: Graph) -> Dict[str, _RelationIndex]:
         relations: Dict[str, _RelationIndex] = {}
         for src, dst, label in graph.edges():
             relations.setdefault(label, _RelationIndex()).add(src, dst)
+        for relation in relations.values():
+            relation.finalize(self.num_nodes)
         return relations
 
     # ------------------------------------------------------------------
@@ -154,12 +196,23 @@ class AmieMiner:
         return rules
 
     # ------------------------------------------------------------------
-    def _body_groundings_2(self, atom: Atom) -> Set[Tuple[int, int]]:
-        """Groundings (x, y) of a single body atom over head variables."""
+    @staticmethod
+    def _sorted_membership(sorted_keys: np.ndarray, keys: np.ndarray) -> np.ndarray:
+        """Boolean membership of ``keys`` in a sorted key array."""
+        if sorted_keys.size == 0 or keys.size == 0:
+            return np.zeros(keys.size, dtype=bool)
+        position = np.searchsorted(sorted_keys, keys)
+        position[position == sorted_keys.size] = sorted_keys.size - 1
+        return sorted_keys[position] == keys
+
+    def _body_groundings_2(self, atom: Atom) -> np.ndarray:
+        """Distinct grounding keys ``x·N + y`` of a single body atom."""
         index = self.relations[atom.relation]
         if (atom.subject, atom.object) == (0, 1):
-            return set(index.pairs)
-        return {(obj, subject) for subject, obj in index.pairs}
+            return index.pair_keys
+        return np.unique(
+            index.obj_of_subj * self.num_nodes + index.subj_sorted
+        )
 
     def _two_atom_rules(self, head: Atom):
         head_index = self.relations[head.relation]
@@ -193,40 +246,83 @@ class AmieMiner:
 
     def _path_groundings(
         self, rel1: str, dir1: bool, rel2: str, dir2: bool
-    ) -> Set[Tuple[int, int]]:
-        """(x, y) pairs connected through some z by the two body atoms."""
-        index1, index2 = self.relations[rel1], self.relations[rel2]
-        # neighbors of x through atom1: dir1 ? by_subject : by_object
-        # (x, z) from atom1; then (z, y) from atom2
-        result: Set[Tuple[int, int]] = set()
-        first = index1.by_subject if dir1 else index1.by_object
-        second = index2.by_subject if dir2 else index2.by_object
-        for x, zs in first.items():
-            for z in zs:
-                for y in second.get(z, ()):
-                    if x != y:
-                        result.add((x, y))
+    ) -> np.ndarray:
+        """Distinct ``x·N + y`` keys connected through some z by the body.
+
+        A ragged sorted-merge join: atom1's ``(x, z)`` pairs probe atom2's
+        join column (sorted by z) with two ``searchsorted`` calls, the
+        matching runs expand by ``np.repeat``, and a sort-dedup finishes.
+        Cached per orientation — the join does not depend on the head.
+        """
+        cache_key = (rel1, dir1, rel2, dir2)
+        cached = self._path_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        result = self._path_groundings_uncached(rel1, dir1, rel2, dir2)
+        self._path_cache[cache_key] = result
         return result
+
+    def _path_groundings_uncached(
+        self, rel1: str, dir1: bool, rel2: str, dir2: bool
+    ) -> np.ndarray:
+        index1, index2 = self.relations[rel1], self.relations[rel2]
+        if dir1:  # r1(x, z): x = subject, z = object
+            x_arr, z_arr = index1.subj_sorted, index1.obj_of_subj
+        else:  # r1(z, x)
+            x_arr, z_arr = index1.obj_sorted, index1.subj_of_obj
+        if dir2:  # r2(z, y): join on subject, values are objects
+            join_col, values = index2.subj_sorted, index2.obj_of_subj
+        else:  # r2(y, z): join on object, values are subjects
+            join_col, values = index2.obj_sorted, index2.subj_of_obj
+        if x_arr.size == 0 or join_col.size == 0:
+            return np.empty(0, dtype=np.int64)
+        lo = np.searchsorted(join_col, z_arr, side="left")
+        hi = np.searchsorted(join_col, z_arr, side="right")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        x_rep = np.repeat(x_arr, counts)
+        exclusive = np.cumsum(counts) - counts
+        position = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(exclusive, counts)
+            + np.repeat(lo, counts)
+        )
+        y_flat = values[position]
+        keep = x_rep != y_flat
+        if not keep.any():
+            return np.empty(0, dtype=np.int64)
+        return sort_unique(x_rep[keep] * self.num_nodes + y_flat[keep])
 
     def _score(
         self,
         head: Atom,
         body: Tuple[Atom, ...],
-        groundings: Set[Tuple[int, int]],
+        groundings: np.ndarray,
         head_size: int,
     ) -> Optional[AmieRule]:
-        if not groundings or head_size == 0:
+        if groundings.size == 0 or head_size == 0:
             return None
-        head_pairs = self.relations[head.relation].pairs
-        support = sum(1 for pair in groundings if pair in head_pairs)
+        head_index = self.relations[head.relation]
+        support = int(
+            np.count_nonzero(
+                self._sorted_membership(head_index.pair_keys, groundings)
+            )
+        )
         if support < self.min_support:
             return None
         head_coverage = support / head_size
         if head_coverage < self.min_head_coverage:
             return None
         # PCA denominator: body groundings whose x has *some* head edge
-        functional = self.relations[head.relation].subjects
-        denominator = sum(1 for x, _ in groundings if x in functional)
+        denominator = int(
+            np.count_nonzero(
+                self._sorted_membership(
+                    head_index.subjects_sorted, groundings // self.num_nodes
+                )
+            )
+        )
         if denominator == 0:
             return None
         pca = support / denominator
@@ -257,12 +353,15 @@ class AmieMiner:
                 atom2.relation,
                 atom2.subject == 2,
             )
-        head_pairs = self.relations[rule.head.relation].pairs
-        functional = self.relations[rule.head.relation].subjects
+        head_index = self.relations[rule.head.relation]
+        keep = ~self._sorted_membership(head_index.pair_keys, groundings)
+        keep &= self._sorted_membership(
+            head_index.subjects_sorted, groundings // self.num_nodes
+        )
+        missing = groundings[keep]
         return {
-            (x, y)
-            for x, y in groundings
-            if (x, y) not in head_pairs and x in functional
+            (int(key // self.num_nodes), int(key % self.num_nodes))
+            for key in missing.tolist()
         }
 
 

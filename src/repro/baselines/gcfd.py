@@ -104,20 +104,35 @@ class _GCFDParallel(ParallelDiscovery):
 
 
 def discover_gcfd(
-    graph: Graph, config: Optional[DiscoveryConfig] = None
+    graph: Graph,
+    config: Optional[DiscoveryConfig] = None,
+    stats=None,
+    index=None,
 ) -> DiscoveryResult:
-    """Mine GCFDs (path-pattern CFDs) sequentially."""
-    return _GCFDSequential(graph, _path_config(config or DiscoveryConfig())).run()
+    """Mine GCFDs (path-pattern CFDs) sequentially.
+
+    ``stats``/``index`` accept precomputed graph snapshots (shared with the
+    GFD run of the same benchmark) so the graph is scanned once per dataset.
+    """
+    return _GCFDSequential(
+        graph, _path_config(config or DiscoveryConfig()), stats=stats, index=index
+    ).run()
 
 
 def discover_gcfd_parallel(
     graph: Graph,
     config: Optional[DiscoveryConfig] = None,
     num_workers: int = 4,
+    stats=None,
+    index=None,
 ) -> Tuple[DiscoveryResult, SimulatedCluster]:
     """Mine GCFDs with the metered cluster (``ParCGFD``)."""
     runner = _GCFDParallel(
-        graph, _path_config(config or DiscoveryConfig()), num_workers
+        graph,
+        _path_config(config or DiscoveryConfig()),
+        num_workers,
+        stats=stats,
+        index=index,
     )
     result = runner.run()
     return result, runner.cluster

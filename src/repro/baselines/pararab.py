@@ -59,13 +59,15 @@ def run_pararab(
     graph: Graph,
     config: Optional[DiscoveryConfig] = None,
     candidate_budget: Optional[int] = 2_000_000,
+    stats=None,
+    index=None,
 ) -> ParArabResult:
     """Execute the split-phase protocol; see the module docstring."""
     started = time.perf_counter()
     config = config or DiscoveryConfig()
 
     # ---- phase 1: pattern mining only --------------------------------
-    miner = _PatternOnlyMiner(graph, config)
+    miner = _PatternOnlyMiner(graph, config, stats=stats, index=index)
     phase1 = miner.run()
     tree = phase1.tree
     assert tree is not None

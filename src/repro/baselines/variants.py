@@ -47,6 +47,8 @@ def run_pargfd_n(
     config: DiscoveryConfig,
     num_workers: int = 4,
     candidate_budget: Optional[int] = 500_000,
+    stats=None,
+    index=None,
 ) -> UnprunedRun:
     """``ParGFDn``: parallel discovery with Lemma 4 pruning disabled.
 
@@ -54,7 +56,7 @@ def run_pargfd_n(
     reports ``completed=False`` when it trips.
     """
     unpruned = replace(config, prune=False, max_candidates=candidate_budget)
-    runner = ParallelDiscovery(graph, unpruned, num_workers)
+    runner = ParallelDiscovery(graph, unpruned, num_workers, stats=stats, index=index)
     try:
         result = runner.run()
     except CandidateBudgetExceeded as blowup:
@@ -77,8 +79,12 @@ def run_pargfd_nb(
     graph: Graph,
     config: DiscoveryConfig,
     num_workers: int = 4,
+    stats=None,
+    index=None,
 ) -> Tuple[DiscoveryResult, SimulatedCluster]:
     """``ParGFDnb``: parallel discovery with load balancing disabled."""
-    runner = ParallelDiscovery(graph, config, num_workers, balance=False)
+    runner = ParallelDiscovery(
+        graph, config, num_workers, balance=False, stats=stats, index=index
+    )
     result = runner.run()
     return result, runner.cluster

@@ -83,6 +83,23 @@ class DiscoveryConfig:
             many GFD candidates have been checked — how the benchmarks
             reproduce the paper's "ParGFDn / ParArab fail to complete"
             findings without actually exhausting memory.
+        use_index: run matching, spawning and match-table construction
+            against the graph's frozen CSR :class:`~repro.graph.index.
+            GraphIndex` (vectorized hot paths).  Disabling falls back to the
+            dict-adjacency reference implementation; results are identical
+            unless ``max_matches_per_pattern`` binds, in which case the two
+            paths may keep *different* truncated subsets (matches enumerate
+            in dict-insertion vs CSR order) — truncated tables never emit
+            GFDs, but spawned-pattern sets can then differ.  The flag exists
+            for equivalence testing and debugging.
+        sketch_support_prefilter: use an HLL-style distinct-pivot sketch as
+            a cheap upper bound before exact support counting in the
+            ``HSpawn`` alphabet prefilter.  Exact counting remains the
+            source of truth for every emitted GFD; the sketch only skips
+            exact counts for literals whose upper bound is already below
+            ``σ``, so with the (default-off) flag enabled, results can
+            differ only by the sketch's bounded overcount direction.
+        sketch_precision: HLL precision ``p`` (``2^p`` registers).
     """
 
     k: int = 3
@@ -106,6 +123,9 @@ class DiscoveryConfig:
     min_literal_rows: int = 1
     negative_literal_min_rows: Optional[int] = None
     max_candidates: Optional[int] = None
+    use_index: bool = True
+    sketch_support_prefilter: bool = False
+    sketch_precision: int = 12
 
     def __post_init__(self) -> None:
         if self.k < 1:

@@ -25,6 +25,7 @@ import time
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..graph.graph import Graph
+from ..graph.index import GraphIndex
 from ..graph.statistics import GraphStatistics, compute_statistics
 from ..gfd.closure import LiteralClosure
 from ..gfd.gfd import GFD
@@ -52,12 +53,35 @@ class SequentialDiscovery:
     Usage::
 
         result = SequentialDiscovery(graph, DiscoveryConfig(k=3, sigma=50)).run()
+
+    ``stats`` and ``index`` accept precomputed :class:`GraphStatistics` /
+    :class:`GraphIndex` snapshots so repeated runs (parallel workers,
+    baseline sweeps, benchmark series) don't rescan the graph per run; by
+    default both come from the graph's cached frozen index (``config.
+    use_index``), or a fresh statistics scan with the index disabled.
     """
 
-    def __init__(self, graph: Graph, config: DiscoveryConfig) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        config: DiscoveryConfig,
+        stats: Optional[GraphStatistics] = None,
+        index: Optional[GraphIndex] = None,
+    ) -> None:
         self.graph = graph
         self.config = config
-        self.graph_stats = compute_statistics(graph)
+        if index is not None:
+            self.index: Optional[GraphIndex] = index
+        elif config.use_index:
+            self.index = graph.index()
+        else:
+            self.index = None
+        if stats is not None:
+            self.graph_stats = stats
+        elif self.index is not None:
+            self.graph_stats = self.index.statistics()
+        else:
+            self.graph_stats = compute_statistics(graph)
         if config.active_attributes is not None:
             self.gamma = list(config.active_attributes)
         else:
@@ -104,8 +128,13 @@ class SequentialDiscovery:
             node, created = tree.add(pattern, level=0)
             if not created:
                 continue
-            matches = [(v,) for v in self.graph.nodes_with_label(label)]
-            node.table = MatchTable(self.graph, pattern, matches, self.gamma)
+            if self.index is not None:
+                matches = self.index.nodes_with_label(label)[:, None]
+            else:
+                matches = [(v,) for v in self.graph.nodes_with_label(label)]
+            node.table = MatchTable(
+                self.graph, pattern, matches, self.gamma, index=self.index
+            )
             node.support = count
             self.stats.patterns_spawned += 1
             self.stats.patterns_frequent += 1
@@ -153,8 +182,11 @@ class SequentialDiscovery:
         tallies = extension_statistics(
             self.graph,
             parent.pattern,
-            parent.table.matches,
+            parent.table.match_array
+            if self.index is not None
+            else parent.table.matches,
             can_add_node=parent.pattern.num_nodes < self.config.k,
+            index=self.index,
         )
         extensions = extensions_from_statistics(parent.pattern, tallies, self.config)
         extensions += wildcard_extensions_from_statistics(
@@ -172,11 +204,23 @@ class SequentialDiscovery:
         """Incremental matching ``Q'(G) = Q(G) ⋈ e`` plus ``NVSpawn``."""
         cap = self.config.max_matches_per_pattern
         matches = extend_matches(
-            self.graph, parent.table.matches, extension, max_matches=cap
+            self.graph,
+            parent.table.match_array
+            if self.index is not None
+            else parent.table.matches,
+            extension,
+            max_matches=cap,
+            index=self.index,
+            as_array=self.index is not None,
         )
         truncated = cap is not None and len(matches) >= cap
         node.table = MatchTable(
-            self.graph, node.pattern, matches, self.gamma, truncated=truncated
+            self.graph,
+            node.pattern,
+            matches,
+            self.gamma,
+            truncated=truncated,
+            index=self.index,
         )
         if truncated:
             self.stats.truncated_patterns += 1
@@ -229,8 +273,7 @@ class SequentialDiscovery:
             lattice_literals = [
                 literal
                 for literal in literals
-                if table.mask_support(table.literal_mask(literal))
-                >= self.config.sigma
+                if self._literal_support_reaches_sigma(table, literal)
             ]
         else:
             lattice_literals = literals
@@ -238,6 +281,26 @@ class SequentialDiscovery:
         for rhs in lattice_literals:
             self._mine_rhs(node, table, lattice_literals, rhs, all_rows, literals)
         self.stats.validation_seconds += time.perf_counter() - validation_started
+
+    def _literal_support_reaches_sigma(self, table: MatchTable, literal) -> bool:
+        """Whether a literal's distinct-pivot support reaches ``σ``.
+
+        With ``config.sketch_support_prefilter``, an HLL sketch first gives
+        a probable *upper bound* on the distinct-pivot count; only literals
+        whose bound reaches ``σ`` get the exact run count (the source of
+        truth).  The sketch can only skip clearly-infrequent literals.
+        """
+        mask = table.literal_mask(literal)
+        if self.config.sketch_support_prefilter:
+            if table.mask_count(mask) < self.config.sigma:
+                return False
+            bound = table.sketch_support_bound(
+                mask, self.config.sketch_precision
+            )
+            if bound < self.config.sigma:
+                self.stats.sketch_pruned_literals += 1
+                return False
+        return table.mask_support(mask) >= self.config.sigma
 
     def _mine_rhs(
         self,
@@ -423,6 +486,13 @@ class SequentialDiscovery:
             self._found[key] = (gfd, support)
 
 
-def discover(graph: Graph, config: Optional[DiscoveryConfig] = None) -> DiscoveryResult:
+def discover(
+    graph: Graph,
+    config: Optional[DiscoveryConfig] = None,
+    stats: Optional[GraphStatistics] = None,
+    index: Optional[GraphIndex] = None,
+) -> DiscoveryResult:
     """Discover minimum σ-frequent GFDs in ``graph`` (the ``SeqDis`` entry point)."""
-    return SequentialDiscovery(graph, config or DiscoveryConfig()).run()
+    return SequentialDiscovery(
+        graph, config or DiscoveryConfig(), stats=stats, index=index
+    ).run()

@@ -17,11 +17,12 @@ exactly that relation, restricted to the *active attributes* ``Γ``
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from ..graph.graph import Graph
+from ..graph.index import MISSING, GraphIndex
 from ..gfd.literals import (
     ConstantLiteral,
     Literal,
@@ -40,9 +41,6 @@ __all__ = [
     "variable_literals_from_counts",
 ]
 
-#: Sentinel for "attribute absent at this node" — distinct from stored None.
-MISSING = object()
-
 
 class MatchTable:
     """The matches of one pattern as a columnar relation.
@@ -50,80 +48,166 @@ class MatchTable:
     Args:
         graph: the data graph (attribute source).
         pattern: the matched pattern.
-        matches: the match tuples (graph node per variable).
+        matches: the match tuples (graph node per variable) — or, with
+            ``index``, optionally an ``(N, num_vars)`` int64 array.
         attributes: the active attributes ``Γ`` whose columns to materialize.
         truncated: set when ``matches`` is a capped subset — validity
             judgements must not be made from a truncated table.
+        index: a frozen :class:`~repro.graph.index.GraphIndex` of ``graph``;
+            when given, columns are gathered from the index's columnar
+            attribute codes (one fancy-indexing per column) instead of the
+            per-row ``get_attr`` loop, and raw-value columns materialize
+            lazily by decoding.
     """
 
     def __init__(
         self,
         graph: Graph,
         pattern: Pattern,
-        matches: Sequence[Match],
+        matches: Union[Sequence[Match], np.ndarray],
         attributes: Sequence[str],
         truncated: bool = False,
+        index: Optional[GraphIndex] = None,
     ) -> None:
         self.graph = graph
         self.pattern = pattern
+        self.index = index
+        self.attributes = list(attributes)
+        self.truncated = truncated
         # rows are kept sorted by pivot so distinct-pivot counting over a
         # mask is a run count instead of a sort (stable: preserves relative
         # order within a pivot).
         pivot_var = pattern.pivot
-        self.matches = sorted(matches, key=lambda match: match[pivot_var])
-        self.attributes = list(attributes)
-        self.truncated = truncated
-        self._pivots: List[int] = [match[pattern.pivot] for match in self.matches]
         # columns are kept twice: raw Python values (for counters and
         # candidate generation) and factorized integer codes (for literal
         # masks — a C-speed vector compare instead of a per-row loop).
-        # Code 0 is reserved for MISSING; values share one code space per
-        # table so variable literals compare codes directly.
+        # Code 0 is reserved for MISSING; values share one code space (per
+        # table without an index, graph-global with one) so variable
+        # literals compare codes directly.
         self._columns: Dict[Tuple[int, str], List[Any]] = {}
         self._codes: Dict[Tuple[int, str], np.ndarray] = {}
-        self._value_codes: Dict[Any, int] = {}
-        for variable in pattern.variables():
-            for attr in self.attributes:
-                column = [
-                    graph.get_attr(match[variable], attr, MISSING)
-                    for match in self.matches
-                ]
-                self._columns[(variable, attr)] = column
-                self._codes[(variable, attr)] = self._encode(column)
+        if index is not None:
+            if isinstance(matches, np.ndarray):
+                array = matches.reshape(-1, pattern.num_nodes)
+            elif len(matches):
+                array = np.asarray(matches, dtype=np.int64)
+            else:
+                array = np.empty((0, pattern.num_nodes), dtype=np.int64)
+            order = np.argsort(array[:, pivot_var], kind="stable")
+            array = np.ascontiguousarray(array[order])
+            self._match_array: Optional[np.ndarray] = array
+            self._matches: Optional[List[Match]] = None
+            self._pivot_array = array[:, pivot_var]
+            self._value_codes: Dict[Any, int] = index.code_of_value
+            num_rows = array.shape[0]
+            for variable in pattern.variables():
+                nodes = array[:, variable]
+                for attr in self.attributes:
+                    column_codes = index.attr_code_array(attr)
+                    self._codes[(variable, attr)] = (
+                        column_codes[nodes]
+                        if column_codes is not None
+                        else np.zeros(num_rows, dtype=np.int64)
+                    )
+        else:
+            self._matches = sorted(matches, key=lambda match: match[pivot_var])
+            self._match_array = None
+            self._pivot_array = np.asarray(
+                [match[pivot_var] for match in self._matches], dtype=np.int64
+            )
+            self._value_codes = {}
+            num_rows = len(self._matches)
+            for variable in pattern.variables():
+                for attr in self.attributes:
+                    column = [
+                        graph.get_attr(match[variable], attr, MISSING)
+                        for match in self._matches
+                    ]
+                    self._columns[(variable, attr)] = column
+                    self._codes[(variable, attr)] = self._encode(column)
+        self._num_rows = num_rows
+        self._pivots_list: Optional[List[int]] = None
         # lazily-computed row sets per literal: the lattice search reduces to
         # numpy boolean-mask operations instead of per-row Python loops.
-        self._pivot_array = np.asarray(self._pivots, dtype=np.int64)
-        if len(self._pivots) > 1:
-            boundary = np.empty(len(self._pivots), dtype=bool)
+        if num_rows > 1:
+            boundary = np.empty(num_rows, dtype=bool)
             boundary[0] = True
             boundary[1:] = self._pivot_array[1:] != self._pivot_array[:-1]
             self._pivot_run_starts = np.flatnonzero(boundary)
         else:
             self._pivot_run_starts = np.zeros(
-                1 if self._pivots else 0, dtype=np.int64
+                1 if num_rows else 0, dtype=np.int64
             )
-        self._full_mask = np.ones(len(self.matches), dtype=bool)
+        self._full_mask = np.ones(num_rows, dtype=bool)
         self._literal_masks: Dict[Literal, np.ndarray] = {}
         self._literal_rows: Dict[Literal, frozenset] = {}
         self._literal_pivots: Dict[Literal, frozenset] = {}
+        #: literal-mask cache audit: (hits, misses) over the table lifetime.
+        self.mask_cache_hits = 0
+        self.mask_cache_misses = 0
+
+    @classmethod
+    def from_index(
+        cls,
+        index: GraphIndex,
+        pattern: Pattern,
+        matches: Union[Sequence[Match], np.ndarray],
+        attributes: Sequence[str],
+        truncated: bool = False,
+    ) -> "MatchTable":
+        """Fast constructor: columns gathered from a frozen graph index."""
+        return cls(
+            index.graph, pattern, matches, attributes,
+            truncated=truncated, index=index,
+        )
 
     # ------------------------------------------------------------------
     @property
+    def matches(self) -> List[Match]:
+        """The pivot-sorted match tuples (materialized lazily on the index path)."""
+        if self._matches is None:
+            self._matches = [tuple(row) for row in self._match_array.tolist()]
+        return self._matches
+
+    @property
+    def match_array(self) -> np.ndarray:
+        """The pivot-sorted matches as an ``(N, num_vars)`` int64 array."""
+        if self._match_array is None:
+            if self._matches:
+                self._match_array = np.asarray(self._matches, dtype=np.int64)
+            else:
+                self._match_array = np.empty(
+                    (0, self.pattern.num_nodes), dtype=np.int64
+                )
+        return self._match_array
+
+    @property
+    def _pivots(self) -> List[int]:
+        """The per-row pivot nodes as a plain list (lazy)."""
+        if self._pivots_list is None:
+            self._pivots_list = self._pivot_array.tolist()
+        return self._pivots_list
+
+    @property
     def num_rows(self) -> int:
         """Number of matches in the table."""
-        return len(self.matches)
+        return self._num_rows
 
     def all_rows(self) -> List[int]:
         """Every row index."""
-        return list(range(len(self.matches)))
+        return list(range(self._num_rows))
 
     def column(self, variable: int, attr: str) -> List[Any]:
         """The value column for ``(variable, attr)`` (``MISSING`` sentinel)."""
-        return self._columns[(variable, attr)]
+        cached = self._columns.get((variable, attr))
+        if cached is None:
+            cached = self.index.decode_values(self._codes[(variable, attr)])
+            self._columns[(variable, attr)] = cached
+        return cached
 
     def pivot_of(self, row: int) -> int:
         """The pivot's graph node at ``row``."""
-        return self._pivots[row]
+        return int(self._pivot_array[row])
 
     def distinct_pivots(self, rows: Iterable[int]) -> Set[int]:
         """``{h(z) | row ∈ rows}`` — the support set of a row subset."""
@@ -166,7 +250,9 @@ class MatchTable:
         """
         cached = self._literal_masks.get(literal)
         if cached is not None:
+            self.mask_cache_hits += 1
             return cached
+        self.mask_cache_misses += 1
         if isinstance(literal, ConstantLiteral):
             codes = self._codes[(literal.var, literal.attr)]
             wanted = self._value_codes.get(literal.value, -1)
@@ -198,6 +284,27 @@ class MatchTable:
         if codes.size == 0:
             return 0
         return int(np.count_nonzero(codes[1:] != codes[:-1])) + 1
+
+    def mask_pivot_values(self, mask: np.ndarray) -> np.ndarray:
+        """The (non-distinct) pivot nodes of the selected rows.
+
+        Feeds sketch-based distinct estimation without exposing the
+        table's internal pivot layout to callers.
+        """
+        return self._pivot_array[mask]
+
+    def sketch_support_bound(
+        self, mask: np.ndarray, precision: int = 12, z: float = 3.0
+    ) -> int:
+        """A probable *upper bound* on :meth:`mask_support` via an HLL sketch.
+
+        Cheap pre-filter companion to the exact run count: a bound below a
+        threshold proves (with sketch confidence ``z``) the support is too,
+        while anything at or above it still needs :meth:`mask_support`.
+        """
+        from .support import sketch_distinct_upper_bound
+
+        return sketch_distinct_upper_bound(self._pivot_array[mask], precision, z)
 
     def stack_supports(self, stack: np.ndarray) -> np.ndarray:
         """Distinct-pivot counts per row of a 2-D boolean mask stack.
@@ -260,31 +367,52 @@ class MatchTable:
     # candidate literals (HSpawn's alphabet)
     # ------------------------------------------------------------------
     def constant_value_counts(self) -> Dict[Tuple[int, str], Counter]:
-        """Per-column value frequencies (mergeable across match shards)."""
+        """Per-column value frequencies (mergeable across match shards).
+
+        Computed by a ``np.unique`` group-by over the code column and a
+        decode of the (few) distinct codes — never a per-row Python loop.
+        """
         counts: Dict[Tuple[int, str], Counter] = {}
-        for key, column in self._columns.items():
-            counts[key] = Counter(value for value in column if value is not MISSING)
+        decode = (
+            self.index.value_of_code if self.index is not None else None
+        )
+        if decode is None:
+            # per-table code space: invert the interning dict once
+            decode = [MISSING] * (len(self._value_codes) + 1)
+            for value, code in self._value_codes.items():
+                decode[code] = value
+        for key, codes in self._codes.items():
+            counter: Counter = Counter()
+            if codes.size:
+                present = codes[codes != 0]
+                if present.size:
+                    values, tallies = np.unique(present, return_counts=True)
+                    for code, tally in zip(values.tolist(), tallies.tolist()):
+                        counter[decode[code]] = tally
+            counts[key] = counter
         return counts
 
     def variable_agreement_counts(
         self, same_attr_only: bool = True
     ) -> Dict[Tuple[int, str, int, str], int]:
-        """Per column pair: rows on which both columns agree (mergeable)."""
+        """Per column pair: rows on which both columns agree (mergeable).
+
+        Agreement is a vectorized code compare: codes share one space per
+        table (or graph-globally with an index), so value equality is code
+        equality, and code 0 (MISSING) never agrees.
+        """
         counts: Dict[Tuple[int, str, int, str], int] = {}
-        keys = sorted(self._columns)
+        keys = sorted(self._codes)
         for index, (var1, attr1) in enumerate(keys):
             for var2, attr2 in keys[index + 1:]:
                 if var1 == var2:
                     continue
                 if same_attr_only and attr1 != attr2:
                     continue
-                column1 = self._columns[(var1, attr1)]
-                column2 = self._columns[(var2, attr2)]
-                agreeing = sum(
-                    1
-                    for row in range(len(column1))
-                    if column1[row] is not MISSING
-                    and column1[row] == column2[row]
+                codes1 = self._codes[(var1, attr1)]
+                codes2 = self._codes[(var2, attr2)]
+                agreeing = int(
+                    np.count_nonzero((codes1 == codes2) & (codes1 != 0))
                 )
                 counts[(var1, attr1, var2, attr2)] = agreeing
         return counts
@@ -349,10 +477,19 @@ def constant_literals_from_counts(
     Ranking is deterministic: by descending count, then value text — the
     sequential and distributed paths therefore produce identical alphabets.
     """
+    import heapq
+
     literals: List[ConstantLiteral] = []
     for (variable, attr) in sorted(counts):
         counter = counts[(variable, attr)]
-        ranked = sorted(counter.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        if len(counter) > max_constants:
+            # narrow to values at or above the k-th largest count before
+            # paying the str() tie-break key on every value
+            threshold = heapq.nlargest(max_constants, counter.values())[-1]
+            pool = [kv for kv in counter.items() if kv[1] >= threshold]
+        else:
+            pool = list(counter.items())
+        ranked = sorted(pool, key=lambda kv: (-kv[1], str(kv[0])))
         for value, count in ranked[:max_constants]:
             if count >= min_rows:
                 literals.append(ConstantLiteral(variable, attr, value))

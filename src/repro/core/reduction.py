@@ -20,7 +20,7 @@ from typing import Dict, FrozenSet, List, Sequence, Tuple
 from ..gfd.gfd import GFD
 from ..gfd.literals import FalseLiteral, Literal, rename_literal
 from ..pattern.canonical import canonical_key, canonical_ordering
-from ..pattern.embedding import embeddings
+from ..pattern.embedding import cached_embeddings
 from ..pattern.pattern import WILDCARD, Pattern
 
 __all__ = ["gfd_reduces", "normalize_gfd", "gfd_identity", "minimal_cover_by_reduction"]
@@ -59,7 +59,9 @@ def gfd_reduces(smaller: GFD, larger: GFD) -> bool:
     """
     if isinstance(smaller.rhs, FalseLiteral) != isinstance(larger.rhs, FalseLiteral):
         return False
-    for mapping in embeddings(smaller.pattern, larger.pattern, pivot_preserving=True):
+    for mapping in cached_embeddings(
+        smaller.pattern, larger.pattern, pivot_preserving=True
+    ):
         mapped_lhs = frozenset(rename_literal(l, mapping) for l in smaller.lhs)
         if not mapped_lhs <= larger.lhs:
             continue
@@ -177,15 +179,20 @@ def minimal_cover_by_reduction(gfds: Sequence[GFD]) -> List[GFD]:
         unique.setdefault(gfd_identity(gfd), gfd)
     items = list(unique.values())
     signatures = [_reduction_signature(gfd) for gfd in items]
+    # only same-RHS-signature pairs can be ≪-comparable: bucket up front so
+    # the quadratic scan runs per bucket instead of over the full set
+    by_rhs: Dict[Tuple, List[int]] = {}
+    for index, signature in enumerate(signatures):
+        by_rhs.setdefault(signature[3], []).append(index)
     survivors: List[GFD] = []
     for index, gfd in enumerate(items):
         dominated = False
-        for other_index, other in enumerate(items):
+        for other_index in by_rhs[signatures[index][3]]:
             if other_index == index:
                 continue
             if not _may_reduce(signatures[other_index], signatures[index]):
                 continue
-            if gfd_reduces(other, gfd):
+            if gfd_reduces(items[other_index], gfd):
                 dominated = True
                 break
         if not dominated:

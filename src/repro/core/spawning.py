@@ -21,11 +21,14 @@ the distributed runs then spawn *exactly* the same patterns as ``SeqDis``.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..graph.graph import Graph
+from ..graph.index import GraphIndex, sort_unique
 from ..graph.statistics import GraphStatistics
-from ..pattern.incremental import Extension
+from ..pattern.incremental import Extension, _as_match_array
 from ..pattern.matcher import Match
 from ..pattern.pattern import WILDCARD, Pattern
 from .config import DiscoveryConfig
@@ -77,6 +80,7 @@ def extension_statistics(
     pattern: Pattern,
     matches: Iterable[Match],
     can_add_node: bool,
+    index: Optional[GraphIndex] = None,
 ) -> ExtensionStatistics:
     """Collect extension tallies from a batch of matches of ``pattern``.
 
@@ -84,7 +88,13 @@ def extension_statistics(
     incident graph edge either closes a pair of matched variables (candidate
     closing edge, if not already a pattern edge) or reaches an unmatched
     endpoint (candidate new-node extension).
+
+    With ``index`` the whole batch is tallied by one ragged CSR gather per
+    (variable, direction) and an integer group-by, producing the *identical*
+    :class:`ExtensionStatistics` (same keys, same pivot sets) at array speed.
     """
+    if index is not None:
+        return _extension_statistics_indexed(index, pattern, matches, can_add_node)
     stats = ExtensionStatistics()
     pattern_edges = pattern.edge_set()
     pivot_var = pattern.pivot
@@ -111,6 +121,122 @@ def extension_statistics(
                 endpoint = graph.node_label(neighbor)
                 for label in labels:
                     stats.new_node[(variable, False, label, endpoint)].add(pivot)
+    return stats
+
+
+def _group_pivot_sets(
+    keys: np.ndarray, pivots: np.ndarray, num_nodes: int
+) -> Iterable[Tuple[int, Set[int]]]:
+    """Group ``(key, pivot)`` pairs into per-key distinct-pivot sets.
+
+    One sort-based ``np.unique`` over the combined integer replaces the
+    per-row set insertion of the dict path.
+    """
+    if keys.size == 0:
+        return
+    combined = sort_unique(keys * num_nodes + pivots)
+    unique_keys = combined // num_nodes
+    unique_pivots = combined % num_nodes
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], unique_keys[1:] != unique_keys[:-1]))
+    )
+    ends = np.concatenate((boundaries[1:], [combined.size]))
+    for start, end in zip(boundaries.tolist(), ends.tolist()):
+        yield int(unique_keys[start]), set(unique_pivots[start:end].tolist())
+
+
+def _extension_statistics_indexed(
+    index: GraphIndex,
+    pattern: Pattern,
+    matches: Iterable[Match],
+    can_add_node: bool,
+) -> ExtensionStatistics:
+    """Array-speed twin of the per-match ``extension_statistics`` scan."""
+    stats = ExtensionStatistics()
+    num_vars = pattern.num_nodes
+    array = _as_match_array(
+        matches if isinstance(matches, (np.ndarray, list)) else list(matches),
+        num_vars,
+    )
+    if array.shape[0] == 0:
+        return stats
+    num_nodes = index.num_nodes
+    num_edge_labels = max(1, len(index.edge_label_values))
+    num_node_labels = max(1, len(index.node_label_values))
+    pivots = array[:, pattern.pivot]
+
+    # pattern edges as excluded closing keys (labels absent from the graph
+    # can never be tallied, so unmapped labels are simply dropped)
+    excluded: List[int] = []
+    for src, dst, label in pattern.edge_set():
+        code = index.edge_label_code_of.get(label)
+        if code is not None:
+            excluded.append((src * num_vars + dst) * num_edge_labels + code)
+    excluded_keys = np.asarray(sorted(excluded), dtype=np.int64)
+
+    closing_key_parts: List[np.ndarray] = []
+    closing_pivot_parts: List[np.ndarray] = []
+    new_key_parts: List[np.ndarray] = []
+    new_pivot_parts: List[np.ndarray] = []
+
+    for variable in range(num_vars):
+        column = array[:, variable]
+        for outward in (True, False):
+            if not outward and not can_add_node:
+                break  # in-edges only ever produce new-node tallies
+            row, neighbors, labels = index.gather_neighborhoods(column, outward)
+            if row.size == 0:
+                continue
+            # which mapped variable (if any) each neighbor hits — matches
+            # are injective, so at most one variable can match
+            other_variable = np.full(row.size, -1, dtype=np.int64)
+            for candidate in range(num_vars):
+                hit = neighbors == array[row, candidate]
+                if hit.any():
+                    other_variable[hit] = candidate
+            in_match = other_variable >= 0
+            if outward:
+                if in_match.any():
+                    keys = (
+                        variable * num_vars + other_variable[in_match]
+                    ) * num_edge_labels + labels[in_match]
+                    pivs = pivots[row[in_match]]
+                    if excluded_keys.size:
+                        keep = ~np.isin(keys, excluded_keys)
+                        keys, pivs = keys[keep], pivs[keep]
+                    closing_key_parts.append(keys)
+                    closing_pivot_parts.append(pivs)
+                if not can_add_node:
+                    continue
+            free = ~in_match
+            if not free.any():
+                continue
+            endpoint = index.node_label_codes[neighbors[free]]
+            keys = (
+                (variable * 2 + (1 if outward else 0)) * num_edge_labels
+                + labels[free]
+            ) * num_node_labels + endpoint
+            new_key_parts.append(keys)
+            new_pivot_parts.append(pivots[row[free]])
+
+    if closing_key_parts:
+        keys = np.concatenate(closing_key_parts)
+        pivs = np.concatenate(closing_pivot_parts)
+        for key, pivot_set in _group_pivot_sets(keys, pivs, num_nodes):
+            label = index.edge_label_values[key % num_edge_labels]
+            pair = key // num_edge_labels
+            stats.closing[(pair // num_vars, pair % num_vars, label)] = pivot_set
+    if new_key_parts:
+        keys = np.concatenate(new_key_parts)
+        pivs = np.concatenate(new_pivot_parts)
+        for key, pivot_set in _group_pivot_sets(keys, pivs, num_nodes):
+            endpoint = index.node_label_values[key % num_node_labels]
+            rest = key // num_node_labels
+            label = index.edge_label_values[rest % num_edge_labels]
+            prefix = rest // num_edge_labels
+            stats.new_node[
+                (prefix // 2, bool(prefix % 2), label, endpoint)
+            ] = pivot_set
     return stats
 
 
@@ -291,7 +417,10 @@ def wildcard_extensions_from_statistics(
 
 
 def data_driven_extensions(
-    graph: Graph, node: TreeNode, config: DiscoveryConfig
+    graph: Graph,
+    node: TreeNode,
+    config: DiscoveryConfig,
+    index: Optional[GraphIndex] = None,
 ) -> List[Extension]:
     """Sequential convenience: tally the node's whole table and filter."""
     if node.table is None:
@@ -299,14 +428,18 @@ def data_driven_extensions(
     stats = extension_statistics(
         graph,
         node.pattern,
-        node.table.matches,
+        node.table.match_array if index is not None else node.table.matches,
         can_add_node=node.pattern.num_nodes < config.k,
+        index=index,
     )
     return extensions_from_statistics(node.pattern, stats, config)
 
 
 def wildcard_extensions(
-    graph: Graph, node: TreeNode, config: DiscoveryConfig
+    graph: Graph,
+    node: TreeNode,
+    config: DiscoveryConfig,
+    index: Optional[GraphIndex] = None,
 ) -> List[Extension]:
     """Sequential convenience for wildcard upgrades over the node's table."""
     if not config.enable_wildcards or node.table is None:
@@ -314,7 +447,11 @@ def wildcard_extensions(
     if node.pattern.num_nodes >= config.k:
         return []
     stats = extension_statistics(
-        graph, node.pattern, node.table.matches, can_add_node=True
+        graph,
+        node.pattern,
+        node.table.match_array if index is not None else node.table.matches,
+        can_add_node=True,
+        index=index,
     )
     return wildcard_extensions_from_statistics(node.pattern, stats, config)
 

@@ -21,9 +21,10 @@ tag them, and a clash of tags is a conflict.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
-from ..pattern.embedding import embeddings
+from ..pattern.embedding import cached_embeddings
 from ..pattern.pattern import Pattern
 from .gfd import GFD
 from .literals import (
@@ -146,13 +147,28 @@ def embedded_rules(
     """
     rules: List[Tuple[frozenset, Literal]] = []
     for gfd in sigma:
-        for mapping in embeddings(
-            gfd.pattern, pattern, max_results=max_embeddings_per_gfd
-        ):
-            lhs = frozenset(rename_literal(l, mapping) for l in gfd.lhs)
-            rhs = rename_literal(gfd.rhs, mapping)
-            rules.append((lhs, rhs))
+        rules.extend(
+            _embedded_rules_single(gfd, pattern, max_embeddings_per_gfd)
+        )
     return rules
+
+
+@lru_cache(maxsize=262144)
+def _embedded_rules_single(
+    gfd: "GFD", pattern: Pattern, cap: int
+) -> Tuple[Tuple[frozenset, Literal], ...]:
+    """Instantiated rules of one GFD over one host pattern (memoized).
+
+    GFDs and patterns are immutable and cover checking revisits the same
+    (GFD, pattern) pairs once per candidate exclusion — global memoization
+    collapses that to one instantiation per pair.
+    """
+    rules: List[Tuple[frozenset, Literal]] = []
+    for mapping in cached_embeddings(gfd.pattern, pattern, max_results=cap):
+        lhs = frozenset(rename_literal(l, mapping) for l in gfd.lhs)
+        rhs = rename_literal(gfd.rhs, mapping)
+        rules.append((lhs, rhs))
+    return tuple(rules)
 
 
 def chase(

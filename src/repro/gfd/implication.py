@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
+from ..pattern.embedding import may_embed
 from ..pattern.pattern import Pattern
 from .closure import chase, embedded_rules
 from .gfd import GFD
@@ -66,6 +67,8 @@ class ImplicationChecker:
         if rules is None:
             rules = []
             for index, gfd in enumerate(self._sigma):
+                if not may_embed(gfd.pattern, pattern):
+                    continue  # label-multiset prefilter: no embedding exists
                 for lhs, rhs in embedded_rules([gfd], pattern):
                     rules.append((index, lhs, rhs))
             self._cache[key] = rules

@@ -10,6 +10,7 @@ from .io import (
     save_json,
     save_tsv,
 )
+from .index import GraphIndex
 from .partition import Fragment, fragment_graph, partition_edges
 from .statistics import GraphStatistics, compute_statistics
 
@@ -17,6 +18,7 @@ __all__ = [
     "Edge",
     "Graph",
     "GraphBuilder",
+    "GraphIndex",
     "GraphStatistics",
     "Fragment",
     "compute_statistics",

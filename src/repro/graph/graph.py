@@ -51,6 +51,8 @@ class Graph:
         "_label_index",
         "_edge_label_count",
         "_num_edges",
+        "_version",
+        "_index_cache",
     )
 
     def __init__(self) -> None:
@@ -62,12 +64,44 @@ class Graph:
         self._label_index: Dict[str, List[int]] = {}
         self._edge_label_count: Dict[str, int] = {}
         self._num_edges = 0
+        self._version = 0
+        self._index_cache = None
+
+    # ------------------------------------------------------------------
+    # mutation tracking (frozen-index invalidation)
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter; any structural/attribute change bumps it."""
+        return self._version
+
+    def _touch(self) -> None:
+        """Record a mutation: bump the version and drop the cached index."""
+        self._version += 1
+        self._index_cache = None
+
+    def index(self):
+        """The frozen :class:`~repro.graph.index.GraphIndex` of this graph.
+
+        Cached per mutation version: the first call after any mutation
+        rebuilds, later calls reuse the snapshot.  Hot paths (matching,
+        spawning, match tables) consume this index; the mutable dict
+        structure stays authoritative for construction and editing.
+        """
+        cached = self._index_cache
+        if cached is None or cached.version != self._version:
+            from .index import GraphIndex
+
+            cached = GraphIndex.build(self)
+            self._index_cache = cached
+        return cached
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def add_node(self, label: str, attrs: Optional[Dict[str, Any]] = None) -> int:
         """Add a node with the given label and attribute dict; return its id."""
+        self._touch()
         node = len(self._labels)
         self._labels.append(label)
         self._attrs.append(dict(attrs) if attrs else {})
@@ -83,6 +117,7 @@ class Graph:
         out_labels = self._out[src].setdefault(dst, set())
         if label in out_labels:
             return False
+        self._touch()
         out_labels.add(label)
         self._in[dst].setdefault(src, set()).add(label)
         self._edge_label_count[label] = self._edge_label_count.get(label, 0) + 1
@@ -94,6 +129,7 @@ class Graph:
         labels = self._out[src].get(dst)
         if labels is None or label not in labels:
             return False
+        self._touch()
         labels.discard(label)
         if not labels:
             del self._out[src][dst]
@@ -110,11 +146,14 @@ class Graph:
     def set_attr(self, node: int, attr: str, value: Any) -> None:
         """Set attribute ``attr`` of ``node`` to ``value``."""
         self._check_node(node)
+        self._touch()
         self._attrs[node][attr] = value
 
     def remove_attr(self, node: int, attr: str) -> None:
         """Delete attribute ``attr`` from ``node`` if present."""
-        self._attrs[node].pop(attr, None)
+        if attr in self._attrs[node]:
+            self._touch()
+            del self._attrs[node][attr]
 
     def relabel_node(self, node: int, label: str) -> None:
         """Change the label of ``node`` (updates the label index)."""
@@ -122,6 +161,7 @@ class Graph:
         old = self._labels[node]
         if old == label:
             return
+        self._touch()
         bucket = self._label_index[old]
         bucket.remove(node)
         if not bucket:

@@ -99,8 +99,10 @@ class ParallelDiscovery(SequentialDiscovery):
         num_workers: int,
         balance: bool = True,
         cluster: Optional[SimulatedCluster] = None,
+        stats=None,
+        index=None,
     ) -> None:
-        super().__init__(graph, config)
+        super().__init__(graph, config, stats=stats, index=index)
         self.cluster = cluster or SimulatedCluster(num_workers)
         self.balance = balance
         # per tree-node shards: node id -> per-worker match lists / tables
@@ -183,7 +185,11 @@ class ParallelDiscovery(SequentialDiscovery):
             for worker in range(self.num_workers):
                 def build(worker: int = worker):
                     table = MatchTable(
-                        self.graph, node.pattern, shards[worker], self.gamma
+                        self.graph,
+                        node.pattern,
+                        shards[worker],
+                        self.gamma,
+                        index=self.index,
                     )
                     if not mined:
                         return table, {}, {}
@@ -211,6 +217,7 @@ class ParallelDiscovery(SequentialDiscovery):
             node.pattern,
             [match for shard in shards for match in shard],
             [],
+            index=self.index,
         )
 
     def _spawn_extensions(self, parent: TreeNode) -> List[Extension]:
@@ -228,7 +235,11 @@ class ParallelDiscovery(SequentialDiscovery):
                 def tally(worker: int = worker):
                     return counts_from_statistics(
                         extension_statistics(
-                            self.graph, parent.pattern, shards[worker], can_add
+                            self.graph,
+                            parent.pattern,
+                            shards[worker],
+                            can_add,
+                            index=self.index,
                         )
                     )
                 parts.append(step.run(worker, tally))
@@ -305,7 +316,10 @@ class ParallelDiscovery(SequentialDiscovery):
                         per_ext_supports: List[int] = []
                         for node, extension in novel:
                             matches = extend_matches(
-                                self.graph, parent_shards[worker], extension
+                                self.graph,
+                                parent_shards[worker],
+                                extension,
+                                index=self.index,
                             )
                             pivot_var = node.pattern.pivot
                             per_ext_matches.append(matches)
@@ -649,10 +663,21 @@ def discover_parallel(
     config: Optional[DiscoveryConfig] = None,
     num_workers: int = 4,
     balance: bool = True,
+    stats=None,
+    index=None,
 ) -> Tuple[DiscoveryResult, SimulatedCluster]:
-    """Run ``ParDis`` and return (result, metered cluster)."""
+    """Run ``ParDis`` and return (result, metered cluster).
+
+    ``stats``/``index`` accept precomputed graph snapshots so worker sweeps
+    (Figures 5a-c) don't rescan the same graph once per worker count.
+    """
     runner = ParallelDiscovery(
-        graph, config or DiscoveryConfig(), num_workers, balance=balance
+        graph,
+        config or DiscoveryConfig(),
+        num_workers,
+        balance=balance,
+        stats=stats,
+        index=index,
     )
     result = runner.run()
     return result, runner.cluster

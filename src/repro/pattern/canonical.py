@@ -14,6 +14,7 @@ into the key.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import permutations
 from typing import Dict, Iterator, List, Sequence, Tuple
 
@@ -80,8 +81,13 @@ def _encode(pattern: Pattern, ordering: Sequence[int]) -> CanonicalKey:
     return (labels, edges)
 
 
+@lru_cache(maxsize=131072)
 def canonical_key(pattern: Pattern) -> CanonicalKey:
-    """A key equal for exactly the pivot-preserving-isomorphic patterns."""
+    """A key equal for exactly the pivot-preserving-isomorphic patterns.
+
+    Memoized: patterns are immutable and the discovery/cover pipelines ask
+    for the same pattern's key many times (tree merges, grouping, identity).
+    """
     invariant = _refinement_invariant(pattern)
     best: CanonicalKey | None = None
     for ordering in _class_orderings(pattern, invariant):

@@ -14,11 +14,18 @@ outer pattern only satisfies a wildcard requirement.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from .pattern import WILDCARD, Pattern, label_matches
 
-__all__ = ["embeddings", "is_embedded", "embeds_strictly"]
+__all__ = [
+    "embeddings",
+    "cached_embeddings",
+    "may_embed",
+    "is_embedded",
+    "embeds_strictly",
+]
 
 #: An embedding: image in the outer pattern per inner-pattern variable.
 Embedding = Tuple[int, ...]
@@ -41,7 +48,7 @@ def embeddings(
 
     Yields tuples ``f`` with ``f[u]`` the outer variable for inner ``u``.
     """
-    if inner.num_nodes > outer.num_nodes or inner.num_edges > outer.num_edges:
+    if not may_embed(inner, outer):
         return
 
     # adjacency of outer for O(1) edge lookups: (src, dst) -> set of labels
@@ -122,6 +129,58 @@ def embeddings(
     yield from backtrack(0)
 
 
+@lru_cache(maxsize=131072)
+def _label_multisets(pattern: Pattern) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """Concrete (non-wildcard) node/edge label counts of a pattern."""
+    nodes: Dict[str, int] = {}
+    for label in pattern.labels:
+        if label != WILDCARD:
+            nodes[label] = nodes.get(label, 0) + 1
+    edges: Dict[str, int] = {}
+    for edge in pattern.edges:
+        if edge.label != WILDCARD:
+            edges[edge.label] = edges.get(edge.label, 0) + 1
+    return nodes, edges
+
+
+def may_embed(inner: Pattern, outer: Pattern) -> bool:
+    """Cheap necessary conditions for any embedding of inner into outer.
+
+    A concrete inner label only maps onto the *same* outer label, so every
+    concrete label must appear in the outer pattern at least as often.
+    Rejects the overwhelming majority of incomparable pattern pairs before
+    the backtracking search allocates anything.
+    """
+    if inner.num_nodes > outer.num_nodes or inner.num_edges > outer.num_edges:
+        return False
+    inner_nodes, inner_edges = _label_multisets(inner)
+    outer_nodes, outer_edges = _label_multisets(outer)
+    for label, count in inner_nodes.items():
+        if outer_nodes.get(label, 0) < count:
+            return False
+    for label, count in inner_edges.items():
+        if outer_edges.get(label, 0) < count:
+            return False
+    return True
+
+
+@lru_cache(maxsize=131072)
+def cached_embeddings(
+    inner: Pattern,
+    outer: Pattern,
+    pivot_preserving: bool = False,
+    max_results: Optional[int] = None,
+) -> Tuple[Embedding, ...]:
+    """Materialized :func:`embeddings`, memoized on the pattern pair.
+
+    Patterns are immutable and hash structurally, and cover/implication
+    checking re-enumerates the same (inner, outer) pairs once per GFD pair —
+    memoization turns the quadratic re-enumeration into a dictionary hit.
+    """
+    return tuple(embeddings(inner, outer, pivot_preserving, max_results))
+
+
+@lru_cache(maxsize=131072)
 def is_embedded(inner: Pattern, outer: Pattern, pivot_preserving: bool = False) -> bool:
     """Whether at least one embedding of ``inner`` into ``outer`` exists."""
     for _ in embeddings(inner, outer, pivot_preserving, max_results=1):

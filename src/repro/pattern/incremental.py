@@ -11,13 +11,19 @@ operation workers execute).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..graph.graph import Graph
+from ..graph.index import GraphIndex
 from .matcher import Match
 from .pattern import WILDCARD, Pattern
 
 __all__ = ["Extension", "apply_extension", "extend_match", "extend_matches"]
+
+#: A batch of matches: list of tuples, or an ``(N, num_vars)`` int64 array.
+MatchBatch = Union[Sequence[Match], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -98,15 +104,179 @@ def extend_match(
 
 def extend_matches(
     graph: Graph,
-    matches: Sequence[Match],
+    matches: MatchBatch,
     extension: Extension,
     max_matches: Optional[int] = None,
-) -> List[Match]:
-    """Join a batch of base matches with the extension edge."""
+    index: Optional[GraphIndex] = None,
+    as_array: bool = False,
+) -> MatchBatch:
+    """Join a batch of base matches with the extension edge.
+
+    With ``index`` the whole batch is joined by vectorized numpy set-ops
+    (one edge-existence ``searchsorted`` for a closing edge; one ragged
+    neighborhood gather + label-mask for a new-node fan-out) instead of the
+    per-match Python loop.  The uncapped result *set* equals the dict
+    path's; per-match neighbor order differs (CSR vs dict insertion), so a
+    binding ``max_matches`` may keep a different truncated subset.
+
+    ``as_array`` (index path only) returns the ``(N, vars)`` int64 array
+    directly — the sequential engine keeps batches in array form end-to-end.
+    """
+    if index is not None:
+        result_array = _extend_matches_indexed(index, matches, extension, max_matches)
+        if as_array:
+            return result_array
+        return [tuple(row) for row in result_array.tolist()]
     result: List[Match] = []
     for match in matches:
         for extended in extend_match(graph, match, extension):
             result.append(extended)
             if max_matches is not None and len(result) >= max_matches:
                 return result
+    return result
+
+
+def _as_match_array(matches: MatchBatch, width: int) -> np.ndarray:
+    """Coerce a match batch into a 2-D int64 array (``width`` is a floor).
+
+    Non-empty inputs carry their real width; ``width`` only sizes the empty
+    case (any width ≥ the extension's requirement joins to an empty result).
+    """
+    if isinstance(matches, np.ndarray):
+        if matches.ndim == 2:
+            return matches
+        return matches.reshape(-1, width)
+    if not len(matches):
+        return np.empty((0, width), dtype=np.int64)
+    return np.asarray(matches, dtype=np.int64)
+
+
+def _extend_matches_indexed(
+    index: GraphIndex,
+    matches: MatchBatch,
+    extension: Extension,
+    max_matches: Optional[int],
+) -> np.ndarray:
+    """Vectorized join of a whole match batch with one extension edge."""
+    # the batch width: a new-node extension's fresh variable is ``dst``, so
+    # the parent batch has exactly ``dst`` columns; a closing edge needs at
+    # least ``max(src, dst) + 1`` (non-empty batches carry the real width).
+    if extension.is_closing:
+        width = max(extension.src, extension.dst) + 1
+    else:
+        width = extension.dst
+    array = _as_match_array(matches, width)
+    out_width = array.shape[1] + (0 if extension.is_closing else 1)
+    if array.shape[0] == 0:
+        return np.empty((0, out_width), dtype=np.int64)
+
+    if extension.is_closing:
+        label = extension.edge_label
+        if label == WILDCARD:
+            code = -1
+        else:
+            code = index.edge_label_code(label)
+            if code < 0:
+                return np.empty((0, array.shape[1]), dtype=np.int64)
+        mask = index.edges_exist(
+            array[:, extension.src], array[:, extension.dst], code
+        )
+        result = array[mask]
+        if max_matches is not None and result.shape[0] > max_matches:
+            result = result[:max_matches]
+        return result
+
+    # new-node fan-out: group rows by anchor node, compute each distinct
+    # anchor's filtered candidate list once, then expand per row.
+    edge_code = -1
+    if extension.edge_label != WILDCARD:
+        edge_code = index.edge_label_code(extension.edge_label)
+        if edge_code < 0:
+            return np.empty((0, array.shape[1] + 1), dtype=np.int64)
+    node_code = -1
+    if extension.new_node_label != WILDCARD:
+        node_code = index.node_label_code(extension.new_node_label)
+        if node_code < 0:
+            return np.empty((0, array.shape[1] + 1), dtype=np.int64)
+
+    anchors = array[:, extension.src]
+    unique_anchors, inverse = np.unique(anchors, return_inverse=True)
+    # one ragged gather over the distinct anchors, filtered by label masks;
+    # the boolean keep preserves row-major order, so the flat pool stays
+    # grouped by anchor
+    anchor_row, flat_pool, flat_labels = index.gather_neighborhoods(
+        unique_anchors, extension.outward
+    )
+    keep = np.ones(flat_pool.size, dtype=bool)
+    if edge_code >= 0:
+        keep &= flat_labels == edge_code
+    if node_code >= 0:
+        keep &= index.node_label_codes[flat_pool] == node_code
+    anchor_row = anchor_row[keep]
+    flat_pool = flat_pool[keep]
+    if edge_code < 0 and flat_pool.size > 1:
+        # wildcard edge label: parallel edges list the same endpoint once
+        # per label; dedup per (anchor, neighbor) like dict-adjacency keys
+        # (entries stay (anchor, neighbor, label)-sorted, so dups adjoin)
+        distinct = np.empty(flat_pool.size, dtype=bool)
+        distinct[0] = True
+        np.not_equal(flat_pool[1:], flat_pool[:-1], out=distinct[1:])
+        distinct[1:] |= anchor_row[1:] != anchor_row[:-1]
+        anchor_row = anchor_row[distinct]
+        flat_pool = flat_pool[distinct]
+    pool_lengths = np.bincount(anchor_row, minlength=len(unique_anchors))
+    pool_offsets = np.cumsum(pool_lengths) - pool_lengths
+    counts = pool_lengths[inverse]
+    width = array.shape[1]
+    empty = np.empty((0, width + 1), dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return empty
+
+    def expand(row_lo: int, row_hi: int) -> np.ndarray:
+        """Fan out the input rows ``[row_lo, row_hi)`` and filter injectivity."""
+        block_counts = counts[row_lo:row_hi]
+        block_total = int(block_counts.sum())
+        if block_total == 0:
+            return empty
+        row = np.repeat(np.arange(row_lo, row_hi, dtype=np.int64), block_counts)
+        exclusive = np.cumsum(block_counts) - block_counts
+        position = (
+            np.arange(block_total, dtype=np.int64)
+            - np.repeat(exclusive, block_counts)
+            + np.repeat(pool_offsets[inverse[row_lo:row_hi]], block_counts)
+        )
+        new_nodes = flat_pool[position]
+        # injectivity: the new endpoint must differ from every mapped variable
+        valid = np.ones(block_total, dtype=bool)
+        for variable in range(width):
+            valid &= new_nodes != array[row, variable]
+        row = row[valid]
+        new_nodes = new_nodes[valid]
+        return np.concatenate([array[row], new_nodes[:, None]], axis=1)
+
+    # max_matches is a blow-up guard: never materialize a join that is far
+    # beyond the cap — expand in bounded blocks and stop once the cap fills
+    budget = None if max_matches is None else max(4 * max_matches, 1 << 20)
+    if budget is None or total <= budget:
+        result = expand(0, array.shape[0])
+        if max_matches is not None and result.shape[0] > max_matches:
+            result = result[:max_matches]
+        return result
+    cumulative = np.cumsum(counts)
+    parts: List[np.ndarray] = []
+    collected = 0
+    row_lo = 0
+    num_rows = array.shape[0]
+    while row_lo < num_rows and collected < max_matches:
+        base = int(cumulative[row_lo - 1]) if row_lo else 0
+        row_hi = int(np.searchsorted(cumulative, base + budget, side="right"))
+        row_hi = max(row_hi, row_lo + 1)
+        block = expand(row_lo, row_hi)
+        parts.append(block)
+        collected += block.shape[0]
+        row_lo = row_hi
+    result = np.concatenate(parts) if parts else empty
+    if result.shape[0] > max_matches:
+        result = result[:max_matches]
     return result

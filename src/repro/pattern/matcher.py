@@ -14,13 +14,23 @@ allowed (the match subgraph consists of exactly the images of pattern edges).
 The matcher is a VF2-style backtracking search with a connectivity-driven
 search plan and label-index candidate seeding.  It is the hot loop of the
 whole library; keep it allocation-light.
+
+Two data-access backends exist: the mutable graph's dict adjacency, and —
+when a frozen :class:`~repro.graph.index.GraphIndex` is passed — flat CSR
+arrays, where candidate pools are vectorized label masks over CSR slices
+and *all* back-edge consistency checks for a pool happen as one batched
+``np.searchsorted`` over the sorted edge keys instead of per-candidate dict
+probes.  Both backends enumerate the same match set.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..graph.graph import Graph
+from ..graph.index import GraphIndex
 from .pattern import WILDCARD, Pattern, label_matches
 
 __all__ = [
@@ -100,6 +110,7 @@ def find_matches(
     seeds: Optional[Iterable[int]] = None,
     max_matches: Optional[int] = None,
     root: Optional[int] = None,
+    index: Optional[GraphIndex] = None,
 ) -> Iterator[Match]:
     """Enumerate matches of ``pattern`` in ``graph``.
 
@@ -110,6 +121,8 @@ def find_matches(
             graph nodes — used for pivot-local matching.
         max_matches: stop after this many matches (None = all).
         root: which variable anchors the search (default: the pivot).
+        index: optional frozen index of ``graph``; switches candidate
+            generation and back-edge checks to the vectorized CSR backend.
 
     Yields match tuples (graph node per variable, in variable order).
     """
@@ -137,6 +150,19 @@ def find_matches(
         for pair, edge_labels in parallel.items()
         if len(edge_labels) > 1
     }
+
+    if index is not None:
+        yield from _find_matches_indexed(
+            index,
+            pattern,
+            order,
+            back_edges,
+            parallel_groups,
+            position_of,
+            seeds,
+            max_matches,
+        )
+        return
 
     assignment: List[int] = [-1] * pattern.num_nodes
     used: Set[int] = set()
@@ -226,16 +252,158 @@ def find_matches(
     yield from backtrack(0)
 
 
-def count_matches(graph: Graph, pattern: Pattern, limit: Optional[int] = None) -> int:
+def _find_matches_indexed(
+    index: GraphIndex,
+    pattern: Pattern,
+    order: List[int],
+    back_edges: List[List[Tuple[int, str, bool]]],
+    parallel_groups: Dict[Tuple[int, int], List[str]],
+    position_of: Dict[int, int],
+    seeds: Optional[Iterable[int]],
+    max_matches: Optional[int],
+) -> Iterator[Match]:
+    """CSR-backed backtracking: vectorized pools + batched edge checks.
+
+    Per plan position, the cheapest back edge drives a CSR-slice candidate
+    pool; the *remaining* back edges are then applied to the whole pool as
+    batched ``searchsorted`` existence masks, and the label requirement as
+    one integer-compare mask — the per-candidate ``edges_consistent`` loop
+    of the dict backend collapses into a handful of array ops.
+    """
+    labels = pattern.labels
+    node_codes = index.node_label_codes
+    empty_pool = np.empty(0, dtype=np.int64)
+
+    # back edges with pre-resolved edge-label codes; an absent concrete
+    # label means the position can never be satisfied (code None)
+    back_info: List[List[Tuple[int, Optional[int], bool]]] = []
+    for position_edges in back_edges:
+        infos: List[Tuple[int, Optional[int], bool]] = []
+        for mapped_var, edge_label, is_out in position_edges:
+            if edge_label == WILDCARD:
+                code: Optional[int] = -1
+            else:
+                resolved = index.edge_label_code(edge_label)
+                code = resolved if resolved >= 0 else None
+            infos.append((mapped_var, code, is_out))
+        back_info.append(infos)
+
+    def label_filter(pool: np.ndarray, required_label: str) -> np.ndarray:
+        if required_label == WILDCARD or pool.size == 0:
+            return pool
+        code = index.node_label_code(required_label)
+        if code < 0:
+            return empty_pool
+        return pool[node_codes[pool] == code]
+
+    root_var = order[0]
+    if seeds is not None:
+        seed_pool = (
+            seeds
+            if isinstance(seeds, np.ndarray)
+            else np.asarray(list(seeds), dtype=np.int64)
+        )
+        root_pool = label_filter(seed_pool, labels[root_var])
+    elif labels[root_var] == WILDCARD:
+        root_pool = np.arange(index.num_nodes, dtype=np.int64)
+    else:
+        root_pool = index.nodes_with_label(labels[root_var])
+
+    assignment: List[int] = [-1] * pattern.num_nodes
+    used: Set[int] = set()
+    emitted = 0
+
+    def candidates_for(position: int) -> np.ndarray:
+        infos = back_info[position]
+        chosen = None
+        chosen_pool = None
+        for which, (mapped_var, code, is_out) in enumerate(infos):
+            if code is None:
+                return empty_pool
+            # pattern edge candidate -> mapped (is_out): candidates are the
+            # in-neighbors of the mapped node, and vice versa
+            pool = index.neighbors(
+                int(assignment[mapped_var]), not is_out, code
+            )
+            if chosen_pool is None or len(pool) < len(chosen_pool):
+                chosen, chosen_pool = which, pool
+                if len(pool) == 0:
+                    return empty_pool
+        assert chosen_pool is not None
+        pool = chosen_pool
+        for which, (mapped_var, code, is_out) in enumerate(infos):
+            if which == chosen or pool.size == 0:
+                continue
+            mapped_node = int(assignment[mapped_var])
+            if is_out:
+                mask = index.edges_exist(pool, mapped_node, code)
+            else:
+                mask = index.edges_exist(
+                    np.full(pool.size, mapped_node, dtype=np.int64), pool, code
+                )
+            pool = pool[mask]
+        return label_filter(pool, labels[order[position]])
+
+    def parallel_ok(position: int, node: int) -> bool:
+        variable = order[position]
+        for (src, dst), group_labels in parallel_groups.items():
+            if position_of[src] <= position and position_of[dst] <= position:
+                s_node = node if src == variable else assignment[src]
+                d_node = node if dst == variable else assignment[dst]
+                if s_node == -1 or d_node == -1:
+                    continue
+                if not _parallel_edges_ok(
+                    group_labels, index.edge_labels(int(s_node), int(d_node))
+                ):
+                    return False
+        return True
+
+    check_parallel = bool(parallel_groups)
+
+    def backtrack(position: int) -> Iterator[Match]:
+        nonlocal emitted
+        if position == len(order):
+            emitted += 1
+            yield tuple(assignment)
+            return
+        variable = order[position]
+        pool = root_pool if position == 0 else candidates_for(position)
+        # tolist() makes the iteration yield plain ints (faster than numpy
+        # scalar iteration, and keeps emitted matches numpy-free)
+        for node in pool.tolist():
+            if node in used:
+                continue
+            if check_parallel and position > 0 and not parallel_ok(position, node):
+                continue
+            assignment[variable] = node
+            used.add(node)
+            yield from backtrack(position + 1)
+            used.discard(node)
+            assignment[variable] = -1
+            if max_matches is not None and emitted >= max_matches:
+                return
+
+    yield from backtrack(0)
+
+
+def count_matches(
+    graph: Graph,
+    pattern: Pattern,
+    limit: Optional[int] = None,
+    index: Optional[GraphIndex] = None,
+) -> int:
     """Number of matches of ``pattern`` in ``graph`` (capped at ``limit``)."""
     count = 0
-    for _ in find_matches(graph, pattern, max_matches=limit):
+    for _ in find_matches(graph, pattern, max_matches=limit, index=index):
         count += 1
     return count
 
 
 def pivot_image(
-    graph: Graph, pattern: Pattern, seeds: Optional[Iterable[int]] = None
+    graph: Graph,
+    pattern: Pattern,
+    seeds: Optional[Iterable[int]] = None,
+    index: Optional[GraphIndex] = None,
 ) -> Set[int]:
     """``Q(G, z)``: the distinct graph nodes the pivot maps to over all matches.
 
@@ -244,24 +412,44 @@ def pivot_image(
     so it is much cheaper than full enumeration.
     """
     image: Set[int] = set()
-    candidates = _root_candidates(graph, pattern, pattern.pivot, seeds)
+    if index is not None:
+        if seeds is None:
+            candidates: Iterable[int] = (
+                range(index.num_nodes)
+                if pattern.labels[pattern.pivot] == WILDCARD
+                else index.nodes_with_label(pattern.labels[pattern.pivot])
+            )
+        else:
+            candidates = seeds
+    else:
+        candidates = _root_candidates(graph, pattern, pattern.pivot, seeds)
     for candidate in candidates:
+        candidate = int(candidate)
         if candidate in image:
             continue
-        if match_exists_at_pivot(graph, pattern, candidate):
+        if match_exists_at_pivot(graph, pattern, candidate, index=index):
             image.add(candidate)
     return image
 
 
-def match_exists_at_pivot(graph: Graph, pattern: Pattern, pivot_node: int) -> bool:
+def match_exists_at_pivot(
+    graph: Graph,
+    pattern: Pattern,
+    pivot_node: int,
+    index: Optional[GraphIndex] = None,
+) -> bool:
     """Whether some match maps the pivot to ``pivot_node``."""
-    for _ in find_matches(graph, pattern, seeds=(pivot_node,), max_matches=1):
+    for _ in find_matches(
+        graph, pattern, seeds=(pivot_node,), max_matches=1, index=index
+    ):
         return True
     return False
 
 
-def has_match(graph: Graph, pattern: Pattern) -> bool:
+def has_match(
+    graph: Graph, pattern: Pattern, index: Optional[GraphIndex] = None
+) -> bool:
     """Whether ``pattern`` has at least one match in ``graph``."""
-    for _ in find_matches(graph, pattern, max_matches=1):
+    for _ in find_matches(graph, pattern, max_matches=1, index=index):
         return True
     return False

@@ -67,7 +67,7 @@ class Pattern:
     isomorphism.
     """
 
-    __slots__ = ("labels", "edges", "pivot", "_adjacency", "_hash")
+    __slots__ = ("labels", "edges", "pivot", "_adjacency", "_hash", "_edge_set")
 
     def __init__(
         self,
@@ -95,6 +95,7 @@ class Pattern:
         object.__setattr__(self, "pivot", pivot)
         object.__setattr__(self, "_adjacency", None)
         object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_edge_set", None)
 
     # -- the frozen dance: slots + immutability ------------------------------
     def __setattr__(self, name: str, value) -> None:
@@ -116,8 +117,12 @@ class Pattern:
         return range(len(self.labels))
 
     def edge_set(self) -> FrozenSet[Tuple[int, int, str]]:
-        """The pattern edges as a frozen set of tuples."""
-        return frozenset(edge.as_tuple() for edge in self.edges)
+        """The pattern edges as a frozen set of tuples (cached)."""
+        cached = object.__getattribute__(self, "_edge_set")
+        if cached is None:
+            cached = frozenset(edge.as_tuple() for edge in self.edges)
+            object.__setattr__(self, "_edge_set", cached)
+        return cached
 
     def adjacency(self) -> Dict[int, List[Tuple[int, int, str, bool]]]:
         """Per variable: incident edges as ``(other, edge_index, label, is_out)``.
