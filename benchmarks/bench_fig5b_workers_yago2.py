@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from _harness import (
     WORKER_COUNTS,
+    assert_real_speedup,
     dataset,
     discovery_config,
+    real_backend_sweep,
     record,
     run_once,
     series_table,
@@ -48,3 +50,13 @@ def test_fig5b_workers_yago2(benchmark):
     assert best_high_n < first[0], "more workers should beat n=4"
     last = rows[WORKER_COUNTS[-1]]
     assert last[0] <= last[1] * 1.10, "balancing should not hurt at n=20"
+
+
+def test_fig5b_real_multiprocess_speedup(benchmark):
+    """Real wall-clock scaling of the multiprocess backend (not modeled)."""
+    rows = run_once(benchmark, lambda: real_backend_sweep(DATASET))
+    record(
+        "fig5b_real_speedup_yago2",
+        series_table("n\treal_seconds\tspeedup_vs_n1", rows),
+    )
+    assert_real_speedup(rows)

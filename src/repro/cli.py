@@ -3,8 +3,9 @@
 Subcommands:
 
 * ``stats <graph>`` — dataset statistics (labels, triples, attributes);
-* ``discover <graph>`` — run ``SeqDis`` (or ``ParDis`` with ``--workers``)
-  and print the discovered GFDs with their supports;
+* ``discover <graph>`` — run ``SeqDis`` (or ``ParDis`` with ``--workers``;
+  ``--backend multiprocess`` runs real worker processes over shared-memory
+  graph buffers) and print the discovered GFDs with their supports;
 * ``validate <graph> <rules>`` — check a rule file against a graph and
   report violations;
 * ``cover <rules>`` — compute a cover of a rule file.
@@ -86,12 +87,20 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         sigma=args.sigma,
         max_lhs_size=args.max_lhs,
         mine_negative=not args.no_negative,
+        shared_memory=not args.no_shared_memory,
     )
-    if args.workers > 1:
-        result, cluster = discover_parallel(graph, config, num_workers=args.workers)
+    if args.backend is not None:
+        config.parallel_backend = args.backend
+    if (args.workers or 0) > 1 or config.parallel_backend == "multiprocess":
+        # args.workers None lets the engine default apply (config.num_workers,
+        # then 4) instead of degrading a backend-only request to one worker
+        result, cluster = discover_parallel(
+            graph, config, num_workers=args.workers
+        )
         print(
-            f"# parallel time (modeled): "
-            f"{cluster.metrics.elapsed_parallel:.3f}s over {args.workers} workers",
+            f"# backend={config.parallel_backend} workers={cluster.num_workers} "
+            f"modeled parallel time {cluster.metrics.elapsed_parallel:.3f}s, "
+            f"real {result.stats.elapsed_seconds:.3f}s",
             file=sys.stderr,
         )
     else:
@@ -160,7 +169,17 @@ def build_parser() -> argparse.ArgumentParser:
     disc.add_argument("--k", type=int, default=3, help="pattern-variable bound")
     disc.add_argument("--sigma", type=int, default=10, help="support threshold")
     disc.add_argument("--max-lhs", type=int, default=2, help="LHS literal cap")
-    disc.add_argument("--workers", type=int, default=1, help="ParDis workers")
+    disc.add_argument("--workers", type=int, default=None,
+                      help="ParDis workers (>1 selects the parallel engine; "
+                           "unset with --backend multiprocess uses the "
+                           "config default of 4)")
+    disc.add_argument("--backend", choices=["serial", "multiprocess"],
+                      default=None,
+                      help="ParDis execution backend (default: serial, or "
+                           "$REPRO_PARALLEL_BACKEND)")
+    disc.add_argument("--no-shared-memory", action="store_true",
+                      help="ship graph buffers to multiprocess workers by "
+                           "pickle instead of shared memory")
     disc.add_argument("--no-negative", action="store_true",
                       help="skip negative GFDs")
     disc.add_argument("--cover", action="store_true",

@@ -9,10 +9,20 @@ engineering limits that keep mining tractable on a laptop.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 __all__ = ["DiscoveryConfig", "CandidateBudgetExceeded"]
+
+
+def _default_backend() -> str:
+    """The default ``ParDis`` backend; ``REPRO_PARALLEL_BACKEND`` overrides.
+
+    The environment hook lets the CI matrix run the whole suite under the
+    multiprocess backend without touching any call site.
+    """
+    return os.environ.get("REPRO_PARALLEL_BACKEND", "serial")
 
 
 class CandidateBudgetExceeded(RuntimeError):
@@ -64,9 +74,13 @@ class DiscoveryConfig:
             endpoint labels of an extension are diverse (the paper's label
             upgrading); wildcards widen the search considerably.
         wildcard_min_labels: label diversity required to spawn a wildcard.
-        max_matches_per_pattern: safety cap on stored matches; a truncated
-            match table disqualifies its pattern from emitting GFDs (validity
-            cannot be certified from a sample).
+        max_matches_per_pattern: safety cap on stored matches; a pattern
+            whose match count reaches the cap is *truncated* and becomes a
+            leaf — it emits no GFDs (validity cannot be certified from a
+            sample) and is not extended further.  Both engines apply the
+            same rule (``ParDis`` enforces the cap per shard and combines
+            the verdicts), so the discovered sets agree even when the cap
+            binds, although the retained sample differs per engine.
         max_patterns_per_level: optional cap on spawned patterns per level.
         prune: apply the pruning strategies of Lemma 4 (``ParGFDn``
             disables this to reproduce the paper's infeasibility finding).
@@ -87,11 +101,23 @@ class DiscoveryConfig:
             against the graph's frozen CSR :class:`~repro.graph.index.
             GraphIndex` (vectorized hot paths).  Disabling falls back to the
             dict-adjacency reference implementation; results are identical
-            unless ``max_matches_per_pattern`` binds, in which case the two
-            paths may keep *different* truncated subsets (matches enumerate
-            in dict-insertion vs CSR order) — truncated tables never emit
-            GFDs, but spawned-pattern sets can then differ.  The flag exists
-            for equivalence testing and debugging.
+            (truncated patterns are leaves on both paths, so a binding
+            ``max_matches_per_pattern`` no longer lets the paths diverge).
+            The flag exists for equivalence testing and debugging; the
+            multiprocess backend requires the index.
+        parallel_backend: execution backend of ``ParDis`` — ``"serial"``
+            runs the worker ops inline under the simulated cluster (exact
+            historical semantics, no extra processes), ``"multiprocess"``
+            runs them in real per-worker processes over shared-memory graph
+            buffers.  Results are identical by construction (the
+            differential harness asserts it).  Default ``"serial"``, or the
+            ``REPRO_PARALLEL_BACKEND`` environment variable.
+        num_workers: default worker count ``n`` for parallel runs when the
+            engine call does not pass one (``None`` = the engine default, 4).
+        shared_memory: ship the frozen index to multiprocess workers via
+            ``multiprocessing.shared_memory`` (attach-once, zero-copy numpy
+            views).  Disabling — or running on a platform without shared
+            memory — falls back to pickling the buffers into each worker.
         sketch_support_prefilter: use an HLL-style distinct-pivot sketch as
             a cheap upper bound before exact support counting in the
             ``HSpawn`` alphabet prefilter.  Exact counting remains the
@@ -124,6 +150,9 @@ class DiscoveryConfig:
     negative_literal_min_rows: Optional[int] = None
     max_candidates: Optional[int] = None
     use_index: bool = True
+    parallel_backend: str = field(default_factory=_default_backend)
+    num_workers: Optional[int] = None
+    shared_memory: bool = True
     sketch_support_prefilter: bool = False
     sketch_precision: int = 12
 
@@ -134,6 +163,13 @@ class DiscoveryConfig:
             raise ValueError("sigma must be >= 1")
         if self.max_lhs_size < 0:
             raise ValueError("max_lhs_size must be >= 0")
+        if self.parallel_backend not in ("serial", "multiprocess"):
+            raise ValueError(
+                "parallel_backend must be 'serial' or 'multiprocess', "
+                f"got {self.parallel_backend!r}"
+            )
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
 
     @property
     def edge_budget(self) -> int:

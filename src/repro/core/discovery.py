@@ -147,6 +147,8 @@ class SequentialDiscovery:
         for parent in parents:
             if parent.table is None:
                 continue
+            if parent.table.truncated:
+                continue  # a capped sample certifies nothing downstream
             if self.config.prune and parent.support < self.config.sigma:
                 continue  # Lemma 4(c): no frequent GFD below this pattern
             if parent.support == 0:

@@ -27,6 +27,16 @@ The index is a *snapshot*: it records the graph's mutation version at build
 time and :meth:`GraphIndex.is_fresh` reports staleness.  The cached accessor
 :meth:`Graph.index` rebuilds automatically after any mutation; code holding
 an index across mutations must re-fetch it.
+
+For multiprocess execution (:mod:`repro.parallel.backend`) the index is the
+zero-copy payload: :meth:`GraphIndex.export_buffers` splits a *fresh* index
+into a picklable metadata dict plus its flat numpy arrays, and
+:meth:`GraphIndex.from_buffers` reassembles a **detached** index (no backing
+:class:`Graph`) around those arrays — typically views into a
+``multiprocessing.shared_memory`` block, so worker processes attach once and
+never copy the graph.  A detached index supports every array-backed
+operation (matching, joins, tallies, match tables, statistics); only
+``graph``-touching accessors are unavailable.
 """
 
 from __future__ import annotations
@@ -219,8 +229,117 @@ class GraphIndex:
         return cls(graph)
 
     def is_fresh(self) -> bool:
-        """Whether the underlying graph is unmutated since the build."""
+        """Whether the underlying graph is unmutated since the build.
+
+        A *detached* index (reassembled by :meth:`from_buffers`, no backing
+        graph) is always fresh: it is an immutable snapshot by construction.
+        """
+        if self.graph is None:
+            return True
         return self.version == self.graph.version
+
+    @property
+    def detached(self) -> bool:
+        """Whether this index was rebuilt from buffers without a graph."""
+        return self.graph is None
+
+    # ------------------------------------------------------------------
+    # buffer export / attach (the multiprocess zero-copy protocol)
+    # ------------------------------------------------------------------
+    #: Array fields shipped by :meth:`export_buffers` (attribute columns are
+    #: added dynamically under ``"attr:<name>"`` keys).
+    _BUFFER_FIELDS = (
+        "node_label_codes",
+        "out_indptr",
+        "out_neighbors",
+        "out_edge_labels",
+        "in_indptr",
+        "in_neighbors",
+        "in_edge_labels",
+        "_edge_keys",
+        "_pair_keys",
+        "_triple_keys",
+        "_triple_counts",
+    )
+
+    def export_buffers(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        """Split the index into ``(meta, arrays)`` for cross-process shipping.
+
+        ``meta`` is a small picklable dict (label/value tables, sizes);
+        ``arrays`` maps stable names to the flat int64 arrays.  Raises
+        :class:`RuntimeError` when the index is stale — shipping a snapshot
+        of a graph that has since mutated would silently desynchronize the
+        workers from the master.
+        """
+        if not self.is_fresh():
+            raise RuntimeError(
+                "cannot export a stale GraphIndex (graph version "
+                f"{self.graph.version} != snapshot version {self.version}); "
+                "re-fetch graph.index() first"
+            )
+        arrays: Dict[str, np.ndarray] = {
+            name: getattr(self, name) for name in self._BUFFER_FIELDS
+        }
+        for attr, column in self._attr_codes.items():
+            arrays[f"attr:{attr}"] = column
+        meta: Dict[str, Any] = {
+            "version": self.version,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "node_label_values": list(self.node_label_values),
+            "edge_label_values": list(self.edge_label_values),
+            # MISSING (code 0) is a process-local sentinel: ship values from
+            # code 1 up and re-anchor on the importing side's MISSING object
+            "values": list(self.value_of_code[1:]),
+            "attr_names": list(self.attr_names),
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_buffers(
+        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "GraphIndex":
+        """Reassemble a detached index around exported ``(meta, arrays)``.
+
+        The arrays are adopted as-is (typically zero-copy views into a
+        shared-memory block); only the small derived structures (interning
+        dicts, per-label node slices) are rebuilt.
+        """
+        self = cls.__new__(cls)
+        self.graph = None
+        self.version = meta["version"]
+        self.num_nodes = meta["num_nodes"]
+        self.num_edges = meta["num_edges"]
+        for name in cls._BUFFER_FIELDS:
+            setattr(self, name, arrays[name])
+        self.node_label_values = list(meta["node_label_values"])
+        self.node_label_code_of = {
+            label: code for code, label in enumerate(self.node_label_values)
+        }
+        self.edge_label_values = list(meta["edge_label_values"])
+        self.edge_label_code_of = {
+            label: code for code, label in enumerate(self.edge_label_values)
+        }
+        codes = self.node_label_codes
+        order = np.argsort(codes, kind="stable")
+        counts = np.bincount(codes, minlength=len(self.node_label_values))
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        self._nodes_by_label = [
+            order[bounds[i]: bounds[i + 1]]
+            for i in range(len(self.node_label_values))
+        ]
+        self.value_of_code = [MISSING] + list(meta["values"])
+        self.code_of_value = {
+            value: code + 1 for code, value in enumerate(meta["values"])
+        }
+        self._attr_codes = {
+            name[len("attr:"):]: array
+            for name, array in arrays.items()
+            if name.startswith("attr:")
+        }
+        self.attr_names = list(meta["attr_names"])
+        self._statistics = None
+        return self
 
     # ------------------------------------------------------------------
     # label/value interning
@@ -437,7 +556,15 @@ class GraphIndex:
             label: int(label_counts[code])
             for label, code in self.node_label_code_of.items()
         }
-        stats.edge_label_counts = self.graph.edge_label_counts()
+        # one CSR pass instead of graph.edge_label_counts(): works detached
+        edge_tallies = np.bincount(
+            self.out_edge_labels, minlength=max(1, len(self.edge_label_values))
+        )
+        stats.edge_label_counts = {
+            label: int(edge_tallies[code])
+            for label, code in self.edge_label_code_of.items()
+            if edge_tallies[code]
+        }
         stats.triple_counts = self.triple_counts()
         stats.attr_counts = {
             attr: int(np.count_nonzero(column))

@@ -1,8 +1,18 @@
-"""Parallel GFD discovery: metered cluster, ParDis, ParCover, balancing."""
+"""Parallel GFD discovery: backends, metered cluster, ParDis, ParCover."""
 
+from .backend import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    MultiprocessBackend,
+    SerialBackend,
+    SharedIndexBuffers,
+    make_backend,
+    shared_memory_available,
+)
 from .balancer import (
     assign_units_lpt,
     is_skewed,
+    rebalance_pivot_group_arrays,
     rebalance_pivot_groups,
     rebalance_shards,
 )
@@ -11,6 +21,13 @@ from .parcover import parallel_cover, parallel_cover_ungrouped
 from .pardis import ParallelDiscovery, discover_parallel
 
 __all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "SerialBackend",
+    "MultiprocessBackend",
+    "SharedIndexBuffers",
+    "make_backend",
+    "shared_memory_available",
     "SimulatedCluster",
     "ClusterMetrics",
     "WorkerMetrics",
@@ -22,4 +39,5 @@ __all__ = [
     "is_skewed",
     "rebalance_shards",
     "rebalance_pivot_groups",
+    "rebalance_pivot_group_arrays",
 ]

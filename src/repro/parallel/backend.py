@@ -1,0 +1,649 @@
+"""Execution backends for ``ParDis`` — simulated workers or real processes.
+
+``ParDis`` (Section 6.2) is a BSP algorithm: per superstep, the master sends
+each worker a batch of shard-local tasks (incremental joins, boolean-mask
+lattice validation, tally collection) and aggregates the small results.  The
+engine expresses every worker-side operation as an *op* on a
+:class:`ShardWorker` — a worker's private state: its match-table shard per
+verified pattern and its lattice mask store — and delegates execution to a
+backend:
+
+* :class:`SerialBackend` runs the ops inline in the master process under the
+  :class:`~repro.parallel.cluster.SimulatedCluster` metering (the historical
+  behavior; deterministic and dependency-free, the default).
+* :class:`MultiprocessBackend` runs each worker as a dedicated
+  single-process :class:`~concurrent.futures.ProcessPoolExecutor` (one pool
+  per worker gives task→worker affinity, which the shard state requires).
+  The frozen :class:`~repro.graph.index.GraphIndex` is shipped **once** via
+  ``multiprocessing.shared_memory`` — workers attach the flat numpy buffers
+  zero-copy — with a pickle fallback for platforms (or configs) without
+  shared memory.  Per-op compute seconds are measured worker-side and
+  charged back into the simulated-cluster ledger so the modeled BSP metrics
+  stay comparable across backends; real wall-clock lives in
+  ``DiscoveryResult.stats.elapsed_seconds``.
+
+Both backends execute the same op implementations, so the discovered GFD
+sets are identical by construction — the randomized differential harness
+(``tests/test_differential.py``) asserts it.
+
+Shared-memory lifecycle: the master owns the segment (created in
+:class:`SharedIndexBuffers`), workers attach without tracking (so the
+resource tracker never double-unlinks), and :meth:`MultiprocessBackend.
+shutdown` joins the pools, closes and unlinks.  ``tests/test_backend.py``
+asserts no segment survives a shutdown.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.match_table import MatchTable
+from ..core.spawning import counts_from_statistics, extension_statistics
+from ..graph.graph import Graph
+from ..graph.index import GraphIndex
+from ..pattern.incremental import extend_matches
+
+try:  # pragma: no cover - availability depends on the platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ShardWorker",
+    "ExecutionBackend",
+    "SerialBackend",
+    "MultiprocessBackend",
+    "SharedIndexBuffers",
+    "make_backend",
+    "shared_memory_available",
+]
+
+#: Recognized values of ``DiscoveryConfig.parallel_backend``.
+BACKEND_NAMES = ("serial", "multiprocess")
+
+#: One superstep request: ``(worker, op name, pattern node key, payload)``.
+Request = Tuple[int, str, int, Dict[str, Any]]
+
+
+def shared_memory_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` exists on this platform."""
+    return _shared_memory is not None
+
+
+# ----------------------------------------------------------------------
+# worker-side op implementations (shared by every backend)
+# ----------------------------------------------------------------------
+class ShardWorker:
+    """One worker's shard state plus the op implementations over it.
+
+    State per verified pattern (keyed by the master's node key): the shard
+    :class:`MatchTable` and, during ``HSpawn``, the lattice mask store
+    ``{mask id: boolean row mask}``.  The serial backend keeps ``n`` of
+    these in-process; the multiprocess backend keeps one per worker process,
+    built around the attached (detached) graph index.
+    """
+
+    def __init__(
+        self,
+        graph: Optional[Graph],
+        index: Optional[GraphIndex],
+        gamma: Sequence[str],
+    ) -> None:
+        self.graph = graph
+        self.index = index
+        self.gamma = list(gamma)
+        self.tables: Dict[int, MatchTable] = {}
+        self.stores: Dict[int, Dict[int, np.ndarray]] = {}
+        # join results parked worker-side, keyed (parent key, extension
+        # position), until an install adopts them — matches never cross the
+        # process boundary unless the master orders a rebalance
+        self.joins: Dict[Tuple[int, int], Any] = {}
+
+    # ------------------------------------------------------------------
+    def execute(self, op: str, key: int, payload: Dict[str, Any]) -> Any:
+        """Dispatch one op (the unit the cluster meters)."""
+        return getattr(self, f"op_{op}")(key, payload)
+
+    def _parent_matches(self, table: MatchTable):
+        return table.match_array if self.index is not None else table.matches
+
+    # -- VSpawn ---------------------------------------------------------
+    def op_install(self, key: int, payload: Dict[str, Any]) -> Tuple:
+        """Build this worker's match-table shard (+ column statistics).
+
+        The value/agreement counts feed the master's alphabet generation,
+        saving a dedicated round per pattern (only collected when the
+        pattern will be mined).
+        """
+        adopt = payload.get("adopt")
+        matches = self.joins.pop(adopt) if adopt is not None else payload["matches"]
+        table = MatchTable(
+            self.graph,
+            payload["pattern"],
+            matches,
+            self.gamma,
+            index=self.index,
+        )
+        self.tables[key] = table
+        values: Dict = {}
+        agreements: Dict = {}
+        if payload["mined"]:
+            values = table.constant_value_counts()
+            if payload["want_variable"]:
+                agreements = table.variable_agreement_counts(
+                    payload["same_attr_only"]
+                )
+        return table.num_rows, values, agreements
+
+    def op_tally(self, key: int, payload: Dict[str, Any]):
+        """Collapse this shard's extension tallies into shippable counts."""
+        table = self.tables[key]
+        return counts_from_statistics(
+            extension_statistics(
+                self.graph,
+                table.pattern,
+                self._parent_matches(table),
+                payload["can_add"],
+                index=self.index,
+            )
+        )
+
+    def op_join(self, key: int, payload: Dict[str, Any]) -> List[Tuple]:
+        """Join this shard with every extension edge of one parent.
+
+        Returns ``(matches, local support, count, hit_cap)`` per extension;
+        ``cap`` bounds the per-shard join (``config.max_matches_per_pattern``
+        enforcement — the master combines the flags into the global
+        truncation verdict).  With ``park=True`` (the cross-process mode)
+        the matches stay here under ``(parent key, position)`` — the slot a
+        later install adopts — and ``None`` travels in their place, so only
+        scalars cross the process boundary.
+        """
+        table = self.tables[key]
+        parent_matches = self._parent_matches(table)
+        cap = payload["cap"]
+        park = payload.get("park", False)
+        results: List[Tuple] = []
+        for position, (extension, pivot_var) in enumerate(payload["extensions"]):
+            matches = extend_matches(
+                self.graph,
+                parent_matches,
+                extension,
+                max_matches=cap,
+                index=self.index,
+                as_array=self.index is not None,
+            )
+            if self.index is not None:
+                count = int(matches.shape[0])
+                support = (
+                    int(np.unique(matches[:, pivot_var]).size) if count else 0
+                )
+            else:
+                count = len(matches)
+                support = len({match[pivot_var] for match in matches})
+            hit_cap = cap is not None and count >= cap
+            if park:
+                self.joins[(key, position)] = matches
+                results.append((None, support, count, hit_cap))
+            else:
+                results.append((matches, support, count, hit_cap))
+        return results
+
+    def op_fetch_join(self, key: int, payload: Dict[str, Any]):
+        """Surrender one parked join result to the master (for rebalancing)."""
+        return self.joins.pop((key, payload["position"]))
+
+    # -- HSpawn ---------------------------------------------------------
+    def op_scan(self, key: int, payload: Dict[str, Any]) -> Tuple[List[int], List[int]]:
+        """Per-literal row counts and local distinct-pivot supports.
+
+        Also opens this pattern's mask store (id 0 = the full mask) and
+        warms the table's literal-mask cache for the lattice levels.
+        """
+        table = self.tables[key]
+        self.stores[key] = {0: table.full_mask()}
+        counts: List[int] = []
+        supports: List[int] = []
+        for literal in payload["literals"]:
+            mask = table.literal_mask(literal)
+            counts.append(table.mask_count(mask))
+            supports.append(table.mask_support(mask))
+        return counts, supports
+
+    def op_eval(self, key: int, payload: Dict[str, Any]) -> Tuple:
+        """Evaluate one lattice level's candidate batch on this shard.
+
+        ``specs`` entries are ``(parent mask id, lhs literal, rhs literal,
+        new mask id)``; candidates sharing a parent mask are stacked into
+        one numpy operation.  New LHS masks stay in the store for the next
+        level; ``drop`` lists mask ids the master retired last level.
+        """
+        table = self.tables[key]
+        store = self.stores[key]
+        for dead in payload.get("drop", ()):
+            store.pop(dead, None)
+        specs = payload["specs"]
+        groups: Dict[int, List[int]] = {}
+        for position, spec in enumerate(specs):
+            groups.setdefault(spec[0], []).append(position)
+        count_lhs_arr = np.zeros(len(specs), dtype=np.int64)
+        count_both_arr = np.zeros(len(specs), dtype=np.int64)
+        support_arr = np.zeros(len(specs), dtype=np.int64)
+        for rows_id, positions in sorted(groups.items()):
+            parent = store[rows_id]
+            lhs_stack = np.stack(
+                [table.literal_mask(specs[p][1]) for p in positions]
+            )
+            lhs_stack &= parent
+            rhs_stack = np.stack(
+                [table.literal_mask(specs[p][2]) for p in positions]
+            )
+            rhs_stack &= lhs_stack
+            count_lhs = lhs_stack.sum(axis=1)
+            count_both = rhs_stack.sum(axis=1)
+            active = np.flatnonzero(count_both)
+            if active.size:
+                supports = table.stack_supports(rhs_stack[active])
+                for where, offset in enumerate(active):
+                    support_arr[positions[offset]] = supports[where]
+            for offset, p in enumerate(positions):
+                store[specs[p][3]] = lhs_stack[offset]
+                count_lhs_arr[p] = count_lhs[offset]
+                count_both_arr[p] = count_both[offset]
+        return count_lhs_arr, count_both_arr, support_arr
+
+    def op_probe(self, key: int, payload: Dict[str, Any]) -> List[bool]:
+        """``NHSpawn`` batch: does any shard row satisfy ``X ∪ {l''}``?"""
+        table = self.tables[key]
+        store = self.stores[key]
+        for dead in payload.get("drop", ()):
+            store.pop(dead, None)
+        specs = payload["specs"]
+        groups: Dict[int, List[int]] = {}
+        for position, spec in enumerate(specs):
+            groups.setdefault(spec[0], []).append(position)
+        overlaps: List[bool] = [False] * len(specs)
+        for rows_id, positions in sorted(groups.items()):
+            parent = store[rows_id]
+            stack = np.stack(
+                [table.literal_mask(specs[p][1]) for p in positions]
+            )
+            stack &= parent
+            hits = stack.any(axis=1)
+            for offset, p in enumerate(positions):
+                overlaps[p] = bool(hits[offset])
+        return overlaps
+
+    # -- lifecycle ------------------------------------------------------
+    def op_drop_store(self, key: int, payload: Dict[str, Any]) -> None:
+        """Free the mask store once a pattern's ``HSpawn`` completes."""
+        self.stores.pop(key, None)
+        return None
+
+    def op_drop(self, key: int, payload: Dict[str, Any]) -> None:
+        """Free all state of a pattern (after its children are joined)."""
+        self.tables.pop(key, None)
+        self.stores.pop(key, None)
+        for slot in [slot for slot in self.joins if slot[0] == key]:
+            del self.joins[slot]  # un-adopted parks (e.g. truncated children)
+        return None
+
+    def op_reset(self, key: int, payload: Dict[str, Any]) -> None:
+        """Clear every shard (an external backend being reused)."""
+        self.tables.clear()
+        self.stores.clear()
+        self.joins.clear()
+        return None
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+class ExecutionBackend:
+    """Executes superstep request batches against ``n`` shard workers."""
+
+    name: str = "abstract"
+    num_workers: int = 0
+    #: Whether workers live in other processes (payloads cross a pickle
+    #: boundary, so bulk data should stay worker-resident when possible).
+    remote: bool = False
+    #: Identity of the graph snapshot the workers were built around; an
+    #: engine refuses to run on a backend holding a different snapshot.
+    source_token: Tuple = ()
+
+    def run_superstep(self, step, requests: Sequence[Request]) -> List[Any]:
+        """Run one BSP round of requests; results align with the batch."""
+        raise NotImplementedError
+
+    def run_unmetered(
+        self, requests: Sequence[Request], wait: bool = True
+    ) -> List[Any]:
+        """Bookkeeping ops (drops/reset) outside the metered supersteps.
+
+        ``wait=False`` fires and forgets (single-process pools execute
+        in-order, so a later op can never overtake a drop) — keeps
+        per-pattern cleanup off the master's critical path.
+        """
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release every resource (processes, shared memory)."""
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution under the simulated cluster (the default)."""
+
+    name = "serial"
+
+    def __init__(
+        self,
+        num_workers: int,
+        graph: Optional[Graph],
+        index: Optional[GraphIndex],
+        gamma: Sequence[str],
+    ) -> None:
+        self.num_workers = num_workers
+        self.source_token = (id(graph), id(index))
+        self.workers = [
+            ShardWorker(graph, index, gamma) for _ in range(num_workers)
+        ]
+
+    def run_superstep(self, step, requests: Sequence[Request]) -> List[Any]:
+        results = []
+        for worker, op, key, payload in requests:
+            shard = self.workers[worker]
+            results.append(
+                step.run(
+                    worker,
+                    lambda shard=shard, op=op, key=key, payload=payload: (
+                        shard.execute(op, key, payload)
+                    ),
+                )
+            )
+        return results
+
+    def run_unmetered(
+        self, requests: Sequence[Request], wait: bool = True
+    ) -> List[Any]:
+        return [
+            self.workers[worker].execute(op, key, payload)
+            for worker, op, key, payload in requests
+        ]
+
+    def shutdown(self) -> None:
+        for worker in self.workers:
+            worker.op_reset(0, {})
+
+
+# ----------------------------------------------------------------------
+# shared-memory payload
+# ----------------------------------------------------------------------
+def _align(offset: int) -> int:
+    return (offset + 63) & ~63
+
+
+class SharedIndexBuffers:
+    """Master-side owner of a graph index's shared-memory copy.
+
+    Packs the arrays of :meth:`GraphIndex.export_buffers` into one
+    ``SharedMemory`` segment (64-byte aligned) and records the layout
+    ``{name: (dtype, shape, offset)}`` workers need to rebuild zero-copy
+    views.  :meth:`close` unlinks the segment; the owner must outlive every
+    attached worker.
+    """
+
+    def __init__(self, index: GraphIndex) -> None:
+        if _shared_memory is None:  # pragma: no cover - platform dependent
+            raise RuntimeError("multiprocessing.shared_memory is unavailable")
+        meta, arrays = index.export_buffers()
+        self.meta = meta
+        layout: Dict[str, Tuple[str, Tuple[int, ...], int]] = {}
+        contiguous: Dict[str, np.ndarray] = {}
+        offset = 0
+        for name in sorted(arrays):
+            array = np.ascontiguousarray(arrays[name])
+            contiguous[name] = array
+            if array.nbytes == 0:
+                layout[name] = (array.dtype.str, array.shape, 0)
+                continue
+            offset = _align(offset)
+            layout[name] = (array.dtype.str, array.shape, offset)
+            offset += array.nbytes
+        self.layout = layout
+        self.segment = _shared_memory.SharedMemory(
+            create=True, size=max(1, offset)
+        )
+        for name, array in contiguous.items():
+            if array.nbytes == 0:
+                continue
+            dtype_str, shape, start = layout[name]
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype_str),
+                buffer=self.segment.buf, offset=start,
+            )
+            view[...] = array
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach by."""
+        return self.segment.name
+
+    def close(self) -> None:
+        """Detach and unlink the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.segment.close()
+        try:
+            self.segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _attach_segment(name: str):
+    """Attach a shared-memory segment without resource-tracker ownership.
+
+    The tracker must not adopt worker-side attachments: it would unlink the
+    master's segment when the first worker exits.  Python ≥ 3.13 exposes
+    ``track=False``; earlier versions need the documented unregister
+    workaround.
+    """
+    try:
+        return _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Python < 3.13: attaching registers with the resource tracker,
+        # which would unlink the master's segment (spawn) or unbalance the
+        # shared tracker (fork).  Silence registration for this one call —
+        # we are in the worker process, so the patch cannot race the master.
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return _shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _views_from_layout(
+    layout: Dict[str, Tuple[str, Tuple[int, ...], int]], buf
+) -> Dict[str, np.ndarray]:
+    arrays: Dict[str, np.ndarray] = {}
+    for name, (dtype_str, shape, offset) in layout.items():
+        array = np.ndarray(
+            shape, dtype=np.dtype(dtype_str), buffer=buf, offset=offset
+        )
+        array.flags.writeable = False  # workers must never mutate the graph
+        arrays[name] = array
+    return arrays
+
+
+# -- worker-process globals (one ShardWorker per process) ----------------
+_WORKER: Optional[ShardWorker] = None
+_SEGMENT = None
+
+
+def _mp_initialize(
+    spec_blob: bytes, segment_name: Optional[str], arrays_blob: Optional[bytes]
+) -> None:
+    """Pool initializer: attach the index buffers and build the worker."""
+    global _WORKER, _SEGMENT
+    spec = pickle.loads(spec_blob)
+    if segment_name is not None:
+        _SEGMENT = _attach_segment(segment_name)
+        arrays = _views_from_layout(spec["layout"], _SEGMENT.buf)
+    else:
+        arrays = pickle.loads(arrays_blob)
+    index = GraphIndex.from_buffers(spec["meta"], arrays)
+    _WORKER = ShardWorker(None, index, spec["gamma"])
+
+
+def _mp_execute(op: str, key: int, payload: Dict[str, Any]) -> Tuple[Any, float]:
+    """Run one op in the worker process, returning (result, compute secs)."""
+    started = time.perf_counter()
+    result = _WORKER.execute(op, key, payload)
+    return result, time.perf_counter() - started
+
+
+def _mp_ready() -> bool:
+    return _WORKER is not None
+
+
+class MultiprocessBackend(ExecutionBackend):
+    """Real worker processes over shared-memory graph buffers.
+
+    One single-process :class:`ProcessPoolExecutor` per worker pins shard
+    state to its process (plain pools cannot route tasks).  Construction
+    blocks until every worker has attached, so export/attach errors surface
+    in the master, not as broken futures mid-run.
+    """
+
+    name = "multiprocess"
+    remote = True
+
+    def __init__(
+        self,
+        num_workers: int,
+        index: Optional[GraphIndex],
+        gamma: Sequence[str],
+        use_shared_memory: bool = True,
+    ) -> None:
+        if index is None:
+            raise ValueError(
+                "the multiprocess backend requires the frozen graph index "
+                "(config.use_index=False only supports the serial backend)"
+            )
+        self.num_workers = num_workers
+        # pin the snapshot: the token is id()-based, so the objects must
+        # stay alive for the backend's lifetime or a recycled id could
+        # falsely validate a different graph
+        self._index = index
+        self.source_token = (id(index.graph), id(index))
+        self.buffers: Optional[SharedIndexBuffers] = None
+        if use_shared_memory and shared_memory_available():
+            self.buffers = SharedIndexBuffers(index)
+            spec = {
+                "meta": self.buffers.meta,
+                "layout": self.buffers.layout,
+                "gamma": list(gamma),
+            }
+            initargs = (pickle.dumps(spec), self.buffers.name, None)
+        else:
+            meta, arrays = index.export_buffers()
+            spec = {"meta": meta, "gamma": list(gamma)}
+            initargs = (pickle.dumps(spec), None, pickle.dumps(arrays))
+        self._pools: List[ProcessPoolExecutor] = []
+        try:
+            for _ in range(num_workers):
+                self._pools.append(
+                    ProcessPoolExecutor(
+                        max_workers=1,
+                        initializer=_mp_initialize,
+                        initargs=initargs,
+                    )
+                )
+            for pool in self._pools:
+                if not pool.submit(_mp_ready).result():
+                    raise RuntimeError("worker failed to initialize")
+        except Exception:
+            self.shutdown()
+            raise
+        self._down = False
+
+    @property
+    def shm_name(self) -> Optional[str]:
+        """The shared segment's name (None on the pickle-fallback path)."""
+        return self.buffers.name if self.buffers is not None else None
+
+    def run_superstep(self, step, requests: Sequence[Request]) -> List[Any]:
+        futures = [
+            (worker, self._pools[worker].submit(_mp_execute, op, key, payload))
+            for worker, op, key, payload in requests
+        ]
+        results = []
+        for worker, future in futures:
+            result, seconds = future.result()
+            step.charge(worker, seconds)
+            results.append(result)
+        return results
+
+    def run_unmetered(
+        self, requests: Sequence[Request], wait: bool = True
+    ) -> List[Any]:
+        futures = [
+            self._pools[worker].submit(_mp_execute, op, key, payload)
+            for worker, op, key, payload in requests
+        ]
+        if not wait:
+            return []
+        return [future.result()[0] for future in futures]
+
+    def shutdown(self) -> None:
+        if getattr(self, "_down", False):
+            return
+        self._down = True
+        for pool in self._pools:
+            pool.shutdown(wait=True)
+        self._pools = []
+        if self.buffers is not None:
+            self.buffers.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+
+def make_backend(
+    name: str,
+    num_workers: int,
+    graph: Optional[Graph],
+    index: Optional[GraphIndex],
+    gamma: Sequence[str],
+    use_shared_memory: bool = True,
+) -> ExecutionBackend:
+    """Instantiate a backend by config name (``serial`` | ``multiprocess``)."""
+    if name == "serial":
+        return SerialBackend(num_workers, graph, index, gamma)
+    if name == "multiprocess":
+        return MultiprocessBackend(
+            num_workers, index, gamma, use_shared_memory=use_shared_memory
+        )
+    raise ValueError(
+        f"unknown parallel backend {name!r} (expected one of {BACKEND_NAMES})"
+    )

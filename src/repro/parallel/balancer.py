@@ -17,7 +17,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple, TypeVar
 
-__all__ = ["is_skewed", "rebalance_shards", "rebalance_pivot_groups", "assign_units_lpt"]
+import numpy as np
+
+__all__ = [
+    "is_skewed",
+    "rebalance_shards",
+    "rebalance_pivot_groups",
+    "rebalance_pivot_group_arrays",
+    "assign_units_lpt",
+]
 
 T = TypeVar("T")
 
@@ -110,6 +118,61 @@ def rebalance_pivot_groups(
         worker = min(range(num_shards), key=lambda w: (len(new_shards[w]), w))
         new_shards[worker].extend(group)
         moved[worker] = moved.get(worker, 0) + len(group)
+    return new_shards, moved
+
+
+def rebalance_pivot_group_arrays(
+    shards: List[np.ndarray], pivot_col: int
+) -> Tuple[List[np.ndarray], Dict[int, int]]:
+    """Array twin of :func:`rebalance_pivot_groups` for ``(N, vars)`` shards.
+
+    Match shards on the vectorized (index) path are int64 arrays; moving
+    rows through Python lists would dominate the rebalance.  Whole pivot
+    groups (contiguous after a stable sort by the pivot column) migrate
+    from overloaded shards to the least-loaded ones, preserving the
+    pivot-disjointness invariant.
+
+    Returns the new shards and ``moved[worker] = rows received``.
+    """
+    num_shards = len(shards)
+    loads = [int(shard.shape[0]) for shard in shards]
+    total = sum(loads)
+    target = total / num_shards if num_shards else 0.0
+
+    surplus: List[np.ndarray] = []
+    new_shards: List[np.ndarray] = []
+    for index, shard in enumerate(shards):
+        if loads[index] <= target or loads[index] == 0:
+            new_shards.append(shard)
+            continue
+        pivots = shard[:, pivot_col]
+        order = np.argsort(pivots, kind="stable")
+        ordered = shard[order]
+        ordered_pivots = ordered[:, pivot_col]
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], ordered_pivots[1:] != ordered_pivots[:-1]))
+        )
+        ends = np.concatenate((boundaries[1:], [ordered.shape[0]]))
+        kept_parts: List[np.ndarray] = []
+        kept = 0
+        for start, end in zip(boundaries.tolist(), ends.tolist()):
+            group = ordered[start:end]
+            if kept + group.shape[0] <= target or not kept_parts:
+                kept_parts.append(group)
+                kept += group.shape[0]
+            else:
+                surplus.append(group)
+        new_shards.append(
+            np.concatenate(kept_parts) if kept_parts else shard[:0]
+        )
+    moved: Dict[int, int] = {}
+    surplus.sort(key=lambda group: group.shape[0], reverse=True)
+    for group in surplus:
+        worker = min(
+            range(num_shards), key=lambda w: (new_shards[w].shape[0], w)
+        )
+        new_shards[worker] = np.concatenate((new_shards[worker], group))
+        moved[worker] = moved.get(worker, 0) + int(group.shape[0])
     return new_shards, moved
 
 

@@ -132,11 +132,21 @@ class _Superstep:
         started = time.perf_counter()
         result = unit()
         elapsed = time.perf_counter() - started
-        self.busy[worker] += elapsed
-        metrics = self._cluster.workers[worker]
-        metrics.busy_seconds += elapsed
-        metrics.units_executed += 1
+        self.charge(worker, elapsed)
         return result
+
+    def charge(self, worker: int, seconds: float) -> None:
+        """Credit ``worker`` with pre-measured compute time.
+
+        Real execution backends (the multiprocess ``ParDis`` engine) run the
+        work units out-of-process and report each unit's self-measured
+        compute seconds; charging them here keeps the modeled BSP metrics
+        (makespan, per-worker busy time) comparable across backends.
+        """
+        self.busy[worker] += seconds
+        metrics = self._cluster.workers[worker]
+        metrics.busy_seconds += seconds
+        metrics.units_executed += 1
 
     def ship(self, worker: int, items: int) -> None:
         """Charge ``worker`` for receiving ``items`` shipped records."""

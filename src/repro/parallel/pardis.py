@@ -1,7 +1,6 @@
 """``ParDis`` — parallel GFD mining over a fragmented graph (Section 6.2).
 
-The algorithm runs in supersteps on a master + ``n`` workers
-(:class:`~repro.parallel.cluster.SimulatedCluster`).  The graph is
+The algorithm runs in supersteps on a master + ``n`` workers.  The graph is
 vertex-cut fragmented; each worker *owns* a shard of every verified
 pattern's matches (seeded from the fragment's nodes, then carried along by
 the incremental joins ``Q'(F_s) = Q(F_s) ⋈ e(F_t)``).  Per superstep,
@@ -18,16 +17,27 @@ mirroring Figure 3:
    masks on their shards, the master aggregates counts and (exactly)
    unions pivot-support sets.
 
-The discovered set equals ``SeqDis``'s output — parallel scalability
-(Theorem 5) is about time, not results — which the integration tests
-assert.  ``config.max_matches_per_pattern`` is not enforced here (shards
-are unbounded); size workloads accordingly.
+Worker-side execution is delegated to an
+:class:`~repro.parallel.backend.ExecutionBackend`: the ``serial`` backend
+runs the shard ops inline under the metered
+:class:`~repro.parallel.cluster.SimulatedCluster` (the default), while the
+``multiprocess`` backend runs them in real worker processes over
+shared-memory graph buffers (``config.parallel_backend``).  Either way the
+discovered set equals ``SeqDis``'s output — parallel scalability
+(Theorem 5) is about time, not results — which the randomized differential
+harness (``tests/test_differential.py``) asserts across all backends.
+
+``config.max_matches_per_pattern`` is enforced per shard: a pattern whose
+global join reaches the cap is marked *truncated* and becomes a leaf — it
+emits no GFDs and spawns no children, exactly like the sequential engine —
+so both engines agree on the discovered set even when the cap binds.
 """
 
 from __future__ import annotations
 
+import itertools
 import time
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -44,8 +54,6 @@ from ..core.match_table import (
 from ..core.reduction import minimal_cover_by_reduction
 from ..core.results import DiscoveryResult
 from ..core.spawning import (
-    counts_from_statistics,
-    extension_statistics,
     extensions_from_counts,
     merge_extension_counts,
     speculative_closing_extensions,
@@ -54,14 +62,18 @@ from ..core.spawning import (
 from ..gfd.gfd import GFD
 from ..gfd.literals import FALSE, Literal
 from ..graph.graph import Graph
-from ..pattern.canonical import canonical_key
-from ..pattern.incremental import Extension, apply_extension, extend_matches
+from ..pattern.incremental import Extension, apply_extension
 from ..pattern.matcher import Match
 from ..pattern.pattern import WILDCARD, Pattern
-from .balancer import is_skewed, rebalance_pivot_groups
+from .backend import BACKEND_NAMES, ExecutionBackend, make_backend
+from .balancer import is_skewed, rebalance_pivot_group_arrays, rebalance_pivot_groups
 from .cluster import SimulatedCluster
 
 __all__ = ["ParallelDiscovery", "discover_parallel"]
+
+#: Pattern-node keys are unique across every engine in this master process,
+#: so engines sharing one external backend never collide on worker state.
+_NODE_KEYS = itertools.count()
 
 
 class _Task:
@@ -85,29 +97,67 @@ class ParallelDiscovery(SequentialDiscovery):
 
     Args:
         graph: the data graph.
-        config: discovery parameters (shared with the sequential algorithm).
-        num_workers: the number ``n`` of workers.
+        config: discovery parameters (shared with the sequential algorithm);
+            ``config.parallel_backend`` selects the execution backend and
+            ``config.shared_memory`` its buffer transport.
+        num_workers: the number ``n`` of workers (``None`` falls back to
+            ``config.num_workers``, then 4).
         balance: enable match re-distribution on skew (Section 6.2's load
             balancing; ``False`` gives the paper's ``ParGFDnb`` baseline).
         cluster: optionally supply a pre-built cluster (for shared metering).
+        backend: a backend name overriding the config, or a pre-started
+            :class:`~repro.parallel.backend.ExecutionBackend` to reuse
+            across runs (the caller keeps ownership; worker counts must
+            match).
     """
 
     def __init__(
         self,
         graph: Graph,
         config: DiscoveryConfig,
-        num_workers: int,
+        num_workers: Optional[int] = None,
         balance: bool = True,
         cluster: Optional[SimulatedCluster] = None,
         stats=None,
         index=None,
+        backend: Union[None, str, ExecutionBackend] = None,
     ) -> None:
         super().__init__(graph, config, stats=stats, index=index)
+        if isinstance(backend, ExecutionBackend):
+            if num_workers is not None and num_workers != backend.num_workers:
+                raise ValueError(
+                    f"num_workers={num_workers} conflicts with the supplied "
+                    f"backend's {backend.num_workers} workers"
+                )
+            self._backend: Optional[ExecutionBackend] = backend
+            self._owns_backend = False
+            self._backend_name = backend.name
+            num_workers = backend.num_workers
+        else:
+            self._backend = None
+            self._owns_backend = True
+            self._backend_name = backend or config.parallel_backend
+            if self._backend_name not in BACKEND_NAMES:
+                raise ValueError(
+                    f"unknown parallel backend {self._backend_name!r} "
+                    f"(expected one of {BACKEND_NAMES})"
+                )
+            if self._backend_name == "multiprocess" and self.index is None:
+                raise ValueError(
+                    "parallel_backend='multiprocess' requires the frozen "
+                    "graph index; it cannot run with config.use_index=False"
+                )
+            if num_workers is None:
+                num_workers = (
+                    config.num_workers if config.num_workers is not None else 4
+                )
         self.cluster = cluster or SimulatedCluster(num_workers)
         self.balance = balance
-        # per tree-node shards: node id -> per-worker match lists / tables
-        self._shards: Dict[int, List[List[Match]]] = {}
-        self._tables: Dict[int, List[MatchTable]] = {}
+        # master-side bookkeeping per tree node (worker state lives in the
+        # backend): node identity -> backend key, per-worker row counts,
+        # column statistics collected at install time
+        self._keys: Dict[int, int] = {}
+        self._shard_rows: Dict[int, List[int]] = {}
         self._column_stats: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
@@ -116,25 +166,66 @@ class ParallelDiscovery(SequentialDiscovery):
         """The worker count ``n``."""
         return self.cluster.num_workers
 
+    @property
+    def backend_name(self) -> str:
+        """The execution backend this engine runs on."""
+        return self._backend_name
+
     def run(self) -> DiscoveryResult:
         """Execute parallel discovery; results equal the sequential run's."""
         started = time.perf_counter()
-        tree = GenerationTree()
-        self._seed_parallel(tree)
-        for node in tree.level(0):
-            self._hspawn_parallel(node)
-        for level in range(1, self.config.edge_budget + 1):
-            new_nodes = self._vspawn_parallel(tree, level)
-            if not new_nodes:
-                break
-            for node in new_nodes:
+        if self._owns_backend:
+            self._backend = make_backend(
+                self._backend_name,
+                self.num_workers,
+                self.graph,
+                self.index,
+                self.gamma,
+                use_shared_memory=self.config.shared_memory,
+            )
+        else:
+            if self._backend.num_workers != self.num_workers:
+                raise ValueError(
+                    f"backend has {self._backend.num_workers} workers but "
+                    f"the cluster has {self.num_workers}"
+                )
+            expected = (id(self.graph), id(self.index))
+            if self._backend.source_token != expected:
+                raise ValueError(
+                    "the supplied backend was built for a different graph "
+                    "snapshot; rebuild it from this graph's current index"
+                )
+        try:
+            tree = GenerationTree()
+            self._seed_parallel(tree)
+            for node in tree.level(0):
                 self._hspawn_parallel(node)
-        gfds = [gfd for gfd, _ in self._found.values()]
-        supports = {gfd: supp for gfd, supp in self._found.values()}
-        with self.cluster.master():
-            if self.config.minimality_filter:
-                gfds = minimal_cover_by_reduction(gfds)
-                supports = {gfd: supports[gfd] for gfd in gfds}
+            for level in range(1, self.config.edge_budget + 1):
+                new_nodes = self._vspawn_parallel(tree, level)
+                if not new_nodes:
+                    break
+                for node in new_nodes:
+                    self._hspawn_parallel(node)
+            gfds = [gfd for gfd, _ in self._found.values()]
+            supports = {gfd: supp for gfd, supp in self._found.values()}
+            with self.cluster.master():
+                if self.config.minimality_filter:
+                    gfds = minimal_cover_by_reduction(gfds)
+                    supports = {gfd: supports[gfd] for gfd in gfds}
+        finally:
+            if self._owns_backend:
+                self._backend.shutdown()
+                self._backend = None
+            else:
+                # the caller keeps the backend: clear this run's shard state
+                # (best effort — a backend that just broke mid-run must not
+                # displace the original error with its cleanup failure)
+                try:
+                    self._backend.run_unmetered(
+                        [(w, "reset", 0, {}) for w in range(self.num_workers)]
+                    )
+                except Exception:
+                    pass
         self.stats.positives_found = sum(1 for gfd in gfds if gfd.is_positive)
         self.stats.negatives_found = sum(1 for gfd in gfds if gfd.is_negative)
         self.stats.elapsed_seconds = time.perf_counter() - started
@@ -160,65 +251,115 @@ class ParallelDiscovery(SequentialDiscovery):
             node, created = tree.add(pattern, level=0)
             if not created:
                 continue
-            shards: List[List[Match]] = [[] for _ in range(n)]
-            for v in self.graph.nodes_with_label(label):
-                shards[v % n].append((v,))
+            if self.index is not None:
+                owners = self.index.nodes_with_label(label)
+                shards: List = [
+                    owners[owners % n == worker][:, None] for worker in range(n)
+                ]
+            else:
+                shards = [[] for _ in range(n)]
+                for v in self.graph.nodes_with_label(label):
+                    shards[v % n].append((v,))
             node.support = count
             self._install_shards(node, shards)
             self.stats.patterns_spawned += 1
             self.stats.patterns_frequent += 1
 
-    def _install_shards(self, node: TreeNode, shards: List[List[Match]]) -> None:
-        """Build per-worker match tables + column statistics in one superstep.
+    def _union_table(
+        self, node: TreeNode, shards: List, truncated: bool = False
+    ) -> MatchTable:
+        """A lightweight master-side union view of the shard matches."""
+        if self.index is not None:
+            width = node.pattern.num_nodes
+            parts = [
+                np.asarray(shard, dtype=np.int64).reshape(-1, width)
+                for shard in shards
+            ]
+            matches: Union[List[Match], np.ndarray] = (
+                np.concatenate(parts)
+                if parts
+                else np.empty((0, width), dtype=np.int64)
+            )
+        else:
+            matches = [match for shard in shards for match in shard]
+        return MatchTable(
+            self.graph,
+            node.pattern,
+            matches,
+            [],
+            truncated=truncated,
+            index=self.index,
+        )
+
+    def _install_shards(
+        self,
+        node: TreeNode,
+        shards: Optional[List],
+        truncated: bool = False,
+        adopt: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """Install per-worker match tables + column statistics in one superstep.
 
         The column statistics feed the master's alphabet generation, saving
-        a dedicated round per pattern.
+        a dedicated round per pattern.  ``shards`` carries the per-worker
+        matches; on a remote backend ``adopt`` instead names the join slot
+        the matches were parked in worker-side, so no rows cross the
+        process boundary.  Truncated patterns are leaves: no worker state
+        is installed, so they are skipped by both spawning directions
+        (matching the sequential engine's refusal to certify anything from
+        a capped table).
         """
-        tables: List[Optional[MatchTable]] = [None] * self.num_workers
-        value_parts = []
-        agreement_parts = []
+        if truncated:
+            self.stats.truncated_patterns += 1
+            if not self._backend.remote:
+                node.table = self._union_table(node, shards, truncated=True)
+            return
+        key = next(_NODE_KEYS)
+        self._keys[id(node)] = key
         want_variable = (
             self.config.variable_literals and node.pattern.num_nodes > 1
         )
         mined = not self.config.prune or node.support >= self.config.sigma
+        base_payload = {
+            "pattern": node.pattern,
+            "mined": mined,
+            "want_variable": want_variable,
+            "same_attr_only": self.config.variable_literals_same_attr_only,
+        }
+        requests = []
+        for worker in range(self.num_workers):
+            payload = dict(base_payload)
+            if adopt is not None:
+                payload["adopt"] = adopt
+            else:
+                payload["matches"] = shards[worker]
+            requests.append((worker, "install", key, payload))
         with self.cluster.superstep() as step:
-            for worker in range(self.num_workers):
-                def build(worker: int = worker):
-                    table = MatchTable(
-                        self.graph,
-                        node.pattern,
-                        shards[worker],
-                        self.gamma,
-                        index=self.index,
-                    )
-                    if not mined:
-                        return table, {}, {}
-                    values = table.constant_value_counts()
-                    agreements = (
-                        table.variable_agreement_counts(
-                            self.config.variable_literals_same_attr_only
-                        )
-                        if want_variable
-                        else {}
-                    )
-                    return table, values, agreements
-                table, values, agreements = step.run(worker, build)
-                tables[worker] = table
-                value_parts.append(values)
-                agreement_parts.append(agreements)
+            parts = self._backend.run_superstep(step, requests)
+        self._shard_rows[key] = [part[0] for part in parts]
         if mined:
-            self._column_stats[id(node)] = (value_parts, agreement_parts)
-        self._shards[id(node)] = shards
-        self._tables[id(node)] = tables  # type: ignore[assignment]
-        # keep a lightweight union view for code that only reads matches
-        # (extension tallying never touches it — workers tally shards).
-        node.table = MatchTable(
-            self.graph,
-            node.pattern,
-            [match for shard in shards for match in shard],
-            [],
-            index=self.index,
+            self._column_stats[key] = (
+                [part[1] for part in parts],
+                [part[2] for part in parts],
+            )
+        if not self._backend.remote:
+            # keep a union view for code that only reads matches (workers
+            # hold the authoritative shards; skipped on real processes
+            # where it would double the master's memory)
+            node.table = self._union_table(node, shards)
+
+    def _drop_parent(self, parent: TreeNode, parent_key: int) -> None:
+        """Free a finished pattern's worker-side state and master bookkeeping."""
+        self._backend.run_unmetered(
+            [
+                (worker, "drop", parent_key, {})
+                for worker in range(self.num_workers)
+            ],
+            wait=False,
         )
+        self._keys.pop(id(parent), None)
+        self._shard_rows.pop(parent_key, None)
+        self._column_stats.pop(parent_key, None)
 
     def _spawn_extensions(self, parent: TreeNode) -> List[Extension]:
         """Master-side extension generation from merged worker tallies.
@@ -227,22 +368,14 @@ class ParallelDiscovery(SequentialDiscovery):
         pivot-disjoint sharding makes the master's aggregation a plain sum,
         so only small count dictionaries are shipped.
         """
-        shards = self._shards[id(parent)]
+        key = self._keys[id(parent)]
         can_add = parent.pattern.num_nodes < self.config.k
-        parts = []
+        requests = [
+            (worker, "tally", key, {"can_add": can_add})
+            for worker in range(self.num_workers)
+        ]
         with self.cluster.superstep() as step:
-            for worker in range(self.num_workers):
-                def tally(worker: int = worker):
-                    return counts_from_statistics(
-                        extension_statistics(
-                            self.graph,
-                            parent.pattern,
-                            shards[worker],
-                            can_add,
-                            index=self.index,
-                        )
-                    )
-                parts.append(step.run(worker, tally))
+            parts = self._backend.run_superstep(step, requests)
         with self.cluster.master():
             merged = merge_extension_counts(parts)
             self.cluster.ship_to_master(
@@ -267,12 +400,17 @@ class ParallelDiscovery(SequentialDiscovery):
         edge_label_counts = self.graph_stats.edge_label_counts
         total_edges = self.graph.num_edges
         n = self.num_workers
+        cap = self.config.max_matches_per_pattern
         for parent in parents:
-            if id(parent) not in self._shards:
-                continue
-            if self.config.prune and parent.support < self.config.sigma:
-                continue
-            if parent.support == 0:
+            parent_key = self._keys.get(id(parent))
+            if parent_key is None:
+                continue  # never installed (e.g. truncated leaf)
+            if (
+                self.config.prune and parent.support < self.config.sigma
+            ) or parent.support == 0:
+                # a leaf (infrequent or zero-support): its HSpawn already
+                # ran last level, so its worker-side shards are dead weight
+                self._drop_parent(parent, parent_key)
                 continue
             extensions = self._spawn_extensions(parent)
             # master-side dedup first, so workers only join novel patterns
@@ -293,77 +431,103 @@ class ParallelDiscovery(SequentialDiscovery):
                         >= self.config.max_patterns_per_level
                     ):
                         break
-            if not novel:
-                continue
-            parent_shards = self._shards[id(parent)]
-            # one superstep: every worker joins its shard with ALL new
-            # extension edges of this parent (the (Q, e) work units).
-            joined: List[List[List[Match]]] = []  # [worker][ext] -> matches
-            pivot_parts: List[List[int]] = []  # [worker][ext] -> local supp
-            with self.cluster.superstep() as step:
-                for worker in range(n):
-                    for _, extension in novel:
-                        label = extension.edge_label
-                        label_edges = (
-                            total_edges
-                            if label == WILDCARD
-                            else edge_label_counts.get(label, 0)
-                        )
-                        step.ship(worker, label_edges - label_edges // n)
-
-                    def join(worker: int = worker):
-                        per_ext_matches: List[List[Match]] = []
-                        per_ext_supports: List[int] = []
-                        for node, extension in novel:
-                            matches = extend_matches(
-                                self.graph,
-                                parent_shards[worker],
-                                extension,
-                                index=self.index,
-                            )
-                            pivot_var = node.pattern.pivot
-                            per_ext_matches.append(matches)
-                            per_ext_supports.append(
-                                len({match[pivot_var] for match in matches})
-                            )
-                        return per_ext_matches, per_ext_supports
-
-                    matches_w, supports_w = step.run(worker, join)
-                    joined.append(matches_w)
-                    pivot_parts.append(supports_w)
-            for position, (node, extension) in enumerate(novel):
-                new_shards = [joined[worker][position] for worker in range(n)]
-                if self.balance and is_skewed(
-                    [len(shard) for shard in new_shards]
-                ):
-                    # matches move in whole pivot groups, preserving the
-                    # pivot-disjointness that makes supports summable
-                    new_shards, moved = rebalance_pivot_groups(
-                        new_shards, node.pattern.pivot
+            if novel:
+                # one superstep: every worker joins its shard with ALL new
+                # extension edges of this parent (the (Q, e) work units).
+                # Remote workers park the joined rows locally (the upcoming
+                # install adopts them in place) and ship scalars only.
+                remote = self._backend.remote
+                requests = [
+                    (
+                        worker,
+                        "join",
+                        parent_key,
+                        {
+                            "extensions": [
+                                (extension, node.pattern.pivot)
+                                for node, extension in novel
+                            ],
+                            "cap": cap,
+                            "park": remote,
+                        },
                     )
-                    with self.cluster.superstep() as step:
-                        for worker, received in moved.items():
-                            step.ship(
-                                worker, received * node.pattern.num_nodes
+                    for worker in range(n)
+                ]
+                with self.cluster.superstep() as step:
+                    for worker in range(n):
+                        for _, extension in novel:
+                            label = extension.edge_label
+                            label_edges = (
+                                total_edges
+                                if label == WILDCARD
+                                else edge_label_counts.get(label, 0)
                             )
-                with self.cluster.master():
-                    # pivot-disjoint shards: global support is a plain sum
-                    node.support = sum(
-                        pivot_parts[worker][position] for worker in range(n)
+                            step.ship(worker, label_edges - label_edges // n)
+                    joined = self._backend.run_superstep(step, requests)
+                for position, (node, extension) in enumerate(novel):
+                    per_worker = [joined[worker][position] for worker in range(n)]
+                    new_shards = [part[0] for part in per_worker]
+                    sizes = [part[2] for part in per_worker]
+                    truncated = cap is not None and (
+                        any(part[3] for part in per_worker)
+                        or sum(sizes) >= cap
                     )
-                    self.cluster.ship_to_master(n)
-                self._install_shards(node, new_shards)
-                if node.support >= self.config.sigma:
-                    self.stats.patterns_frequent += 1
-                if node.support == 0:
-                    self.stats.patterns_zero_support += 1
-                    if (
-                        self.config.mine_negative
-                        and parent.support >= self.config.sigma
-                    ):
-                        negative = GFD(node.pattern, frozenset(), FALSE)
-                        self._emit(negative, parent.support)
-                created_nodes.append(node)
+                    with self.cluster.master():
+                        # pivot-disjoint shards: global support is a plain sum
+                        node.support = sum(part[1] for part in per_worker)
+                        self.cluster.ship_to_master(n)
+                    adopt: Optional[Tuple[int, int]] = (
+                        (parent_key, position) if remote else None
+                    )
+                    if not truncated and self.balance and is_skewed(sizes):
+                        # matches move in whole pivot groups, preserving the
+                        # pivot-disjointness that makes supports summable
+                        if remote:
+                            # pull the parked shards in for redistribution —
+                            # the one case the rows must visit the master
+                            fetch = [
+                                (
+                                    worker,
+                                    "fetch_join",
+                                    parent_key,
+                                    {"position": position},
+                                )
+                                for worker in range(n)
+                            ]
+                            with self.cluster.superstep() as step:
+                                new_shards = self._backend.run_superstep(
+                                    step, fetch
+                                )
+                            adopt = None
+                        if self.index is not None:
+                            new_shards, moved = rebalance_pivot_group_arrays(
+                                new_shards, node.pattern.pivot
+                            )
+                        else:
+                            new_shards, moved = rebalance_pivot_groups(
+                                new_shards, node.pattern.pivot
+                            )
+                        with self.cluster.superstep() as step:
+                            for worker, received in moved.items():
+                                step.ship(
+                                    worker, received * node.pattern.num_nodes
+                                )
+                    self._install_shards(
+                        node, new_shards, truncated=truncated, adopt=adopt
+                    )
+                    if node.support >= self.config.sigma:
+                        self.stats.patterns_frequent += 1
+                    if node.support == 0:
+                        self.stats.patterns_zero_support += 1
+                        if (
+                            self.config.mine_negative
+                            and parent.support >= self.config.sigma
+                        ):
+                            negative = GFD(node.pattern, frozenset(), FALSE)
+                            self._emit(negative, parent.support)
+                    created_nodes.append(node)
+            # the parent's children are joined: free its worker-side state
+            self._drop_parent(parent, parent_key)
             if (
                 self.config.max_patterns_per_level is not None
                 and len(created_nodes) >= self.config.max_patterns_per_level
@@ -383,7 +547,9 @@ class ParallelDiscovery(SequentialDiscovery):
         want_variable = (
             self.config.variable_literals and node.pattern.num_nodes > 1
         )
-        value_parts, agreement_parts = self._column_stats.pop(id(node))
+        value_parts, agreement_parts = self._column_stats.pop(
+            self._keys[id(node)]
+        )
         with self.cluster.master():
             merged_values = merge_value_counts(value_parts)
             self.cluster.ship_to_master(
@@ -407,35 +573,30 @@ class ParallelDiscovery(SequentialDiscovery):
 
     def _hspawn_parallel(self, node: TreeNode) -> None:
         """``HSpawn`` with per-level batched validation (the ``ΣC_{ij}`` rounds)."""
-        if id(node) not in self._tables:
-            return
+        key = self._keys.get(id(node))
+        if key is None:
+            return  # truncated leaf or never installed
         if node.support < self.config.sigma and self.config.prune:
             return
         literals = self._literal_alphabet_parallel(node)
         if not literals:
             return
-        tables = self._tables[id(node)]
         n = self.num_workers
-        total_rows = sum(table.num_rows for table in tables)
+        total_rows = sum(self._shard_rows[key])
 
         # batch 0 — one superstep: per-literal counts and *local* distinct
-        # pivot counts on every shard (warms the workers' mask caches);
-        # pivot-disjoint sharding makes the global support a plain sum.
-        count_parts: List[List[int]] = []
-        support_parts: List[List[int]] = []
+        # pivot counts on every shard (warms the workers' mask caches and
+        # opens the mask stores); pivot-disjoint sharding makes the global
+        # support a plain sum.
+        requests = [
+            (worker, "scan", key, {"literals": literals})
+            for worker in range(n)
+        ]
         with self.cluster.superstep() as step:
-            for worker, table in enumerate(tables):
-                def scan(table: MatchTable = table):
-                    counts, supports = [], []
-                    for literal in literals:
-                        mask = table.literal_mask(literal)
-                        counts.append(table.mask_count(mask))
-                        supports.append(table.mask_support(mask))
-                    return counts, supports
-                counts, supports = step.run(worker, scan)
-                count_parts.append(counts)
-                support_parts.append(supports)
-        self.cluster.ship_to_master(2 * len(literals) * len(tables))
+            parts = self._backend.run_superstep(step, requests)
+        count_parts = [part[0] for part in parts]
+        support_parts = [part[1] for part in parts]
+        self.cluster.ship_to_master(2 * len(literals) * n)
         literal_count: Dict[Literal, int] = {}
         literal_support: Dict[Literal, int] = {}
         for position, literal in enumerate(literals):
@@ -453,13 +614,12 @@ class ParallelDiscovery(SequentialDiscovery):
         else:
             lattice_literals = literals
 
-        # worker-side mask stores; id 0 is the full mask
-        stores: List[Dict[int, np.ndarray]] = [
-            {0: table.full_mask()} for table in tables
-        ]
         next_mask_id = 1
         empty: FrozenSet[Literal] = frozenset()
         indexed = list(enumerate(lattice_literals))
+        #: mask ids the master retired last level (pruned lazily with the
+        #: next worker round instead of a dedicated superstep)
+        pending_drops: List[int] = []
 
         # NHSpawn bases: (lhs, rhs, rows mask id, base support)
         nh_bases: List[Tuple[FrozenSet[Literal], Literal, int, int]] = []
@@ -503,60 +663,23 @@ class ParallelDiscovery(SequentialDiscovery):
                             meta.append((task, extended, index, mask_id))
             if not specs:
                 break
-            # group spec positions by their parent mask so each worker can
-            # evaluate a whole group with one stacked numpy operation
-            groups: Dict[int, List[int]] = {}
-            for position, (rows_id, _, _, _) in enumerate(specs):
-                groups.setdefault(rows_id, []).append(position)
-            group_items = sorted(groups.items())
-            # one superstep: the whole level's candidate batch
+            # one superstep: the whole level's candidate batch; workers
+            # stack candidates sharing a parent mask into one numpy op
+            requests = [
+                (worker, "eval", key, {"specs": specs, "drop": pending_drops})
+                for worker in range(n)
+            ]
+            with self.cluster.superstep() as step:
+                results = self._backend.run_superstep(step, requests)
+            pending_drops = []
             total_lhs = np.zeros(len(specs), dtype=np.int64)
             total_both = np.zeros(len(specs), dtype=np.int64)
             total_supp = np.zeros(len(specs), dtype=np.int64)
-            with self.cluster.superstep() as step:
-                for worker, table in enumerate(tables):
-                    def evaluate(
-                        worker: int = worker, table: MatchTable = table
-                    ):
-                        count_lhs_arr = np.zeros(len(specs), dtype=np.int64)
-                        count_both_arr = np.zeros(len(specs), dtype=np.int64)
-                        support_arr = np.zeros(len(specs), dtype=np.int64)
-                        store = stores[worker]
-                        for rows_id, positions in group_items:
-                            parent = store[rows_id]
-                            lhs_stack = np.stack(
-                                [
-                                    table.literal_mask(specs[p][1])
-                                    for p in positions
-                                ]
-                            )
-                            lhs_stack &= parent
-                            rhs_stack = np.stack(
-                                [
-                                    table.literal_mask(specs[p][2])
-                                    for p in positions
-                                ]
-                            )
-                            rhs_stack &= lhs_stack
-                            count_lhs = lhs_stack.sum(axis=1)
-                            count_both = rhs_stack.sum(axis=1)
-                            active = np.flatnonzero(count_both)
-                            if active.size:
-                                supports = table.stack_supports(
-                                    rhs_stack[active]
-                                )
-                                for where, offset in enumerate(active):
-                                    support_arr[positions[offset]] = supports[where]
-                            for offset, p in enumerate(positions):
-                                store[specs[p][3]] = lhs_stack[offset]
-                                count_lhs_arr[p] = count_lhs[offset]
-                                count_both_arr[p] = count_both[offset]
-                        return count_lhs_arr, count_both_arr, support_arr
-                    lhs_arr, both_arr, supp_arr = step.run(worker, evaluate)
-                    total_lhs += lhs_arr
-                    total_both += both_arr
-                    total_supp += supp_arr
-            self.cluster.ship_to_master(3 * len(specs) * len(tables))
+            for lhs_arr, both_arr, supp_arr in results:
+                total_lhs += lhs_arr
+                total_both += both_arr
+                total_supp += supp_arr
+            self.cluster.ship_to_master(3 * len(specs) * n)
             with self.cluster.master():
                 for position, (task, extended, index, mask_id) in enumerate(meta):
                     count_lhs = int(total_lhs[position])
@@ -583,8 +706,7 @@ class ParallelDiscovery(SequentialDiscovery):
                             task._next_frontier.append((extended, index, mask_id))
                             keep = True
                     if not keep:
-                        for store in stores:
-                            store.pop(mask_id, None)
+                        pending_drops.append(mask_id)
             for task in tasks:
                 task.frontier = task._next_frontier
                 task._next_frontier = []
@@ -592,16 +714,23 @@ class ParallelDiscovery(SequentialDiscovery):
             if not tasks and not nh_bases:
                 break
 
-        self._nhspawn_batched(node, tables, stores, literals, literal_count, nh_bases)
+        self._nhspawn_batched(
+            node, key, literals, literal_count, nh_bases, pending_drops
+        )
+        # the lattice is exhausted: free the workers' mask stores
+        self._backend.run_unmetered(
+            [(worker, "drop_store", key, {}) for worker in range(n)],
+            wait=False,
+        )
 
     def _nhspawn_batched(
         self,
         node: TreeNode,
-        tables: List[MatchTable],
-        stores: List[Dict[int, np.ndarray]],
+        key: int,
         literals: List[Literal],
         literal_count: Dict[Literal, int],
         nh_bases: List[Tuple[FrozenSet[Literal], Literal, int, int]],
+        pending_drops: List[int],
     ) -> None:
         """``NHSpawn`` for all bases of a pattern in one superstep."""
         if not self.config.mine_negative or not nh_bases:
@@ -624,28 +753,13 @@ class ParallelDiscovery(SequentialDiscovery):
                     meta.append((base_index, lhs, literal, base_support))
         if not specs:
             return
-        groups: Dict[int, List[int]] = {}
-        for position, (rows_id, _) in enumerate(specs):
-            groups.setdefault(rows_id, []).append(position)
-        group_items = sorted(groups.items())
-        overlap_parts: List[List[bool]] = []
+        requests = [
+            (worker, "probe", key, {"specs": specs, "drop": pending_drops})
+            for worker in range(self.num_workers)
+        ]
         with self.cluster.superstep() as step:
-            for worker, table in enumerate(tables):
-                def probe(worker: int = worker, table: MatchTable = table):
-                    overlaps: List[bool] = [False] * len(specs)
-                    store = stores[worker]
-                    for rows_id, positions in group_items:
-                        parent = store[rows_id]
-                        stack = np.stack(
-                            [table.literal_mask(specs[p][1]) for p in positions]
-                        )
-                        stack &= parent
-                        hits = stack.any(axis=1)
-                        for offset, p in enumerate(positions):
-                            overlaps[p] = bool(hits[offset])
-                    return overlaps
-                overlap_parts.append(step.run(worker, probe))
-        self.cluster.ship_to_master(len(specs) * len(tables))
+            overlap_parts = self._backend.run_superstep(step, requests)
+        self.cluster.ship_to_master(len(specs) * self.num_workers)
         with self.cluster.master():
             emitted_per_base: Dict[int, int] = {}
             for position, (base_index, lhs, literal, base_support) in enumerate(meta):
@@ -661,15 +775,18 @@ class ParallelDiscovery(SequentialDiscovery):
 def discover_parallel(
     graph: Graph,
     config: Optional[DiscoveryConfig] = None,
-    num_workers: int = 4,
+    num_workers: Optional[int] = None,
     balance: bool = True,
     stats=None,
     index=None,
+    backend: Union[None, str, ExecutionBackend] = None,
 ) -> Tuple[DiscoveryResult, SimulatedCluster]:
     """Run ``ParDis`` and return (result, metered cluster).
 
     ``stats``/``index`` accept precomputed graph snapshots so worker sweeps
-    (Figures 5a-c) don't rescan the same graph once per worker count.
+    (Figures 5a-c) don't rescan the same graph once per worker count;
+    ``backend`` overrides ``config.parallel_backend`` (a name) or supplies a
+    pre-started backend to reuse across runs.
     """
     runner = ParallelDiscovery(
         graph,
@@ -678,6 +795,7 @@ def discover_parallel(
         balance=balance,
         stats=stats,
         index=index,
+        backend=backend,
     )
     result = runner.run()
     return result, runner.cluster

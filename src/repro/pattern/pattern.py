@@ -101,6 +101,14 @@ class Pattern:
     def __setattr__(self, name: str, value) -> None:
         raise AttributeError("Pattern is immutable")
 
+    def __reduce__(self):
+        """Pickle as constructor arguments (the blocked ``__setattr__``
+        breaks the default slot-state protocol); caches rebuild lazily."""
+        return (
+            Pattern,
+            (self.labels, [edge.as_tuple() for edge in self.edges], self.pivot),
+        )
+
     # ------------------------------------------------------------------
     @property
     def num_nodes(self) -> int:

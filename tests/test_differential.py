@@ -1,0 +1,231 @@
+"""Randomized differential harness: every engine finds the same GFDs.
+
+The paper's Theorem 5 claims ``ParDis`` changes *time*, never *results*.
+This harness generates a seeded population of adversarial graphs (skewed
+label distributions, dense attribute columns, multigraph edges, isolated
+nodes, self-referential structure) and asserts four engine configurations
+agree exactly on every one:
+
+* ``SequentialDiscovery`` over the frozen CSR index,
+* ``SequentialDiscovery`` with ``use_index=False`` (dict reference path),
+* ``ParallelDiscovery`` on the ``serial`` backend,
+* ``ParallelDiscovery`` on the ``multiprocess`` backend (2–4 real workers
+  over shared-memory graph buffers).
+
+Agreement is checked on the canonical-keyed GFD sets, the per-rule support
+counts, and the minimal covers.  A companion class locks down the
+``DistinctPivotSketch`` merge semantics the multi-worker tally aggregation
+relies on.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import DiscoveryConfig, discover, gfd_identity, sequential_cover
+from repro.core.support import DistinctPivotSketch, sketch_distinct_upper_bound
+from repro.graph import Graph
+from repro.parallel import discover_parallel
+
+#: Number of random graphs in the population (one pytest case each).
+NUM_GRAPHS = 30
+
+NODE_LABELS = ["person", "film", "book", "city", "award", "studio"]
+EDGE_LABELS = ["create", "like", "live_in", "win", "made_by"]
+ATTRS = ["kind", "year", "grade"]
+
+
+def _random_graph(seed: int) -> Graph:
+    """One adversarial random graph, deterministic per seed.
+
+    Varies along the axes the engines disagree on when buggy: label skew
+    (Zipf-ish weights stress shard imbalance and the load balancer), dense
+    vs sparse attribute columns (stresses the MISSING handling), parallel
+    edges between one node pair (multigraph CSR dedup), and isolated nodes
+    (empty shards, empty neighborhoods).
+    """
+    rng = random.Random(seed)
+    num_nodes = rng.randint(36, 80)
+    num_labels = rng.randint(2, len(NODE_LABELS))
+    labels = NODE_LABELS[:num_labels]
+    # skewed label choice: weight 1/(rank+1)
+    weights = [1.0 / (rank + 1) for rank in range(num_labels)]
+    dense_attrs = rng.random() < 0.5
+    attr_density = 0.95 if dense_attrs else rng.uniform(0.25, 0.7)
+    value_pool = {
+        "kind": ["a", "b", "c"][: rng.randint(2, 3)],
+        "year": list(range(2000, 2000 + rng.randint(2, 4))),
+        "grade": ["x", "y"],
+    }
+
+    graph = Graph()
+    for _ in range(num_nodes):
+        label = rng.choices(labels, weights=weights)[0]
+        attrs = {
+            attr: rng.choice(value_pool[attr])
+            for attr in ATTRS
+            if rng.random() < attr_density
+        }
+        graph.add_node(label, attrs)
+
+    # leave a tail of isolated nodes (no incident edges at all)
+    num_isolated = rng.randint(2, 6)
+    connectable = list(range(num_nodes - num_isolated))
+    num_edges = rng.randint(num_nodes, 3 * num_nodes)
+    edge_labels = EDGE_LABELS[: rng.randint(2, len(EDGE_LABELS))]
+    for _ in range(num_edges):
+        src = rng.choice(connectable)
+        dst = rng.choice(connectable)
+        if src == dst:
+            continue
+        graph.add_edge(src, dst, rng.choice(edge_labels))
+    # multigraph stress: stack several labels on a few fixed pairs
+    for _ in range(rng.randint(1, 5)):
+        src = rng.choice(connectable)
+        dst = rng.choice(connectable)
+        if src == dst:
+            continue
+        for label in edge_labels:
+            graph.add_edge(src, dst, label)
+    return graph
+
+
+def _config(seed: int) -> DiscoveryConfig:
+    """Discovery parameters varied (deterministically) with the graph."""
+    rng = random.Random(10_000 + seed)
+    return DiscoveryConfig(
+        k=rng.choice([2, 2, 3]),
+        sigma=rng.randint(3, 7),
+        max_lhs_size=1,
+        active_attributes=list(ATTRS),
+        mine_negative=rng.random() < 0.8,
+        variable_literals=rng.random() < 0.8,
+        parallel_backend="serial",
+    )
+
+
+def _fingerprint(result):
+    """(gfd set, supports, cover) under canonical keys — the parity basis."""
+    keys = frozenset(gfd_identity(g) for g in result.gfds)
+    supports = {gfd_identity(g): result.supports[g] for g in result.gfds}
+    cover = frozenset(
+        gfd_identity(g) for g in sequential_cover(result.gfds).cover
+    )
+    return keys, supports, cover
+
+
+class TestDifferentialEngines:
+    @pytest.mark.parametrize("seed", range(NUM_GRAPHS))
+    def test_engines_agree(self, seed):
+        graph = _random_graph(seed)
+        config = _config(seed)
+        reference = _fingerprint(discover(graph, config))
+
+        from dataclasses import replace
+
+        no_index = _fingerprint(
+            discover(graph, replace(config, use_index=False))
+        )
+        assert no_index == reference, "use_index=False diverged"
+
+        serial, cluster = discover_parallel(
+            graph, config, num_workers=2 + seed % 3, backend="serial"
+        )
+        assert _fingerprint(serial) == reference, "ParDis(serial) diverged"
+        assert cluster.metrics.supersteps > 0
+
+        workers = 2 + seed % 3  # 2–4 real processes
+        multiprocess, _ = discover_parallel(
+            graph, config, num_workers=workers, backend="multiprocess"
+        )
+        assert _fingerprint(multiprocess) == reference, (
+            f"ParDis(multiprocess, {workers} workers) diverged"
+        )
+
+    def test_balancing_off_agrees(self):
+        """``ParGFDnb`` (no balancing) also matches, on both backends."""
+        graph = _random_graph(3)
+        config = _config(3)
+        reference = _fingerprint(discover(graph, config))
+        for backend in ("serial", "multiprocess"):
+            result, _ = discover_parallel(
+                graph, config, num_workers=3, balance=False, backend=backend
+            )
+            assert _fingerprint(result) == reference
+
+
+class TestSketchMergeSemantics:
+    """``DistinctPivotSketch`` under multi-worker tally aggregation.
+
+    ``ParDis`` shards are pivot-disjoint, but merge correctness must not
+    depend on that: the union bound has to hold for arbitrary overlap.
+    """
+
+    def _shard(self, values: np.ndarray, num_workers: int):
+        return [values[values % num_workers == w] for w in range(num_workers)]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_merged_upper_bound_covers_exact_union(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 5_000, size=rng.integers(10, 20_000))
+        for num_workers in (2, 3, 5):
+            merged = DistinctPivotSketch()
+            for shard in self._shard(values, num_workers):
+                merged.merge(DistinctPivotSketch().add_array(shard))
+            exact = len(set(values.tolist()))
+            assert merged.upper_bound() >= exact
+
+    def test_merge_equals_single_sketch(self):
+        """Register-wise max over shards == one sketch over the union."""
+        rng = np.random.default_rng(42)
+        values = rng.integers(0, 100_000, size=50_000)
+        single = DistinctPivotSketch().add_array(values)
+        merged = DistinctPivotSketch()
+        # overlapping shards: every worker also re-sees a common chunk
+        common = values[:5_000]
+        for shard in self._shard(values, 4):
+            merged.merge(
+                DistinctPivotSketch()
+                .add_array(shard)
+                .add_array(common)
+            )
+        assert np.array_equal(merged.registers, single.registers)
+
+    def test_merge_precision_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DistinctPivotSketch(precision=12).merge(
+                DistinctPivotSketch(precision=13)
+            )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_prefilter_never_drops_true_support(self, seed):
+        """The sketch bound dominates the exact count on shard unions.
+
+        This is the property the ``HSpawn`` prefilter depends on: a pattern
+        whose exact distinct-pivot support reaches ``σ`` must never be
+        skipped because its (merged) sketch bound fell below ``σ``.
+        """
+        rng = np.random.default_rng(100 + seed)
+        values = rng.integers(0, 2_000, size=rng.integers(50, 5_000))
+        exact = len(set(values.tolist()))
+        assert sketch_distinct_upper_bound(values) >= exact
+        merged = DistinctPivotSketch()
+        for shard in self._shard(values, 3):
+            merged.merge(DistinctPivotSketch().add_array(shard))
+        assert merged.upper_bound() >= exact
+
+    def test_sketch_prefilter_preserves_discovery_results(self):
+        """End to end: mining with the sketch prefilter on == off."""
+        from dataclasses import replace
+
+        for seed in (0, 7, 19):
+            graph = _random_graph(seed)
+            config = _config(seed)
+            baseline = _fingerprint(discover(graph, config))
+            sketched = _fingerprint(
+                discover(graph, replace(config, sketch_support_prefilter=True))
+            )
+            assert sketched == baseline
