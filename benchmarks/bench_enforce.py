@@ -1,0 +1,214 @@
+"""Enforcement-engine throughput: grouped/vectorized vs per-rule reference.
+
+PR 3's differential+performance gate.  On the knowledge-base dataset
+(dbpedia scale model) with noise injected per the Exp-5 protocol, measures:
+
+* **reference** — the pre-PR 3 enforcement path: one
+  ``find_violations(graph, gfd)`` per rule, per-match dict probes;
+* **engine (full)** — ``EnforcementEngine.validate()`` on the serial
+  backend: canonical pattern grouping (each distinct pattern matched once),
+  columnar violation masks over the CSR index;
+* **engine (multiprocess)** — the same plan over real worker processes
+  (record-only: IPC wins depend on host cores);
+* **incremental** — ``refresh()`` after a small delta (radius-bounded
+  re-matching + untouched-group report reuse) vs a full revalidation of the
+  same state.
+
+``--check`` asserts the PR 3 acceptance criteria: identical violation sets,
+≥ 3× full-Σ speedup over the reference path, and incremental refresh
+beating full revalidation — the CI perf-smoke gate next to
+``bench_matcher_micro.py --check``.  Machine-readable numbers land in
+``benchmarks/results/BENCH_enforce.json`` so future PRs can track the
+enforcement hot path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_enforce.py
+    PYTHONPATH=src python benchmarks/bench_enforce.py --check --max-rules 300
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import RESULTS_DIR, dataset, discovery_config, record  # noqa: E402
+
+from repro.core import discover  # noqa: E402
+from repro.core.config import EnforcementConfig  # noqa: E402
+from repro.datasets import KB_ATTRIBUTES  # noqa: E402
+from repro.datasets.noise import inject_noise  # noqa: E402
+from repro.enforce import EnforcementEngine  # noqa: E402
+from repro.gfd.satisfaction import find_violations  # noqa: E402
+
+#: Exp-5 noise parameters (α fraction of nodes dirtied, β of their slots).
+ALPHA, BETA = 0.05, 0.5
+
+#: Nodes touched by the incremental-refresh delta (≈ 0.2 % of the graph).
+DELTA_NODES = 6
+
+
+def _timed(function):
+    started = time.perf_counter()
+    result = function()
+    return time.perf_counter() - started, result
+
+
+def run(check: bool = False, max_rules: int = None, workers: int = 2):
+    """One measured pass; returns the report lines and the metrics dict."""
+    clean = dataset("dbpedia")
+    result = discover(clean, discovery_config("dbpedia"))
+    sigma = result.sorted_by_support()
+    if max_rules is not None:
+        sigma = sigma[:max_rules]
+    dirty, _ = inject_noise(
+        clean, alpha=ALPHA, beta=BETA, attributes=list(KB_ATTRIBUTES), seed=7
+    )
+
+    reference_s, reference = _timed(
+        lambda: [
+            frozenset(v.match for v in find_violations(dirty, gfd))
+            for gfd in sigma
+        ]
+    )
+
+    config = EnforcementConfig(backend="serial", max_violation_samples=None)
+    engine = EnforcementEngine(dirty, sigma, config)
+    full_s, report = _timed(engine.validate)
+    if check:
+        got = [frozenset(rule.sample) for rule in report.rules]
+        assert got == reference, "engine violation sets diverge from reference"
+
+    mp_s = None
+    mp_config = EnforcementConfig(
+        backend="multiprocess", num_workers=workers, max_violation_samples=None
+    )
+    try:
+        with EnforcementEngine(dirty, sigma, mp_config) as mp_engine:
+            mp_s, mp_report = _timed(mp_engine.validate)
+            if check:
+                got = [frozenset(rule.sample) for rule in mp_report.rules]
+                assert got == reference, "multiprocess sets diverge"
+    except (RuntimeError, OSError):  # no shared memory / constrained host
+        pass
+
+    rng = random.Random(5)
+    for node in rng.sample(range(dirty.num_nodes), DELTA_NODES):
+        dirty.set_attr(node, "type", "__bench_delta__")
+    incremental_s, inc_report = _timed(engine.refresh)
+    assert inc_report.mode == "incremental"
+    full_after_s, full_report = _timed(engine.validate)
+    if check:
+        got = [frozenset(rule.sample) for rule in inc_report.rules]
+        want = [frozenset(rule.sample) for rule in full_report.rules]
+        assert got == want, "incremental refresh diverges from full"
+    engine.close()
+
+    metrics = {
+        "dataset": "dbpedia",
+        "graph_nodes": dirty.num_nodes,
+        "graph_edges": dirty.num_edges,
+        "num_rules": len(sigma),
+        "distinct_patterns": report.patterns_matched,
+        "total_violations": report.total_violations,
+        "reference_s": round(reference_s, 4),
+        "engine_full_s": round(full_s, 4),
+        "speedup_vs_reference": round(reference_s / full_s, 2),
+        "rules_per_sec_reference": round(len(sigma) / reference_s, 1),
+        "rules_per_sec_engine": round(len(sigma) / full_s, 1),
+        "multiprocess_s": round(mp_s, 4) if mp_s is not None else None,
+        "multiprocess_workers": workers if mp_s is not None else None,
+        "delta_nodes": DELTA_NODES,
+        "incremental_s": round(incremental_s, 4),
+        "full_after_delta_s": round(full_after_s, 4),
+        "incremental_speedup": round(full_after_s / incremental_s, 2),
+        "groups_revalidated": inc_report.groups_revalidated,
+    }
+    lines = [
+        f"graph\tnodes={dirty.num_nodes}\tedges={dirty.num_edges}",
+        f"rules\t{len(sigma)}\tpatterns\t{report.patterns_matched}"
+        f"\tviolations\t{report.total_violations}",
+        "path\tseconds\trules_per_sec",
+        f"reference_per_rule\t{reference_s:.4f}"
+        f"\t{len(sigma) / reference_s:.1f}",
+        f"engine_full_serial\t{full_s:.4f}\t{len(sigma) / full_s:.1f}"
+        f"\t({reference_s / full_s:.2f}x vs reference)",
+    ]
+    if mp_s is not None:
+        lines.append(
+            f"engine_full_mp{workers}\t{mp_s:.4f}\t{len(sigma) / mp_s:.1f}"
+        )
+    lines += [
+        f"incremental_refresh\t{incremental_s:.4f}"
+        f"\t({full_after_s / incremental_s:.2f}x vs full,"
+        f" {inc_report.groups_revalidated}/{report.patterns_matched}"
+        f" groups revalidated, {DELTA_NODES} nodes touched)",
+        f"full_after_delta\t{full_after_s:.4f}",
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_enforce.json").write_text(
+        json.dumps(metrics, indent=2) + "\n"
+    )
+    return lines, metrics
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert engine/reference equivalence, the >= 3x full-pass "
+             "speedup, and the incremental-beats-full criterion",
+    )
+    parser.add_argument(
+        "--max-rules", type=int, default=None,
+        help="cap Σ at the top-support rules (bounds the CI wall clock)",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=300.0,
+        help="wall-clock budget in seconds for --check",
+    )
+    args = parser.parse_args(argv)
+    started = time.perf_counter()
+    lines, metrics = run(check=args.check, max_rules=args.max_rules)
+    elapsed = time.perf_counter() - started
+    record("bench_enforce", lines)
+    print(f"total_s\t{elapsed:.2f}")
+    if args.check:
+        failures = []
+        if metrics["speedup_vs_reference"] < 3.0:
+            failures.append(
+                f"full-pass speedup {metrics['speedup_vs_reference']}x < 3x"
+            )
+        if metrics["incremental_s"] >= metrics["full_after_delta_s"]:
+            failures.append(
+                "incremental refresh did not beat full revalidation "
+                f"({metrics['incremental_s']}s vs "
+                f"{metrics['full_after_delta_s']}s)"
+            )
+        if elapsed > args.budget:
+            failures.append(f"{elapsed:.1f}s > budget {args.budget:.1f}s")
+        if failures:
+            print("PERF GATE FAILED: " + "; ".join(failures), file=sys.stderr)
+            return 1
+        print(f"perf gate ok ({elapsed:.1f}s <= {args.budget:.1f}s)")
+    return 0
+
+
+def test_bench_enforce(benchmark):
+    """pytest-benchmark entry: one checked run under the timer."""
+    lines, _ = benchmark.pedantic(
+        lambda: run(check=True), rounds=1, iterations=1, warmup_rounds=0
+    )
+    record("bench_enforce", lines)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

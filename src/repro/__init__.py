@@ -17,7 +17,9 @@ The package implements the paper end to end:
   ablations ParGFDn / ParGFDnb / ParCovern (Section 7);
 * :mod:`repro.datasets` — the Figure-1 examples, the paper's synthetic
   generator, and DBpedia/YAGO2/IMDB scale models with planted rules;
-* :mod:`repro.quality` — violation detection and Exp-5 accuracy metrics.
+* :mod:`repro.quality` — violation detection and Exp-5 accuracy metrics;
+* :mod:`repro.enforce` — the rule enforcement engine: compiled multi-GFD
+  validation with incremental delta maintenance.
 
 Quickstart::
 
@@ -33,6 +35,7 @@ from .core import (
     CoverResult,
     DiscoveryConfig,
     DiscoveryResult,
+    EnforcementConfig,
     MiningStats,
     SequentialDiscovery,
     discover,
@@ -41,6 +44,7 @@ from .core import (
     sequential_cover,
 )
 from .core.config import CandidateBudgetExceeded
+from .enforce import EnforcementEngine, EnforcementReport
 from .gfd import (
     FALSE,
     GFD,
@@ -105,4 +109,8 @@ __all__ = [
     "SimulatedCluster",
     "discover_parallel",
     "parallel_cover",
+    # enforcement
+    "EnforcementConfig",
+    "EnforcementEngine",
+    "EnforcementReport",
 ]

@@ -8,22 +8,35 @@ Subcommands:
   graph buffers) and print the discovered GFDs with their supports;
 * ``validate <graph> <rules>`` — check a rule file against a graph and
   report violations;
+* ``enforce <graph> <rules>`` — validate a rule set with the compiled
+  :class:`~repro.enforce.engine.EnforcementEngine` (grouped patterns,
+  columnar masks, serial or multiprocess backend);
 * ``cover <rules>`` — compute a cover of a rule file.
 
-Graphs are the JSON/TSV formats of :mod:`repro.graph.io`; rule files hold
-one GFD per line in the syntax of :mod:`repro.gfd.parser` (``#`` comments
-allowed).
+Graphs are the JSON/TSV formats of :mod:`repro.graph.io`.  Rule files are
+either plain text — one GFD per line in the syntax of
+:mod:`repro.gfd.parser`, ``#`` comments allowed — or, with a ``.json``
+extension, the ``dumps_sigma`` envelope that ``discover --output`` writes
+(supports round-trip with the rules).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from .core import DiscoveryConfig, discover, sequential_cover
-from .gfd import GFD, find_violations, format_gfd, parse_gfd
+from .core import DiscoveryConfig, EnforcementConfig, discover, sequential_cover
+from .gfd import (
+    GFD,
+    dumps_sigma,
+    find_violations,
+    format_gfd,
+    loads_sigma,
+    parse_gfd,
+)
 from .graph import Graph, compute_statistics, load_json, load_tsv
 from .parallel import discover_parallel
 
@@ -40,7 +53,14 @@ def load_graph(path: str) -> Graph:
 
 
 def load_rules(path: str) -> List[GFD]:
-    """Load a rule file: one GFD per line, ``#`` comments skipped."""
+    """Load a rule file (``.json`` = Σ envelope, else one GFD per line)."""
+    if path.endswith(".json"):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                rules, _ = loads_sigma(handle.read())
+            return rules
+        except ValueError as error:
+            raise SystemExit(f"{path}: {error}") from error
     rules: List[GFD] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, raw in enumerate(handle, start=1):
@@ -54,11 +74,20 @@ def load_rules(path: str) -> List[GFD]:
     return rules
 
 
-def save_rules(rules: List[GFD], path: str) -> None:
-    """Write a rule file readable by :func:`load_rules`."""
+def save_rules(
+    rules: List[GFD], path: str, supports: Optional[Dict[GFD, int]] = None
+) -> None:
+    """Write a rule file readable by :func:`load_rules`.
+
+    A ``.json`` path writes the Σ envelope (with per-rule supports when
+    given); any other path writes the line-per-GFD text format.
+    """
     with open(path, "w", encoding="utf-8") as handle:
-        for gfd in rules:
-            handle.write(format_gfd(gfd) + "\n")
+        if path.endswith(".json"):
+            handle.write(dumps_sigma(rules, supports=supports) + "\n")
+        else:
+            for gfd in rules:
+                handle.write(format_gfd(gfd) + "\n")
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -120,7 +149,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     if args.output:
-        save_rules(result_gfds, args.output)
+        save_rules(result_gfds, args.output, supports=result.supports)
     return 0
 
 
@@ -135,6 +164,62 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             nodes = ",".join(str(node) for node in violation.match)
             print(f"violation\t[{nodes}]\t{format_gfd(gfd)}")
     return 0 if clean else 1
+
+
+def _cmd_enforce(args: argparse.Namespace) -> int:
+    from .enforce import EnforcementEngine
+
+    graph = load_graph(args.graph)
+    rules = load_rules(args.rules)
+    options = dict(
+        num_workers=args.workers,
+        shared_memory=not args.no_shared_memory,
+        max_violation_samples=args.samples,
+        sample_seed=args.seed,
+    )
+    if args.backend is not None:
+        options["backend"] = args.backend
+    config = EnforcementConfig(**options)
+    with EnforcementEngine(graph, rules, config) as engine:
+        report = engine.validate()
+    for rule in report.rules:
+        print(
+            f"{rule.violation_count}\t{rule.distinct_pivots}\t"
+            f"{format_gfd(rule.gfd)}"
+        )
+        for match in rule.sample:
+            nodes = ",".join(str(node) for node in match)
+            print(f"  violation\t[{nodes}]")
+    print(
+        f"# {len(report.rules)} rules over {report.patterns_matched} distinct "
+        f"patterns, {report.total_violations} violations "
+        f"({len(report.flagged_nodes())} nodes flagged), "
+        f"backend={report.backend} workers={report.num_workers}, "
+        f"{report.elapsed_seconds:.3f}s",
+        file=sys.stderr,
+    )
+    if args.json:
+        payload = {
+            "mode": report.mode,
+            "backend": report.backend,
+            "num_workers": report.num_workers,
+            "patterns_matched": report.patterns_matched,
+            "elapsed_seconds": report.elapsed_seconds,
+            "total_violations": report.total_violations,
+            "flagged_nodes": sorted(report.flagged_nodes()),
+            "rules": [
+                {
+                    "gfd": format_gfd(rule.gfd),
+                    "violations": rule.violation_count,
+                    "distinct_pivots": rule.distinct_pivots,
+                    "sample_truncated": rule.sample_truncated,
+                    "sample": [list(match) for match in rule.sample],
+                }
+                for rule in report.rules
+            ],
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+    return 0 if report.is_clean else 1
 
 
 def _cmd_cover(args: argparse.Namespace) -> int:
@@ -186,6 +271,31 @@ def build_parser() -> argparse.ArgumentParser:
                       help="reduce the output to a cover")
     disc.add_argument("--output", help="also write rules to this file")
     disc.set_defaults(func=_cmd_discover)
+
+    enf = commands.add_parser(
+        "enforce",
+        help="validate a rule set with the compiled enforcement engine",
+    )
+    enf.add_argument("graph", help="graph file (.json or .tsv)")
+    enf.add_argument("rules", help="rule file (text lines or Σ .json)")
+    enf.add_argument("--backend", choices=["serial", "multiprocess"],
+                     default=None,
+                     help="evaluation backend (default: serial, or "
+                          "$REPRO_PARALLEL_BACKEND)")
+    enf.add_argument("--workers", type=int, default=None,
+                     help="evaluation shards (default: 1 serial / "
+                          "4 multiprocess)")
+    enf.add_argument("--no-shared-memory", action="store_true",
+                     help="ship graph buffers to multiprocess workers by "
+                          "pickle instead of shared memory")
+    enf.add_argument("--samples", type=int, default=5,
+                     help="violating matches printed per rule (seeded "
+                          "sample when the cap binds)")
+    enf.add_argument("--seed", type=int, default=0,
+                     help="seed of the capped violation sample")
+    enf.add_argument("--json", help="also write a machine-readable report "
+                                    "to this file")
+    enf.set_defaults(func=_cmd_enforce)
 
     val = commands.add_parser("validate", help="check rules against a graph")
     val.add_argument("graph", help="graph file (.json or .tsv)")

@@ -1,6 +1,6 @@
 """The paper's primary contribution: GFD discovery and cover computation."""
 
-from .config import DiscoveryConfig
+from .config import DiscoveryConfig, EnforcementConfig
 from .cover import CoverResult, sequential_cover
 from .discovery import SequentialDiscovery, discover
 from .generation_tree import GenerationTree, TreeNode
@@ -23,6 +23,7 @@ from .support import (
 
 __all__ = [
     "DiscoveryConfig",
+    "EnforcementConfig",
     "DiscoveryResult",
     "MiningStats",
     "CoverResult",

@@ -13,7 +13,7 @@ import os
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-__all__ = ["DiscoveryConfig", "CandidateBudgetExceeded"]
+__all__ = ["DiscoveryConfig", "EnforcementConfig", "CandidateBudgetExceeded"]
 
 
 def _default_backend() -> str:
@@ -175,3 +175,77 @@ class DiscoveryConfig:
     def edge_budget(self) -> int:
         """The pattern-edge bound actually used (``max_edges`` or ``k``)."""
         return self.max_edges if self.max_edges is not None else self.k
+
+
+@dataclass
+class EnforcementConfig:
+    """Parameters of the rule *enforcement* engine (:mod:`repro.enforce`).
+
+    Enforcement is the consumer side of discovery: a fixed rule set ``Σ``
+    is validated against a live graph, repeatedly.  The knobs mirror the
+    discovery ones where the machinery is shared (backend, workers, shared
+    memory, index) and add the delta-maintenance and reporting policies.
+
+    Attributes:
+        backend: evaluation backend — ``"serial"`` evaluates the compiled
+            plan inline on ``num_workers`` in-process shards,
+            ``"multiprocess"`` on real per-worker processes attaching the
+            frozen graph index via shared memory (PR 2 machinery).  The
+            ``REPRO_PARALLEL_BACKEND`` environment variable sets the
+            default, exactly as for discovery.
+        num_workers: evaluation shards (``None`` = 1 for serial, 4 for
+            multiprocess — serial sharding exists for differential testing,
+            not speed).
+        shared_memory: ship the index to multiprocess workers via
+            ``multiprocessing.shared_memory`` (else pickle).
+        use_index: evaluate against the frozen CSR index (the fast path).
+            Disabling falls back to the dict-graph reference tables;
+            results are identical.  The multiprocess backend requires the
+            index.
+        max_delta_fraction: on :meth:`~repro.enforce.engine.
+            EnforcementEngine.refresh`, fall back to full revalidation when
+            more than this fraction of the graph's nodes was touched since
+            the last validation — localized re-matching only pays while the
+            delta is small.
+        max_violation_samples: violating matches retained per rule in the
+            report (``None`` = all).  When the cap binds, the retained
+            subset is a seeded uniform sample over the lexicographically
+            sorted violation set — deterministic and independent of match
+            enumeration order, worker count and backend.
+        sample_seed: RNG seed of that capped sample.
+        sketch_cardinality: report each rule's distinct violating pivots
+            as an HLL-sketch *upper bound* (cf. the support prefilter)
+            instead of the exact distinct count — O(1) memory per rule on
+            huge violation sets; counts and node sets stay exact.
+    """
+
+    backend: str = field(default_factory=_default_backend)
+    num_workers: Optional[int] = None
+    shared_memory: bool = True
+    use_index: bool = True
+    max_delta_fraction: float = 0.25
+    max_violation_samples: Optional[int] = 10
+    sample_seed: int = 0
+    sketch_cardinality: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("serial", "multiprocess"):
+            raise ValueError(
+                "backend must be 'serial' or 'multiprocess', "
+                f"got {self.backend!r}"
+            )
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if not 0.0 <= self.max_delta_fraction <= 1.0:
+            raise ValueError("max_delta_fraction must be a fraction in [0, 1]")
+        if self.max_violation_samples is not None and self.max_violation_samples < 0:
+            raise ValueError("max_violation_samples must be >= 0")
+        if self.backend == "multiprocess" and not self.use_index:
+            raise ValueError("the multiprocess backend requires use_index=True")
+
+    @property
+    def resolved_workers(self) -> int:
+        """The worker count actually used."""
+        if self.num_workers is not None:
+            return self.num_workers
+        return 4 if self.backend == "multiprocess" else 1

@@ -25,6 +25,7 @@ from ..graph.graph import Graph
 from ..graph.index import MISSING, GraphIndex
 from ..gfd.literals import (
     ConstantLiteral,
+    FalseLiteral,
     Literal,
     VariableLiteral,
     make_variable_literal,
@@ -264,6 +265,30 @@ class MatchTable:
             mask = (codes1 == codes2) & (codes1 != 0)
         self._literal_masks[literal] = mask
         return mask
+
+    def violation_mask(
+        self,
+        lhs: Iterable[Literal],
+        rhs: Optional[Literal],
+    ) -> np.ndarray:
+        """Rows violating ``X → l``: ``h ⊨ X`` but ``h ⊭ l`` (Section 2.2).
+
+        ``rhs`` is the single RHS literal of a normal-form GFD; ``None`` or
+        a :class:`FalseLiteral` selects the negative semantics, where every
+        row satisfying ``X`` is a violation.  Missing attributes follow the
+        literal-mask rules: a missing LHS attribute satisfies the
+        implication vacuously (the row drops out of the LHS mask), a
+        missing RHS attribute fails the RHS.  The result may alias cached
+        masks for degenerate literal sets — do not mutate.
+        """
+        mask: Optional[np.ndarray] = None
+        for literal in lhs:
+            current = self.literal_mask(literal)
+            mask = current if mask is None else mask & current
+        if rhs is None or isinstance(rhs, FalseLiteral):
+            return mask if mask is not None else self._full_mask
+        rhs_mask = self.literal_mask(rhs)
+        return ~rhs_mask if mask is None else mask & ~rhs_mask
 
     def literal_count(self, literal: Literal) -> int:
         """Number of rows satisfying ``literal``."""

@@ -1,0 +1,411 @@
+"""The enforcement engine: grouped, sharded, incrementally maintained.
+
+:class:`EnforcementEngine` binds a compiled plan (:mod:`repro.enforce.plan`)
+to one live graph and serves two entry points:
+
+* :meth:`EnforcementEngine.validate` — full validation: match every group
+  pattern once against the current graph snapshot (CSR index by default)
+  and evaluate all grouped rules as columnar masks, sharded over the PR 2
+  :class:`~repro.parallel.backend.ShardWorker` backend (serial in-process
+  shards, or real worker processes attaching the index via shared memory);
+* :meth:`EnforcementEngine.refresh` — delta-aware revalidation: consume the
+  attached :class:`~repro.enforce.delta.DeltaLog`, re-match only the
+  radius-``d_Q`` neighborhood of touched nodes per pattern group
+  (:func:`~repro.enforce.delta.affected_nodes`), splice the re-derived rows
+  into the stored match arrays, and re-evaluate the masks.  When the delta
+  exceeds ``EnforcementConfig.max_delta_fraction`` of the graph the engine
+  falls back to :meth:`validate`.
+
+Reports are deterministic across backends, worker counts and refresh modes:
+violating matches are mapped back to each rule's original variable order,
+sorted lexicographically, and (when ``max_violation_samples`` binds) sampled
+with a seeded RNG — never "first ``k`` in enumeration order".
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.config import EnforcementConfig
+from ..core.support import sketch_distinct_upper_bound
+from ..gfd.gfd import GFD
+from ..gfd.satisfaction import Violation
+from ..graph.graph import Graph
+from ..graph.index import GraphIndex
+from ..parallel.backend import ExecutionBackend, make_backend
+from ..pattern.matcher import Match, find_matches
+from ..pattern.pattern import Pattern
+from .delta import DeltaLog, affected_nodes
+from .plan import CompiledRule, EnforcementPlan, PatternGroup, compile_plan
+
+__all__ = ["RuleReport", "EnforcementReport", "EnforcementEngine"]
+
+
+@dataclass(frozen=True)
+class RuleReport:
+    """Per-rule outcome of one validation pass.
+
+    ``nodes`` and ``violation_count`` are always exact (computed from the
+    full violation set); ``sample`` is capped by the engine config, and
+    ``sample_truncated`` flags when the cap bound.  ``distinct_pivots`` is
+    the number of distinct graph nodes the pivot takes over violating
+    matches — exact by default, an HLL-sketch upper bound under
+    ``EnforcementConfig.sketch_cardinality``.
+    """
+
+    gfd: GFD
+    violation_count: int
+    nodes: FrozenSet[int]
+    sample: Tuple[Match, ...]
+    sample_truncated: bool
+    distinct_pivots: int
+
+    def violations(self) -> List[Violation]:
+        """The sampled violations as :class:`Violation` objects."""
+        return [Violation(self.gfd, match) for match in self.sample]
+
+
+@dataclass
+class EnforcementReport:
+    """Structured result of one :meth:`EnforcementEngine.validate`/`refresh`.
+
+    ``rules`` aligns with the engine's ``Σ`` (one report per input rule,
+    shared-pattern rules included individually).
+    """
+
+    rules: List[RuleReport]
+    mode: str
+    backend: str
+    num_workers: int
+    patterns_matched: int
+    #: Pattern groups whose masks were (re-)evaluated this pass — equals
+    #: ``patterns_matched`` on a full pass; on an incremental pass, groups
+    #: with no dropped and no re-derived matches reuse their previous rule
+    #: reports verbatim (no match of theirs contains a touched node, so no
+    #: violation status changed).
+    groups_revalidated: int
+    elapsed_seconds: float
+    graph_version: int
+
+    @property
+    def total_violations(self) -> int:
+        """Sum of exact per-rule violation counts."""
+        return sum(rule.violation_count for rule in self.rules)
+
+    @property
+    def is_clean(self) -> bool:
+        """``G ⊨ Σ`` — no rule has a violating match."""
+        return self.total_violations == 0
+
+    def flagged_nodes(self) -> Set[int]:
+        """``V^GFD``: every node contained in some violating match (exact)."""
+        flagged: Set[int] = set()
+        for rule in self.rules:
+            flagged.update(rule.nodes)
+        return flagged
+
+    def violations(self) -> List[Violation]:
+        """All sampled violations, grouped per rule in ``Σ`` order."""
+        result: List[Violation] = []
+        for rule in self.rules:
+            result.extend(rule.violations())
+        return result
+
+
+class EnforcementEngine:
+    """Continuous validation of a fixed ``Σ`` against one live graph.
+
+    The engine compiles ``Σ`` once, attaches a :class:`DeltaLog` to the
+    graph, and caches per-group canonical match arrays between passes so
+    :meth:`refresh` can splice localized re-matches instead of re-matching
+    the world.  Call :meth:`close` (or use as a context manager) to detach
+    the log and release backend resources (worker processes, shared
+    memory).
+
+    Thread-safety: none — one engine serves one caller, like the discovery
+    engines.  Mutating the graph *during* a validation pass is undefined.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        sigma: Sequence[GFD],
+        config: Optional[EnforcementConfig] = None,
+    ) -> None:
+        self.graph = graph
+        self.sigma = list(sigma)
+        self.config = config if config is not None else EnforcementConfig()
+        self.plan: EnforcementPlan = compile_plan(self.sigma)
+        self.delta = DeltaLog()
+        graph.attach_delta_log(self.delta)
+        self._arrays: List[Optional[np.ndarray]] = [None] * len(self.plan.groups)
+        self._report: Optional[EnforcementReport] = None
+        self._validated_version: Optional[int] = None
+        self._backend: Optional[ExecutionBackend] = None
+        self._backend_index: Optional[GraphIndex] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        """The evaluation shard count in effect."""
+        return self.config.resolved_workers
+
+    def close(self) -> None:
+        """Detach the delta log and release the backend (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.graph.detach_delta_log(self.delta)
+        if self._backend is not None:
+            self._backend.shutdown()
+            self._backend = None
+
+    def __enter__(self) -> "EnforcementEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # validation entry points
+    # ------------------------------------------------------------------
+    def validate(self) -> EnforcementReport:
+        """Full validation of ``Σ`` against the current graph state."""
+        started = time.perf_counter()
+        self.delta.clear()
+        index = self.graph.index() if self.config.use_index else None
+        for position, group in enumerate(self.plan.groups):
+            self._arrays[position] = self._match_array(group.pattern, index)
+        return self._finish(index, "full", started)
+
+    def refresh(self) -> EnforcementReport:
+        """Revalidate, reusing stored matches outside the delta's reach.
+
+        Returns the cached report when nothing changed; falls back to
+        :meth:`validate` on the first call or when the touched-node
+        fraction exceeds ``config.max_delta_fraction``.
+        """
+        if self._report is None:
+            return self.validate()
+        if self.graph.version == self._validated_version and not self.delta:
+            return self._report
+        touched = self.delta.touched_nodes()
+        limit = self.config.max_delta_fraction * max(1, self.graph.num_nodes)
+        if not touched or len(touched) > limit:
+            # version moved without touched nodes (cannot happen while the
+            # log is attached) or the delta is too wide to localize
+            return self.validate()
+        started = time.perf_counter()
+        index = self.graph.index() if self.config.use_index else None
+        balls: Dict[int, np.ndarray] = {}
+        dirty: List[int] = []
+        for position, group in enumerate(self.plan.groups):
+            radius = group.radius
+            ball = balls.get(radius)
+            if ball is None:
+                ball = affected_nodes(self.graph, touched, radius, index=index)
+                balls[radius] = ball
+            stored = self._arrays[position]
+            dropped = 0
+            kept = stored
+            if stored.shape[0]:
+                in_ball = np.isin(stored[:, 0], ball)
+                dropped = int(np.count_nonzero(in_ball))
+                if dropped:
+                    kept = stored[~in_ball]
+            fresh = self._match_array(group.pattern, index, seeds=ball)
+            if dropped or fresh.shape[0]:
+                # only these groups can have gained, lost, or re-judged
+                # matches: every affected match has its pivot in the ball
+                dirty.append(position)
+                self._arrays[position] = (
+                    np.concatenate([kept, fresh]) if fresh.shape[0] else kept
+                )
+        self.delta.clear()
+        return self._finish(index, "incremental", started, positions=dirty)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _match_array(
+        self,
+        pattern: Pattern,
+        index: Optional[GraphIndex],
+        seeds: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Matches of a canonical pattern as an ``(N, vars)`` int64 array."""
+        width = pattern.num_nodes
+        if seeds is not None and seeds.size == 0:
+            return np.empty((0, width), dtype=np.int64)
+        rows = list(
+            find_matches(self.graph, pattern, seeds=seeds, index=index)
+        )
+        if not rows:
+            return np.empty((0, width), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64)
+
+    def _ensure_backend(self, index: Optional[GraphIndex]) -> ExecutionBackend:
+        """The evaluation backend for this snapshot (rebuilt when stale).
+
+        A multiprocess backend pins one index snapshot in the workers'
+        shared memory, so any mutation forces a rebuild; the serial backend
+        is rebuilt too (it is a list construction) to keep the shard state
+        snapshot-consistent.
+        """
+        if self._backend is not None and self._backend_index is index:
+            return self._backend
+        if self._backend is not None:
+            self._backend.shutdown()
+            self._backend = None
+        self._backend = make_backend(
+            self.config.backend,
+            self.num_workers,
+            self.graph,
+            index,
+            self.plan.attributes(),
+            use_shared_memory=self.config.shared_memory,
+        )
+        self._backend_index = index
+        return self._backend
+
+    def _finish(
+        self,
+        index: Optional[GraphIndex],
+        mode: str,
+        started: float,
+        positions: Optional[List[int]] = None,
+    ) -> EnforcementReport:
+        """Sharded mask evaluation over the stored match arrays + report.
+
+        ``positions`` (incremental mode) restricts evaluation to the dirty
+        pattern groups; every other rule reuses its previous report entry —
+        none of its matches contained a touched node, so nothing changed.
+        """
+        if positions is None:
+            evaluate = list(range(len(self.plan.groups)))
+            rule_reports: List[Optional[RuleReport]] = [None] * len(self.sigma)
+        else:
+            evaluate = positions
+            assert self._report is not None
+            rule_reports = list(self._report.rules)
+        if evaluate:
+            backend = self._ensure_backend(index)
+            shards = backend.num_workers
+            backend_name = backend.name
+            installs: List[Tuple[int, str, int, Dict[str, Any]]] = []
+            enforces: List[Tuple[int, str, int, Dict[str, Any]]] = []
+            drops: List[Tuple[int, str, int, Dict[str, Any]]] = []
+            for position in evaluate:
+                group = self.plan.groups[position]
+                array = self._arrays[position]
+                rules_payload = [(rule.lhs, rule.rhs) for rule in group.rules]
+                for worker, chunk in enumerate(np.array_split(array, shards)):
+                    matches: Any = chunk
+                    if index is None:
+                        # dict-path tables expect match tuples, not arrays
+                        matches = [tuple(row) for row in chunk.tolist()]
+                    installs.append(
+                        (
+                            worker,
+                            "install",
+                            position,
+                            {
+                                "pattern": group.pattern,
+                                "matches": matches,
+                                "mined": False,
+                            },
+                        )
+                    )
+                    enforces.append(
+                        (worker, "enforce", position, {"rules": rules_payload})
+                    )
+                    drops.append((worker, "drop", position, {}))
+            backend.run_unmetered(installs)
+            outcomes = backend.run_unmetered(enforces)
+            backend.run_unmetered(drops, wait=False)
+            cursor = 0
+            for position in evaluate:
+                group = self.plan.groups[position]
+                shard_results = outcomes[cursor:cursor + shards]
+                cursor += shards
+                for offset, rule in enumerate(group.rules):
+                    parts = [result[offset] for result in shard_results]
+                    rule_reports[rule.position] = self._rule_report(rule, parts)
+        else:
+            # nothing to re-evaluate: keep metadata consistent without
+            # touching (or rebuilding) the backend
+            shards = self.num_workers
+            backend_name = self.config.backend
+        report = EnforcementReport(
+            rules=rule_reports,
+            mode=mode,
+            backend=backend_name,
+            num_workers=shards,
+            patterns_matched=len(self.plan.groups),
+            groups_revalidated=len(evaluate),
+            elapsed_seconds=time.perf_counter() - started,
+            graph_version=self.graph.version,
+        )
+        self._report = report
+        self._validated_version = self.graph.version
+        return report
+
+    def _rule_report(
+        self, rule: CompiledRule, parts: List[Tuple]
+    ) -> RuleReport:
+        """Merge one rule's per-shard results into its report entry."""
+        count = sum(part[0] for part in parts)
+        node_arrays = [part[1] for part in parts if part[1].size]
+        nodes = (
+            frozenset(np.unique(np.concatenate(node_arrays)).tolist())
+            if node_arrays
+            else frozenset()
+        )
+        width = rule.gfd.pattern.num_nodes
+        row_arrays = [part[2] for part in parts if part[2].shape[0]]
+        if row_arrays:
+            canonical = np.concatenate(row_arrays)
+        else:
+            canonical = np.empty((0, width), dtype=np.int64)
+        if self.config.sketch_cardinality and canonical.shape[0]:
+            distinct_pivots = sketch_distinct_upper_bound(canonical[:, 0])
+        else:
+            distinct_pivots = (
+                int(np.unique(canonical[:, 0]).size) if canonical.shape[0] else 0
+            )
+        # back to the rule's original variable order, then a lexicographic
+        # sort: the retained sample must not depend on shard boundaries,
+        # backend, or match enumeration order
+        mapped = canonical[:, rule.column_map]
+        if mapped.shape[0] > 1:
+            mapped = mapped[np.lexsort(mapped.T[::-1])]
+        cap = self.config.max_violation_samples
+        truncated = cap is not None and count > cap
+        if truncated:
+            chosen = sorted(
+                random.Random(self.config.sample_seed).sample(range(count), cap)
+            )
+            mapped = mapped[chosen]
+        sample = tuple(tuple(row) for row in mapped.tolist())
+        return RuleReport(
+            gfd=rule.gfd,
+            violation_count=count,
+            nodes=nodes,
+            sample=sample,
+            sample_truncated=truncated,
+            distinct_pivots=distinct_pivots,
+        )

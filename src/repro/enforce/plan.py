@@ -1,0 +1,142 @@
+"""Compilation of a rule set ``Σ`` into a grouped execution plan.
+
+Naive enforcement evaluates each GFD independently: match its pattern, then
+probe every match's attributes per literal.  Discovered rule sets are highly
+redundant topologically — ``HSpawn`` emits many dependencies per pattern,
+and isomorphic patterns recur under different variable orders — so the
+compiler normalizes every GFD onto the canonical representative of its
+pattern's pivot-preserving isomorphism class (:mod:`repro.pattern.
+canonical`) and groups rules by that representative:
+
+* each distinct pattern is **matched once** per validation, however many
+  rules share it;
+* all grouped rules evaluate as columnar boolean masks over one
+  :class:`~repro.core.match_table.MatchTable` (``MatchTable.
+  violation_mask``) — C-speed vector compares instead of per-match
+  ``get_attr`` probes;
+* each rule keeps a ``column_map`` permutation so violating canonical match
+  rows convert back to the rule's original variable order, making grouped
+  results indistinguishable from per-rule reference validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..gfd.gfd import GFD
+from ..gfd.literals import FalseLiteral, Literal, rename_literal
+from ..pattern.canonical import canonical_ordering, canonicalize
+from ..pattern.pattern import Pattern
+
+__all__ = ["CompiledRule", "PatternGroup", "EnforcementPlan", "compile_plan"]
+
+
+@dataclass(frozen=True)
+class CompiledRule:
+    """One GFD rewritten over its group's canonical pattern.
+
+    Attributes:
+        position: the rule's index in the input ``Σ`` (report alignment).
+        gfd: the original, unrewritten GFD (reports cite this object).
+        lhs: the LHS literals over canonical variables (deterministic order).
+        rhs: the RHS literal over canonical variables, or ``None`` for a
+            negative GFD (``rhs = false``).
+        column_map: permutation with ``original_row = canonical_row[
+            column_map]`` — converts a canonical match row back to the
+            original pattern's variable order.
+    """
+
+    position: int
+    gfd: GFD
+    lhs: Tuple[Literal, ...]
+    rhs: Optional[Literal]
+    column_map: np.ndarray
+
+    @property
+    def is_negative(self) -> bool:
+        """Whether the compiled rule has the negative form ``X → false``."""
+        return self.rhs is None
+
+
+@dataclass
+class PatternGroup:
+    """All rules sharing one canonical pattern (matched once per pass)."""
+
+    pattern: Pattern
+    rules: List[CompiledRule] = field(default_factory=list)
+
+    @property
+    def radius(self) -> int:
+        """``d_Q`` of the canonical pattern (delta-localization radius)."""
+        return self.pattern.radius_at_pivot()
+
+    def attributes(self) -> Tuple[str, ...]:
+        """Sorted union of attribute names the grouped rules mention."""
+        names = set()
+        for rule in self.rules:
+            names.update(rule.gfd.attributes())
+        return tuple(sorted(names))
+
+
+@dataclass
+class EnforcementPlan:
+    """The compiled form of ``Σ``: pattern groups in first-seen order."""
+
+    groups: List[PatternGroup]
+    num_rules: int
+
+    def attributes(self) -> Tuple[str, ...]:
+        """Sorted union of attributes across the whole plan (the workers'
+        active-attribute set ``Γ`` — every shard table carries these
+        columns)."""
+        names = set()
+        for group in self.groups:
+            names.update(group.attributes())
+        return tuple(sorted(names))
+
+    def __len__(self) -> int:
+        return self.num_rules
+
+
+def compile_rule(position: int, gfd: GFD) -> Tuple[Pattern, CompiledRule]:
+    """Normalize one GFD onto its canonical pattern.
+
+    Returns the canonical pattern (the group key — pivot is variable 0) and
+    the compiled rule.  Renaming preserves semantics exactly: matches of the
+    canonical pattern, permuted through ``column_map``, are precisely the
+    matches of the original pattern, and the renamed literals read the same
+    cells of each match.
+    """
+    ordering = canonical_ordering(gfd.pattern)
+    remap = {old: new for new, old in enumerate(ordering)}
+    pattern = canonicalize(gfd.pattern)
+    lhs = tuple(
+        sorted((rename_literal(l, remap) for l in gfd.lhs), key=str)
+    )
+    rhs: Optional[Literal]
+    if isinstance(gfd.rhs, FalseLiteral):
+        rhs = None
+    else:
+        rhs = rename_literal(gfd.rhs, remap)
+    column_map = np.asarray(
+        [remap[old] for old in range(gfd.pattern.num_nodes)], dtype=np.int64
+    )
+    return pattern, CompiledRule(position, gfd, lhs, rhs, column_map)
+
+
+def compile_plan(sigma: Sequence[GFD]) -> EnforcementPlan:
+    """Group ``Σ`` by canonical pattern; deterministic in ``Σ`` order."""
+    groups: Dict[Pattern, PatternGroup] = {}
+    ordered: List[PatternGroup] = []
+    for position, gfd in enumerate(sigma):
+        pattern, rule = compile_rule(position, gfd)
+        group = groups.get(pattern)
+        if group is None:
+            group = PatternGroup(pattern)
+            groups[pattern] = group
+            ordered.append(group)
+        group.rules.append(rule)
+    return EnforcementPlan(ordered, len(sigma))

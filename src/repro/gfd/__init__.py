@@ -15,7 +15,13 @@ from .literals import (
     make_variable_literal,
     rename_literal,
 )
-from .parser import GFDSyntaxError, format_gfd, parse_gfd
+from .parser import (
+    GFDSyntaxError,
+    dumps_sigma,
+    format_gfd,
+    loads_sigma,
+    parse_gfd,
+)
 from .satisfaction import (
     Violation,
     find_violations,
@@ -61,4 +67,6 @@ __all__ = [
     "validate_set",
     "parse_gfd",
     "format_gfd",
+    "dumps_sigma",
+    "loads_sigma",
 ]

@@ -19,8 +19,9 @@ The concrete syntax mirrors the paper's examples::
 
 from __future__ import annotations
 
+import json
 import re
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..pattern.pattern import Pattern, variable_name
 from .gfd import GFD
@@ -33,7 +34,19 @@ from .literals import (
     make_variable_literal,
 )
 
-__all__ = ["parse_gfd", "format_gfd", "GFDSyntaxError"]
+__all__ = [
+    "parse_gfd",
+    "format_gfd",
+    "dumps_sigma",
+    "loads_sigma",
+    "GFDSyntaxError",
+]
+
+#: JSON envelope identifier of :func:`dumps_sigma` documents.
+SIGMA_FORMAT = "repro-gfd-sigma"
+
+#: Version of the Σ JSON schema (bump on incompatible change).
+SIGMA_VERSION = 1
 
 
 class GFDSyntaxError(ValueError):
@@ -277,6 +290,80 @@ def format_gfd(gfd: GFD) -> str:
     lhs = " & ".join(sorted(_format_literal(l) for l in gfd.lhs))
     dependency = f"({lhs} -> {_format_literal(gfd.rhs)})"
     return f"{header} {body} {dependency}"
+
+
+def dumps_sigma(
+    sigma: Sequence[GFD],
+    supports: Optional[Dict[GFD, int]] = None,
+    indent: Optional[int] = 2,
+) -> str:
+    """Serialize a rule set ``Σ`` to a JSON document.
+
+    The envelope carries one :func:`format_gfd` string per rule (the
+    textual syntax is the canonical wire format — everything the parser
+    round-trips, including wildcards, pivots and negative GFDs) plus an
+    optional per-rule support.  ``loads_sigma(dumps_sigma(sigma)) == sigma``
+    for any rules whose constants are strings, ints or floats (the value
+    types graph attributes use); other constant types are rejected by
+    :func:`format_gfd`'s syntax on the way back in.
+
+    This is the bridge between ``repro discover --output rules.json`` and
+    ``repro enforce``: a discovered rule set survives the process boundary.
+    """
+    entries: List[Dict[str, Any]] = []
+    for gfd in sigma:
+        entry: Dict[str, Any] = {"gfd": format_gfd(gfd)}
+        if supports is not None and gfd in supports:
+            entry["support"] = supports[gfd]
+        entries.append(entry)
+    payload = {
+        "format": SIGMA_FORMAT,
+        "version": SIGMA_VERSION,
+        "gfds": entries,
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def loads_sigma(text: str) -> Tuple[List[GFD], Dict[GFD, int]]:
+    """Parse a :func:`dumps_sigma` document back into ``(Σ, supports)``.
+
+    ``supports`` holds only the rules whose entry carried one.  Raises
+    :class:`GFDSyntaxError` on a malformed envelope or rule text.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise GFDSyntaxError(f"not a Σ JSON document: {error}") from error
+    if not isinstance(payload, dict) or payload.get("format") != SIGMA_FORMAT:
+        raise GFDSyntaxError(
+            f"not a Σ JSON document (missing format={SIGMA_FORMAT!r})"
+        )
+    if payload.get("version") != SIGMA_VERSION:
+        raise GFDSyntaxError(
+            f"unsupported Σ format version {payload.get('version')!r} "
+            f"(this reader understands {SIGMA_VERSION})"
+        )
+    sigma: List[GFD] = []
+    supports: Dict[GFD, int] = {}
+    for position, entry in enumerate(payload.get("gfds", [])):
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("gfd"), str)
+        ):
+            raise GFDSyntaxError(
+                f"gfds[{position}]: expected an object with a 'gfd' string"
+            )
+        gfd = parse_gfd(entry["gfd"])
+        sigma.append(gfd)
+        if "support" in entry:
+            support = entry["support"]
+            if isinstance(support, bool) or not isinstance(support, (int, float)):
+                raise GFDSyntaxError(
+                    f"gfds[{position}]: 'support' must be a number, "
+                    f"got {support!r}"
+                )
+            supports[gfd] = int(support)
+    return sigma, supports
 
 
 def _format_node(pattern: Pattern, index: int, mentioned: set) -> str:

@@ -53,6 +53,7 @@ class Graph:
         "_num_edges",
         "_version",
         "_index_cache",
+        "_delta_logs",
     )
 
     def __init__(self) -> None:
@@ -66,6 +67,7 @@ class Graph:
         self._num_edges = 0
         self._version = 0
         self._index_cache = None
+        self._delta_logs: Tuple = ()
 
     # ------------------------------------------------------------------
     # mutation tracking (frozen-index invalidation)
@@ -79,6 +81,24 @@ class Graph:
         """Record a mutation: bump the version and drop the cached index."""
         self._version += 1
         self._index_cache = None
+
+    def attach_delta_log(self, log) -> None:
+        """Subscribe a :class:`~repro.enforce.delta.DeltaLog`-like observer.
+
+        Every mutation reports its touched node ids via ``log.record(nodes)``
+        — the hook incremental enforcement uses to localize revalidation.
+        Observers are held strongly; pair with :meth:`detach_delta_log`.
+        """
+        if log not in self._delta_logs:
+            self._delta_logs = self._delta_logs + (log,)
+
+    def detach_delta_log(self, log) -> None:
+        """Unsubscribe a previously attached delta observer (idempotent)."""
+        self._delta_logs = tuple(l for l in self._delta_logs if l is not log)
+
+    def _record_delta(self, *nodes: int) -> None:
+        for log in self._delta_logs:
+            log.record(nodes)
 
     def index(self):
         """The frozen :class:`~repro.graph.index.GraphIndex` of this graph.
@@ -108,6 +128,8 @@ class Graph:
         self._out.append({})
         self._in.append({})
         self._label_index.setdefault(label, []).append(node)
+        if self._delta_logs:
+            self._record_delta(node)
         return node
 
     def add_edge(self, src: int, dst: int, label: str) -> bool:
@@ -122,6 +144,8 @@ class Graph:
         self._in[dst].setdefault(src, set()).add(label)
         self._edge_label_count[label] = self._edge_label_count.get(label, 0) + 1
         self._num_edges += 1
+        if self._delta_logs:
+            self._record_delta(src, dst)
         return True
 
     def remove_edge(self, src: int, dst: int, label: str) -> bool:
@@ -141,6 +165,8 @@ class Graph:
         if not self._edge_label_count[label]:
             del self._edge_label_count[label]
         self._num_edges -= 1
+        if self._delta_logs:
+            self._record_delta(src, dst)
         return True
 
     def set_attr(self, node: int, attr: str, value: Any) -> None:
@@ -148,12 +174,16 @@ class Graph:
         self._check_node(node)
         self._touch()
         self._attrs[node][attr] = value
+        if self._delta_logs:
+            self._record_delta(node)
 
     def remove_attr(self, node: int, attr: str) -> None:
         """Delete attribute ``attr`` from ``node`` if present."""
         if attr in self._attrs[node]:
             self._touch()
             del self._attrs[node][attr]
+            if self._delta_logs:
+                self._record_delta(node)
 
     def relabel_node(self, node: int, label: str) -> None:
         """Change the label of ``node`` (updates the label index)."""
@@ -168,6 +198,8 @@ class Graph:
             del self._label_index[old]
         self._labels[node] = label
         self._label_index.setdefault(label, []).append(node)
+        if self._delta_logs:
+            self._record_delta(node)
 
     def relabel_edge(self, src: int, dst: int, old: str, new: str) -> bool:
         """Replace the label of an existing edge; return False if absent."""

@@ -280,6 +280,31 @@ class ShardWorker:
                 overlaps[p] = bool(hits[offset])
         return overlaps
 
+    # -- enforcement (repro.enforce) ------------------------------------
+    def op_enforce(self, key: int, payload: Dict[str, Any]) -> List[Tuple]:
+        """Evaluate one pattern group's compiled rules on this shard.
+
+        ``payload["rules"]`` entries are ``(lhs literals, rhs literal or
+        None)`` over the *canonical* pattern variables (``None`` = negative
+        GFD).  Per rule the result is ``(violation count, distinct
+        violating node ids, violating match rows)``; rows are canonical
+        match tuples as an ``(N, vars)`` int64 array.  Counts and node sets
+        are exact per shard; the master merges across shards.
+        """
+        table = self.tables[key]
+        match_array = table.match_array
+        results: List[Tuple] = []
+        for lhs, rhs in payload["rules"]:
+            mask = table.violation_mask(lhs, rhs)
+            violating = match_array[mask]
+            nodes = (
+                np.unique(violating)
+                if violating.size
+                else np.empty(0, dtype=np.int64)
+            )
+            results.append((int(violating.shape[0]), nodes, violating))
+        return results
+
     # -- lifecycle ------------------------------------------------------
     def op_drop_store(self, key: int, payload: Dict[str, Any]) -> None:
         """Free the mask store once a pattern's ``HSpawn`` completes."""

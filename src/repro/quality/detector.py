@@ -8,15 +8,37 @@ Three detectors, one per rule system compared in Figure 7:
 * **GCFDs** — same machinery over the path-restricted rule set;
 * **AMIE** — nodes incident to a body grounding whose predicted head fact
   is absent (under the PCA, only subjects with some head fact count).
+
+Since PR 3 the GFD/GCFD path runs on the :class:`~repro.enforce.engine.
+EnforcementEngine` (grouped patterns, columnar masks, CSR index) instead of
+per-rule match enumeration over the dict graph — same violation sets, much
+faster on shared-pattern rule sets.
+
+**Cap semantics** (``max_per_gfd``): when a rule has more violations than
+the cap, the retained subset is a uniform ``random.Random(seed)`` sample
+over the *lexicographically sorted* full violation set.  The pre-PR 3
+behavior kept the first ``max_per_gfd`` violations in match-enumeration
+order, so :func:`nodes_in_violations` over/under-counted deterministically
+with the backend's iteration order; the seeded sample is deterministic
+given ``(seed, violation set)`` and independent of enumeration order,
+engine backend and worker count.  Violation *counts* are always exact —
+only the retained witnesses are sampled.
+
+Consequently ``max_per_gfd`` is now a *report-size* knob, not a work
+bound: the engine materializes each rule's full violation set before
+sampling (order-independence cannot be had from a truncated enumeration).
+At reproduction scale this is immaterial; a streaming cap for
+adversarially dense rules on huge graphs is a ROADMAP open item.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set
 
 from ..baselines.amie import AmieMiner, AmieRule
+from ..core.config import EnforcementConfig
 from ..gfd.gfd import GFD
-from ..gfd.satisfaction import Violation, find_violations
+from ..gfd.satisfaction import Violation
 from ..graph.graph import Graph
 from .metrics import DetectionMetrics, detection_metrics
 
@@ -29,17 +51,37 @@ __all__ = [
 
 
 def detect_gfd_violations(
-    graph: Graph, sigma: Sequence[GFD], max_per_gfd: int = 10_000
+    graph: Graph,
+    sigma: Sequence[GFD],
+    max_per_gfd: Optional[int] = 10_000,
+    seed: int = 0,
 ) -> List[Violation]:
-    """All violations of ``Σ`` in ``graph`` (capped per GFD)."""
-    violations: List[Violation] = []
-    for gfd in sigma:
-        violations.extend(find_violations(graph, gfd, max_violations=max_per_gfd))
-    return violations
+    """Violations of ``Σ`` in ``graph``, seeded-capped per GFD.
+
+    Runs a one-shot :class:`~repro.enforce.engine.EnforcementEngine` pass
+    (serial backend, single shard — detection is a metrics convenience; for
+    repeated or scaled-out validation hold an engine directly and call
+    ``refresh``).  ``max_per_gfd=None`` retains every violation.
+    """
+    from ..enforce.engine import EnforcementEngine
+
+    config = EnforcementConfig(
+        backend="serial",
+        num_workers=1,
+        max_violation_samples=max_per_gfd,
+        sample_seed=seed,
+    )
+    with EnforcementEngine(graph, sigma, config) as engine:
+        return engine.validate().violations()
 
 
 def nodes_in_violations(violations: Iterable[Violation]) -> Set[int]:
-    """``V^GFD``: every node contained in some violating match."""
+    """``V^GFD``: every node contained in some violating match.
+
+    Over a capped :func:`detect_gfd_violations` result this is computed
+    from the retained sample — see the module docstring for the seeded,
+    order-independent cap semantics.
+    """
     nodes: Set[int] = set()
     for violation in violations:
         nodes.update(violation.match)
@@ -50,10 +92,11 @@ def gfd_detection(
     graph: Graph,
     sigma: Sequence[GFD],
     dirty_nodes: Iterable[int],
-    max_per_gfd: int = 10_000,
+    max_per_gfd: Optional[int] = 10_000,
+    seed: int = 0,
 ) -> DetectionMetrics:
     """Run GFD validation on a dirty graph and score against ground truth."""
-    violations = detect_gfd_violations(graph, sigma, max_per_gfd)
+    violations = detect_gfd_violations(graph, sigma, max_per_gfd, seed=seed)
     return detection_metrics(nodes_in_violations(violations), dirty_nodes)
 
 

@@ -102,3 +102,61 @@ class TestCLI:
         save_rules(rules, str(path))
         loaded = load_rules(str(path))
         assert [str(r) for r in loaded] == [str(r) for r in rules]
+
+    def test_round_trip_rules_json(self, tmp_path):
+        rules = [
+            parse_gfd('Q[x] { (x:a) } ( -> x.v="1")'),
+            parse_gfd("Q[x, y] { (x:a)-[e]->(y:b) } ( -> false)"),
+        ]
+        path = tmp_path / "r.json"
+        save_rules(rules, str(path), supports={rules[0]: 5})
+        loaded = load_rules(str(path))
+        assert [str(r) for r in loaded] == [str(r) for r in rules]
+
+    def test_discover_to_enforce_json_pipeline(
+        self, graph_file, tmp_path, capsys
+    ):
+        sigma_file = tmp_path / "sigma.json"
+        assert main(
+            [
+                "discover", graph_file,
+                "--k", "2", "--sigma", "30", "--max-lhs", "1",
+                "--output", str(sigma_file),
+            ]
+        ) == 0
+        capsys.readouterr()
+        # the clean graph satisfies its own discovered rules
+        assert main(["enforce", graph_file, str(sigma_file)]) == 0
+
+    def test_enforce_dirty(self, tmp_path, film_graph, rules_file, capsys):
+        film_graph.set_attr(0, "type", "gardener")  # break the rule
+        dirty_path = tmp_path / "dirty.json"
+        save_json(film_graph, dirty_path)
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "enforce", str(dirty_path), rules_file,
+                "--samples", "3", "--json", str(report_path),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr()
+        assert "violation" in out.out
+        assert "distinct patterns" in out.err
+        import json
+
+        report = json.loads(report_path.read_text())
+        assert report["total_violations"] >= 1
+        assert 0 in report["flagged_nodes"]
+        assert len(report["rules"]) == 2
+
+    def test_enforce_workers(self, tmp_path, film_graph, rules_file, capsys):
+        film_graph.set_attr(0, "type", "gardener")
+        dirty_path = tmp_path / "dirty.json"
+        save_json(film_graph, dirty_path)
+        assert main(
+            [
+                "enforce", str(dirty_path), rules_file,
+                "--backend", "serial", "--workers", "3",
+            ]
+        ) == 1

@@ -1,0 +1,440 @@
+"""The enforcement engine against the reference validator.
+
+The differential guarantee of PR 3: :class:`EnforcementEngine` — grouped
+and vectorized, on the serial and multiprocess backends, with full and
+incremental refresh — reports exactly the violation sets of the per-rule
+reference :func:`repro.gfd.satisfaction.find_violations`, on a seeded
+population of randomized graphs and rule sets covering negative GFDs
+(``X → false``), missing attributes on both literal sides, variable
+literals, wildcard labels, and isomorphic-pattern sharing.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import EnforcementConfig
+from repro.enforce import DeltaLog, EnforcementEngine, compile_plan
+from repro.gfd.gfd import GFD
+from repro.gfd.literals import FALSE, ConstantLiteral, make_variable_literal
+from repro.gfd.satisfaction import find_violations
+from repro.graph import Graph
+from repro.pattern.pattern import WILDCARD, Pattern
+from repro.quality.detector import detect_gfd_violations, nodes_in_violations
+
+NODE_LABELS = ["person", "film", "book", "city", "award"]
+EDGE_LABELS = ["create", "like", "live_in", "win"]
+ATTRS = ["kind", "year", "grade"]
+
+#: Seeds of the randomized equivalence population (satellite: ≥ 20 graphs).
+NUM_GRAPHS = 24
+
+VALUE_POOL = {
+    "kind": ["a", "b", "c"],
+    "year": [2000, 2001, 2002],
+    "grade": ["x", "y"],
+}
+
+
+def _random_graph(seed: int) -> Graph:
+    """A random labeled multigraph with sparse/dense attribute columns."""
+    rng = random.Random(seed)
+    num_nodes = rng.randint(40, 90)
+    labels = NODE_LABELS[: rng.randint(2, len(NODE_LABELS))]
+    density = rng.choice([0.3, 0.6, 0.95])
+    graph = Graph()
+    for _ in range(num_nodes):
+        attrs = {
+            attr: rng.choice(VALUE_POOL[attr])
+            for attr in ATTRS
+            if rng.random() < density
+        }
+        graph.add_node(rng.choice(labels), attrs)
+    edge_labels = EDGE_LABELS[: rng.randint(2, len(EDGE_LABELS))]
+    for _ in range(rng.randint(num_nodes, 3 * num_nodes)):
+        src, dst = rng.randrange(num_nodes), rng.randrange(num_nodes)
+        if src != dst:
+            graph.add_edge(src, dst, rng.choice(edge_labels))
+    return graph
+
+
+def _random_literal(rng: random.Random, num_vars: int, constant_ok: bool = True):
+    """A literal over ``num_vars`` variables; sometimes over absent attrs
+    or never-occurring constants (the missing-attribute semantics)."""
+    attr = rng.choice(ATTRS + ["phantom"])  # "phantom" exists on no node
+    if rng.random() < 0.35 and num_vars >= 2:
+        var1, var2 = rng.sample(range(num_vars), 2)
+        attr2 = attr if rng.random() < 0.7 else rng.choice(ATTRS)
+        return make_variable_literal(var1, attr, var2, attr2)
+    var = rng.randrange(num_vars)
+    values = VALUE_POOL.get(attr, ["zz"]) + ["__nowhere__"]
+    return ConstantLiteral(var, attr, rng.choice(values))
+
+
+def _random_sigma(rng: random.Random, graph: Graph, count: int):
+    """Rules over patterns sampled from the graph's own edges (so matches
+    exist), with shuffled variable orders to exercise canonical grouping."""
+    edges = list(graph.edges())
+    sigma = []
+    while len(sigma) < count and edges:
+        src, dst, label = rng.choice(edges)
+        src_label = graph.node_label(src)
+        dst_label = graph.node_label(dst)
+        if rng.random() < 0.2:
+            src_label = WILDCARD
+        if rng.random() < 0.2:
+            label = WILDCARD
+        if rng.random() < 0.5:
+            # the spelled order of an isomorphic pattern varies
+            pattern = Pattern([src_label, dst_label], [(0, 1, label)], pivot=0)
+        else:
+            pattern = Pattern([dst_label, src_label], [(1, 0, label)], pivot=1)
+        num_vars = pattern.num_nodes
+        lhs = frozenset(
+            _random_literal(rng, num_vars) for _ in range(rng.randint(0, 2))
+        )
+        roll = rng.random()
+        if roll < 0.25:
+            rhs = FALSE
+        else:
+            rhs = _random_literal(rng, num_vars)
+        sigma.append(GFD(pattern, lhs, rhs))
+    return sigma
+
+
+def _reference_sets(graph: Graph, sigma):
+    """Per-rule violating match sets via the reference validator."""
+    return [
+        frozenset(v.match for v in find_violations(graph, gfd))
+        for gfd in sigma
+    ]
+
+
+def _engine_sets(report):
+    """Per-rule violating match sets from an uncapped engine report."""
+    return [frozenset(rule.sample) for rule in report.rules]
+
+
+def _uncapped(**overrides) -> EnforcementConfig:
+    defaults = dict(backend="serial", max_violation_samples=None)
+    defaults.update(overrides)
+    return EnforcementConfig(**defaults)
+
+
+class TestDifferentialEquivalence:
+    @pytest.mark.parametrize("seed", range(NUM_GRAPHS))
+    def test_engine_matches_reference(self, seed):
+        graph = _random_graph(seed)
+        rng = random.Random(1000 + seed)
+        sigma = _random_sigma(rng, graph, rng.randint(4, 10))
+        reference = _reference_sets(graph, sigma)
+
+        with EnforcementEngine(graph, sigma, _uncapped()) as engine:
+            report = engine.validate()
+            assert _engine_sets(report) == reference
+            assert [r.violation_count for r in report.rules] == [
+                len(s) for s in reference
+            ]
+            # exact node sets, independent of the sample cap machinery
+            for rule_report, expected in zip(report.rules, reference):
+                assert rule_report.nodes == frozenset(
+                    node for match in expected for node in match
+                )
+
+        # sharded serial evaluation must not change anything
+        with EnforcementEngine(
+            graph, sigma, _uncapped(num_workers=3)
+        ) as engine:
+            assert _engine_sets(engine.validate()) == reference
+
+        # the dict-graph fallback path must not change anything
+        with EnforcementEngine(
+            graph, sigma, _uncapped(use_index=False)
+        ) as engine:
+            assert _engine_sets(engine.validate()) == reference
+
+    @pytest.mark.parametrize("seed", [2, 11])
+    def test_multiprocess_backend_matches_reference(self, seed):
+        graph = _random_graph(seed)
+        rng = random.Random(1000 + seed)
+        sigma = _random_sigma(rng, graph, rng.randint(4, 10))
+        reference = _reference_sets(graph, sigma)
+        with EnforcementEngine(
+            graph, sigma, _uncapped(backend="multiprocess", num_workers=2)
+        ) as engine:
+            report = engine.validate()
+        assert _engine_sets(report) == reference
+        assert report.backend == "multiprocess"
+
+    @pytest.mark.parametrize("seed", range(0, NUM_GRAPHS, 3))
+    def test_incremental_refresh_matches_reference(self, seed):
+        graph = _random_graph(seed)
+        rng = random.Random(2000 + seed)
+        sigma = _random_sigma(rng, graph, rng.randint(4, 8))
+        with EnforcementEngine(graph, sigma, _uncapped()) as engine:
+            engine.validate()
+            # a small mixed delta: attribute edits, edge churn, a new node
+            nodes = list(graph.nodes())
+            for node in rng.sample(nodes, 3):
+                graph.set_attr(node, "kind", rng.choice(VALUE_POOL["kind"]))
+            victim = rng.choice(nodes)
+            graph.remove_attr(victim, "year")
+            edges = list(graph.edges())
+            if edges:
+                graph.remove_edge(*rng.choice(edges))
+            fresh = graph.add_node(
+                graph.node_label(rng.choice(nodes)), {"kind": "a"}
+            )
+            graph.add_edge(rng.choice(nodes), fresh, "create")
+            report = engine.refresh()
+            assert report.mode == "incremental"
+            assert _engine_sets(report) == _reference_sets(graph, sigma)
+            # refresh with no delta returns the cached report
+            assert engine.refresh() is report
+
+    def test_large_delta_falls_back_to_full(self):
+        graph = _random_graph(5)
+        rng = random.Random(99)
+        sigma = _random_sigma(rng, graph, 4)
+        config = _uncapped(max_delta_fraction=0.05)
+        with EnforcementEngine(graph, sigma, config) as engine:
+            engine.validate()
+            for node in range(graph.num_nodes // 2):
+                graph.set_attr(node, "kind", "c")
+            report = engine.refresh()
+            assert report.mode == "full"
+            assert _engine_sets(report) == _reference_sets(graph, sigma)
+
+
+class TestNegativeAndMissingSemantics:
+    """Targeted checks of the mask evaluator's Section 2.2 corner cases."""
+
+    def _graph(self) -> Graph:
+        graph = Graph()
+        a = graph.add_node("person", {"kind": "a", "year": 2000})
+        b = graph.add_node("person", {"kind": "a"})  # year missing
+        c = graph.add_node("film", {"kind": "b", "year": 2000})
+        d = graph.add_node("film", {})  # everything missing
+        graph.add_edge(a, c, "create")
+        graph.add_edge(b, c, "create")
+        graph.add_edge(a, d, "create")
+        graph.add_edge(b, d, "create")
+        return graph
+
+    def _sets(self, graph, gfd):
+        with EnforcementEngine(graph, [gfd], _uncapped()) as engine:
+            report = engine.validate()
+        expected = frozenset(v.match for v in find_violations(graph, gfd))
+        assert frozenset(report.rules[0].sample) == expected
+        return expected
+
+    def test_negative_gfd_flags_every_lhs_match(self):
+        graph = self._graph()
+        pattern = Pattern(["person", "film"], [(0, 1, "create")])
+        gfd = GFD(
+            pattern, frozenset({ConstantLiteral(0, "kind", "a")}), FALSE
+        )
+        assert self._sets(graph, gfd) == {(0, 2), (0, 3), (1, 2), (1, 3)}
+
+    def test_negative_gfd_with_empty_lhs_flags_every_match(self):
+        graph = self._graph()
+        pattern = Pattern(["person", "film"], [(0, 1, "create")])
+        gfd = GFD(pattern, frozenset(), FALSE)
+        assert len(self._sets(graph, gfd)) == 4
+
+    def test_missing_lhs_attribute_satisfies_vacuously(self):
+        graph = self._graph()
+        pattern = Pattern(["person", "film"], [(0, 1, "create")])
+        # node 1 misses "year": its matches cannot violate via this LHS
+        gfd = GFD(
+            pattern,
+            frozenset({ConstantLiteral(0, "year", 2000)}),
+            ConstantLiteral(1, "kind", "zzz"),
+        )
+        violations = self._sets(graph, gfd)
+        assert violations == {(0, 2), (0, 3)}
+
+    def test_missing_rhs_attribute_is_a_violation(self):
+        graph = self._graph()
+        pattern = Pattern(["person", "film"], [(0, 1, "create")])
+        # film 3 has no "year": every match onto it violates the RHS
+        gfd = GFD(pattern, frozenset(), ConstantLiteral(1, "year", 2000))
+        assert self._sets(graph, gfd) == {(0, 3), (1, 3)}
+
+    def test_variable_literal_missing_both_sides_is_violation(self):
+        graph = self._graph()
+        pattern = Pattern(["person", "film"], [(0, 1, "create")])
+        # two MISSING cells are NOT equal under Section 2.2
+        gfd = GFD(
+            pattern, frozenset(), make_variable_literal(0, "year", 1, "year")
+        )
+        violations = self._sets(graph, gfd)
+        assert (1, 2) in violations  # person 1 misses year
+        assert (0, 3) in violations  # film 3 misses year
+        assert (0, 2) not in violations  # both 2000
+
+
+class TestPlanCompilation:
+    def test_isomorphic_patterns_share_a_group(self):
+        spelled_one_way = Pattern(["person", "film"], [(0, 1, "create")], 0)
+        spelled_other_way = Pattern(["film", "person"], [(1, 0, "create")], 1)
+        sigma = [
+            GFD(spelled_one_way, frozenset(),
+                ConstantLiteral(0, "kind", "a")),
+            GFD(spelled_other_way, frozenset(),
+                ConstantLiteral(1, "kind", "a")),
+            GFD(spelled_one_way,
+                frozenset({ConstantLiteral(1, "kind", "b")}), FALSE),
+        ]
+        plan = compile_plan(sigma)
+        assert plan.num_rules == 3
+        assert len(plan.groups) == 1
+        group = plan.groups[0]
+        assert group.pattern.pivot == 0
+        assert [rule.position for rule in group.rules] == [0, 1, 2]
+        assert group.rules[2].is_negative
+        # the two positive rules express the same dependency: identical
+        # canonical literals, different column maps
+        assert group.rules[0].lhs == group.rules[1].lhs
+        assert group.rules[0].rhs == group.rules[1].rhs
+
+    def test_plan_attributes_cover_all_literals(self):
+        pattern = Pattern(["person", "film"], [(0, 1, "create")])
+        sigma = [
+            GFD(pattern, frozenset({ConstantLiteral(0, "kind", "a")}),
+                make_variable_literal(0, "year", 1, "grade")),
+        ]
+        plan = compile_plan(sigma)
+        assert plan.attributes() == ("grade", "kind", "year")
+
+
+class TestDeltaLog:
+    def test_mutations_record_touched_nodes(self):
+        graph = Graph()
+        a = graph.add_node("x", {})
+        b = graph.add_node("x", {})
+        log = DeltaLog()
+        graph.attach_delta_log(log)
+        assert not log
+        graph.add_edge(a, b, "e")
+        assert log.touched_nodes() == {a, b}
+        graph.set_attr(a, "k", 1)
+        graph.remove_edge(a, b, "e")
+        c = graph.add_node("y", {})
+        graph.relabel_node(b, "z")
+        assert log.touched_nodes() == {a, b, c}
+        assert log.num_ops == 5
+        log.clear()
+        assert not log and log.num_ops == 0
+        # no-op mutations record nothing
+        graph.remove_edge(a, b, "e")
+        graph.remove_attr(b, "absent")
+        graph.relabel_node(b, "z")
+        assert not log
+        graph.detach_delta_log(log)
+        graph.set_attr(a, "k", 2)
+        assert not log
+
+    def test_engine_close_detaches_its_log(self):
+        graph = _random_graph(1)
+        sigma = _random_sigma(random.Random(1), graph, 2)
+        engine = EnforcementEngine(graph, sigma, _uncapped())
+        engine.validate()
+        engine.close()
+        graph.set_attr(0, "kind", "a")
+        assert not engine.delta
+
+
+class TestSeededCapRegression:
+    """``max_per_gfd`` semantics: seeded, order-independent sampling.
+
+    The pre-PR 3 detector kept the *first* ``max_per_gfd`` violations in
+    match-enumeration order, so ``nodes_in_violations`` depended on the
+    backend's iteration order.  Now a binding cap keeps a seeded uniform
+    sample over the sorted violation set — identical across backends,
+    worker counts, and refresh modes.
+    """
+
+    def _violating_setup(self):
+        graph = Graph()
+        people = [
+            graph.add_node("person", {"kind": "a"}) for _ in range(30)
+        ]
+        films = [graph.add_node("film", {}) for _ in range(3)]
+        for person in people:
+            for film in films:
+                graph.add_edge(person, film, "create")
+        pattern = Pattern(["person", "film"], [(0, 1, "create")])
+        # every match violates: films have no "kind"
+        gfd = GFD(pattern, frozenset(), ConstantLiteral(1, "kind", "a"))
+        return graph, [gfd]
+
+    def test_capped_sample_is_deterministic_and_exactly_capped(self):
+        graph, sigma = self._violating_setup()
+        first = detect_gfd_violations(graph, sigma, max_per_gfd=10, seed=7)
+        second = detect_gfd_violations(graph, sigma, max_per_gfd=10, seed=7)
+        assert len(first) == 10
+        assert [v.match for v in first] == [v.match for v in second]
+        other_seed = detect_gfd_violations(graph, sigma, max_per_gfd=10, seed=8)
+        assert {v.match for v in other_seed} != {v.match for v in first}
+
+    def test_capped_sample_is_shard_and_backend_independent(self):
+        graph, sigma = self._violating_setup()
+        configs = [
+            EnforcementConfig(backend="serial", num_workers=1,
+                              max_violation_samples=10, sample_seed=7),
+            EnforcementConfig(backend="serial", num_workers=4,
+                              max_violation_samples=10, sample_seed=7),
+            EnforcementConfig(backend="multiprocess", num_workers=2,
+                              max_violation_samples=10, sample_seed=7),
+        ]
+        samples = []
+        for config in configs:
+            with EnforcementEngine(graph, sigma, config) as engine:
+                report = engine.validate()
+            assert report.rules[0].sample_truncated
+            assert report.rules[0].violation_count == 90
+            # the full node set stays exact even under the sample cap
+            assert len(report.rules[0].nodes) == 33
+            samples.append(report.rules[0].sample)
+        assert samples[0] == samples[1] == samples[2]
+
+    def test_uncapped_detection_equals_reference(self):
+        graph, sigma = self._violating_setup()
+        violations = detect_gfd_violations(graph, sigma, max_per_gfd=None)
+        reference = find_violations(graph, sigma[0])
+        assert {v.match for v in violations} == {v.match for v in reference}
+        assert nodes_in_violations(violations) == nodes_in_violations(reference)
+
+
+class TestReportSurface:
+    def test_report_shape_and_sketch_cardinality(self):
+        graph, sigma = TestSeededCapRegression()._violating_setup()
+        with EnforcementEngine(graph, sigma, _uncapped()) as engine:
+            report = engine.validate()
+        assert report.total_violations == 90
+        assert not report.is_clean
+        assert report.patterns_matched == 1
+        assert report.rules[0].distinct_pivots == 30  # exact
+        with EnforcementEngine(
+            graph, sigma, _uncapped(sketch_cardinality=True)
+        ) as engine:
+            sketched = engine.validate()
+        # the sketch reports a probable upper bound on the exact count
+        assert sketched.rules[0].distinct_pivots >= 30
+        assert report.violations()[0].gfd is sigma[0]
+
+    def test_empty_sigma_and_matchless_pattern(self):
+        graph = _random_graph(0)
+        with EnforcementEngine(graph, [], _uncapped()) as engine:
+            report = engine.validate()
+        assert report.is_clean and report.rules == []
+        pattern = Pattern(["no_such_label"], [])
+        gfd = GFD(pattern, frozenset(), ConstantLiteral(0, "kind", "a"))
+        with EnforcementEngine(graph, [gfd], _uncapped()) as engine:
+            report = engine.validate()
+        assert report.rules[0].violation_count == 0
+        assert report.is_clean

@@ -115,3 +115,62 @@ class TestRoundTrip:
         parsed = parse_gfd(text)
         assert parsed.pattern == gfd.pattern
         assert parsed.rhs == gfd.rhs
+
+
+class TestSigmaPersistence:
+    """JSON round-trip of whole rule sets (``dumps_sigma``/``loads_sigma``)."""
+
+    SIGMA_TEXTS = [
+        'Q[x, y] { (x:person)-[create]->(y:product) } '
+        '(y.type="film" -> x.type="producer")',
+        "Q[x, y, z] { (x:city)-[located]->(y:_), (x)-[located]->(z:_) } "
+        "( -> y.name=z.name)",
+        'Q[x*, y] { (y:a)-[e]->(x:b) } (x.v=1 & y.w="two" -> false)',
+    ]
+
+    def test_round_trip_with_supports(self):
+        from repro.gfd import dumps_sigma, loads_sigma
+
+        sigma = [parse_gfd(text) for text in self.SIGMA_TEXTS]
+        supports = {sigma[0]: 42, sigma[2]: 7}
+        document = dumps_sigma(sigma, supports=supports)
+        loaded, loaded_supports = loads_sigma(document)
+        assert [str(g) for g in loaded] == [str(g) for g in sigma]
+        assert [g.pattern for g in loaded] == [g.pattern for g in sigma]
+        assert [g.lhs for g in loaded] == [g.lhs for g in sigma]
+        assert [g.rhs for g in loaded] == [g.rhs for g in sigma]
+        assert loaded_supports == {loaded[0]: 42, loaded[2]: 7}
+
+    def test_round_trip_without_supports(self):
+        from repro.gfd import dumps_sigma, loads_sigma
+
+        sigma = [parse_gfd(text) for text in self.SIGMA_TEXTS]
+        loaded, supports = loads_sigma(dumps_sigma(sigma))
+        assert len(loaded) == len(sigma)
+        assert supports == {}
+
+    def test_rejects_foreign_documents(self):
+        from repro.gfd import GFDSyntaxError, loads_sigma
+
+        with pytest.raises(GFDSyntaxError):
+            loads_sigma("not json at all")
+        with pytest.raises(GFDSyntaxError):
+            loads_sigma('{"format": "something-else", "gfds": []}')
+        with pytest.raises(GFDSyntaxError):
+            loads_sigma(
+                '{"format": "repro-gfd-sigma", "version": 999, "gfds": []}'
+            )
+        with pytest.raises(GFDSyntaxError):
+            loads_sigma(
+                '{"format": "repro-gfd-sigma", "version": 1, "gfds": ["x"]}'
+            )
+        with pytest.raises(GFDSyntaxError):
+            loads_sigma(
+                '{"format": "repro-gfd-sigma", "version": 1,'
+                ' "gfds": [{"gfd": 5}]}'
+            )
+        with pytest.raises(GFDSyntaxError):
+            loads_sigma(
+                '{"format": "repro-gfd-sigma", "version": 1, "gfds":'
+                ' [{"gfd": "Q[x] { (x:a) } ( -> false)", "support": null}]}'
+            )
