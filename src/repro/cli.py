@@ -11,7 +11,9 @@ Subcommands:
 * ``enforce <graph> <rules>`` — validate a rule set with the compiled
   :class:`~repro.enforce.engine.EnforcementEngine` (grouped patterns,
   columnar masks, serial or multiprocess backend);
-* ``cover <rules>`` — compute a cover of a rule file.
+* ``cover <rules>`` — compute a cover of a rule file (``--workers``/
+  ``--backend`` selects the parallel ``ParCover``, sharded over the same
+  worker op layer as discovery).
 
 Graphs are the JSON/TSV formats of :mod:`repro.graph.io`.  Rule files are
 either plain text — one GFD per line in the syntax of
@@ -224,7 +226,22 @@ def _cmd_enforce(args: argparse.Namespace) -> int:
 
 def _cmd_cover(args: argparse.Namespace) -> int:
     rules = load_rules(args.rules)
-    result = sequential_cover(rules)
+    if (args.workers or 0) > 1 or args.backend is not None:
+        from .parallel import parallel_cover
+
+        result, cluster = parallel_cover(
+            rules,
+            num_workers=args.workers or 4,
+            backend=args.backend,
+        )
+        print(
+            f"# backend={args.backend or 'serial'} "
+            f"workers={cluster.num_workers} "
+            f"modeled parallel time {cluster.metrics.elapsed_parallel:.3f}s",
+            file=sys.stderr,
+        )
+    else:
+        result = sequential_cover(rules)
     for gfd in result.cover:
         print(format_gfd(gfd))
     print(
@@ -242,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-gfd",
         description="GFD discovery (SIGMOD'18 reproduction)",
+        epilog="Parallel verbs (discover, enforce, cover) take --backend "
+               "serial|multiprocess — multiprocess runs real worker "
+               "processes attaching the frozen graph index via shared "
+               "memory; --no-shared-memory falls back to pickling the "
+               "buffers into each worker.  $REPRO_PARALLEL_BACKEND sets "
+               "the default backend.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -249,7 +272,13 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("graph", help="graph file (.json or .tsv)")
     stats.set_defaults(func=_cmd_stats)
 
-    disc = commands.add_parser("discover", help="mine GFDs from a graph")
+    disc = commands.add_parser(
+        "discover",
+        help="mine GFDs from a graph",
+        epilog="--backend multiprocess shards the mining over real worker "
+               "processes (shared-memory graph buffers; --no-shared-memory "
+               "selects the pickle transport).",
+    )
     disc.add_argument("graph", help="graph file (.json or .tsv)")
     disc.add_argument("--k", type=int, default=3, help="pattern-variable bound")
     disc.add_argument("--sigma", type=int, default=10, help="support threshold")
@@ -275,6 +304,10 @@ def build_parser() -> argparse.ArgumentParser:
     enf = commands.add_parser(
         "enforce",
         help="validate a rule set with the compiled enforcement engine",
+        epilog="--backend multiprocess evaluates the compiled plan on real "
+               "worker processes over the shared-memory graph index "
+               "(--no-shared-memory selects the pickle transport); match "
+               "shards stay resident in the workers across passes.",
     )
     enf.add_argument("graph", help="graph file (.json or .tsv)")
     enf.add_argument("rules", help="rule file (text lines or Σ .json)")
@@ -304,8 +337,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="max violations reported per GFD")
     val.set_defaults(func=_cmd_validate)
 
-    cov = commands.add_parser("cover", help="compute a cover of a rule file")
+    cov = commands.add_parser(
+        "cover",
+        help="compute a cover of a rule file",
+        epilog="--workers > 1 or --backend runs ParCover (grouped units, "
+               "LPT-balanced) instead of SeqCover; the cover is identical.",
+    )
     cov.add_argument("rules", help="rule file (one GFD per line)")
+    cov.add_argument("--workers", type=int, default=None,
+                     help="ParCover workers (>1 selects the parallel cover)")
+    cov.add_argument("--backend", choices=["serial", "multiprocess"],
+                     default=None,
+                     help="cover execution backend (default: serial)")
     cov.add_argument("--output", help="also write the cover to this file")
     cov.set_defaults(func=_cmd_cover)
     return parser

@@ -118,6 +118,15 @@ class DiscoveryConfig:
             ``multiprocessing.shared_memory`` (attach-once, zero-copy numpy
             views).  Disabling — or running on a platform without shared
             memory — falls back to pickling the buffers into each worker.
+        direct_shipping: when a skewed join triggers rebalancing on the
+            multiprocess backend, move whole pivot groups worker-to-worker
+            through a shared-memory staging segment: the master plans the
+            moves from per-group row *counts* and exchanges only manifests
+            (pivot ids, offsets), never match rows.  Disabling — or running
+            without shared memory — falls back to round-tripping the
+            rebalanced shards through the master (the historical path).
+            Either way the discovered set is identical; only the transfer
+            route changes (``backend.transfers`` proves which route ran).
         sketch_support_prefilter: use an HLL-style distinct-pivot sketch as
             a cheap upper bound before exact support counting in the
             ``HSpawn`` alphabet prefilter.  Exact counting remains the
@@ -153,6 +162,7 @@ class DiscoveryConfig:
     parallel_backend: str = field(default_factory=_default_backend)
     num_workers: Optional[int] = None
     shared_memory: bool = True
+    direct_shipping: bool = True
     sketch_support_prefilter: bool = False
     sketch_precision: int = 12
 
@@ -202,6 +212,16 @@ class EnforcementConfig:
             Disabling falls back to the dict-graph reference tables;
             results are identical.  The multiprocess backend requires the
             index.
+        persistent_tables: keep each pattern group's match shard (and its
+            per-rule violation masks) *resident in the workers* across
+            validation passes.  A full pass installs the shards once; an
+            incremental :meth:`~repro.enforce.engine.EnforcementEngine.
+            refresh` then ships only the affected-pivot ball (node ids) and
+            each shard's slice of the re-derived matches — kept rows and
+            their cached masks never travel again, and a clean refresh
+            ships nothing at all (``backend.transfers`` proves it).
+            Disabling reverts to install/evaluate/drop every pass (the
+            PR 3 behavior); reports are identical either way.
         max_delta_fraction: on :meth:`~repro.enforce.engine.
             EnforcementEngine.refresh`, fall back to full revalidation when
             more than this fraction of the graph's nodes was touched since
@@ -223,6 +243,7 @@ class EnforcementConfig:
     num_workers: Optional[int] = None
     shared_memory: bool = True
     use_index: bool = True
+    persistent_tables: bool = True
     max_delta_fraction: float = 0.25
     max_violation_samples: Optional[int] = 10
     sample_seed: int = 0

@@ -16,6 +16,16 @@ to one live graph and serves two entry points:
   exceeds ``EnforcementConfig.max_delta_fraction`` of the graph the engine
   falls back to :meth:`validate`.
 
+With ``EnforcementConfig.persistent_tables`` (the default) the match
+shards — and the per-rule violation masks computed over them — stay
+*resident in the workers* between passes: a full pass installs them once,
+a dirty incremental pass ships only ``(affected-pivot ball, fresh rows)``
+per dirty group, and a clean pass ships nothing at all (the backend's
+:class:`~repro.parallel.backend.TransferLedger` makes the zero-row claim
+testable).  Graph mutations re-point the backend at the new index snapshot
+(:meth:`~repro.parallel.backend.ExecutionBackend.refresh_index`) instead of
+rebuilding the worker processes.
+
 Reports are deterministic across backends, worker counts and refresh modes:
 violating matches are mapped back to each rule's original variable order,
 sorted lexicographically, and (when ``max_violation_samples`` binds) sampled
@@ -123,9 +133,20 @@ class EnforcementEngine:
     The engine compiles ``Σ`` once, attaches a :class:`DeltaLog` to the
     graph, and caches per-group canonical match arrays between passes so
     :meth:`refresh` can splice localized re-matches instead of re-matching
-    the world.  Call :meth:`close` (or use as a context manager) to detach
-    the log and release backend resources (worker processes, shared
-    memory).
+    the world.  The evaluation backend (``config.backend``) is long-lived:
+    with ``config.persistent_tables`` its workers keep each group's match
+    shard and cached violation masks across passes, so repeated refreshes
+    against a mutating graph exchange deltas and scalars only.  Call
+    :meth:`close` (or use as a context manager) to detach the log and
+    release backend resources (worker processes, shared memory).
+
+    Args:
+        graph: the live graph to validate; its mutators feed the engine's
+            delta log from the moment the engine is constructed.
+        sigma: the rule set ``Σ`` (compiled once, grouped by canonical
+            pattern).
+        config: evaluation parameters; ``None`` uses the
+            :class:`~repro.core.config.EnforcementConfig` defaults.
 
     Thread-safety: none — one engine serves one caller, like the discovery
     engines.  Mutating the graph *during* a validation pass is undefined.
@@ -148,6 +169,9 @@ class EnforcementEngine:
         self._validated_version: Optional[int] = None
         self._backend: Optional[ExecutionBackend] = None
         self._backend_index: Optional[GraphIndex] = None
+        #: Group positions whose match shards are resident in the current
+        #: backend's workers (valid only while that backend lives).
+        self._resident: set = set()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -213,6 +237,7 @@ class EnforcementEngine:
         index = self.graph.index() if self.config.use_index else None
         balls: Dict[int, np.ndarray] = {}
         dirty: List[int] = []
+        updates: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         for position, group in enumerate(self.plan.groups):
             radius = group.radius
             ball = balls.get(radius)
@@ -232,11 +257,14 @@ class EnforcementEngine:
                 # only these groups can have gained, lost, or re-judged
                 # matches: every affected match has its pivot in the ball
                 dirty.append(position)
+                updates[position] = (ball, fresh)
                 self._arrays[position] = (
                     np.concatenate([kept, fresh]) if fresh.shape[0] else kept
                 )
         self.delta.clear()
-        return self._finish(index, "incremental", started, positions=dirty)
+        return self._finish(
+            index, "incremental", started, positions=dirty, updates=updates
+        )
 
     # ------------------------------------------------------------------
     # internals
@@ -259,18 +287,31 @@ class EnforcementEngine:
         return np.asarray(rows, dtype=np.int64)
 
     def _ensure_backend(self, index: Optional[GraphIndex]) -> ExecutionBackend:
-        """The evaluation backend for this snapshot (rebuilt when stale).
+        """The evaluation backend for this snapshot.
 
-        A multiprocess backend pins one index snapshot in the workers'
-        shared memory, so any mutation forces a rebuild; the serial backend
-        is rebuilt too (it is a list construction) to keep the shard state
-        snapshot-consistent.
+        With ``config.persistent_tables`` (the default), an existing
+        backend is *re-pointed* at a new index snapshot via
+        :meth:`~repro.parallel.backend.ExecutionBackend.refresh_index` —
+        free on the serial backend, one shared-memory index export on the
+        multiprocess backend — so the worker-resident match shards and
+        cached violation masks survive graph mutations.  Without it the
+        backend is rebuilt from scratch on every snapshot change (workers
+        then hold no state worth preserving).
         """
         if self._backend is not None and self._backend_index is index:
             return self._backend
         if self._backend is not None:
+            if (
+                self.config.persistent_tables
+                and index is not None
+                and self._backend_index is not None
+            ):
+                self._backend.refresh_index(index)
+                self._backend_index = index
+                return self._backend
             self._backend.shutdown()
             self._backend = None
+            self._resident.clear()
         self._backend = make_backend(
             self.config.backend,
             self.num_workers,
@@ -282,18 +323,34 @@ class EnforcementEngine:
         self._backend_index = index
         return self._backend
 
+    def _shard_matches(
+        self, chunk: np.ndarray, index: Optional[GraphIndex]
+    ) -> Any:
+        """One worker's slice of a match array, in the path's native form."""
+        if index is None:
+            # dict-path tables expect match tuples, not arrays
+            return [tuple(row) for row in chunk.tolist()]
+        return chunk
+
     def _finish(
         self,
         index: Optional[GraphIndex],
         mode: str,
         started: float,
         positions: Optional[List[int]] = None,
+        updates: Optional[Dict[int, Tuple[np.ndarray, np.ndarray]]] = None,
     ) -> EnforcementReport:
         """Sharded mask evaluation over the stored match arrays + report.
 
         ``positions`` (incremental mode) restricts evaluation to the dirty
         pattern groups; every other rule reuses its previous report entry —
         none of its matches contained a touched node, so nothing changed.
+        ``updates`` maps a dirty position to its ``(ball, fresh)`` delta:
+        with ``config.persistent_tables``, a group already resident in the
+        workers receives only that delta (``enforce_update``) — the kept
+        rows and their cached violation masks never re-cross the process
+        boundary — while first-time (or non-persistent) groups receive a
+        full shard install.
         """
         if positions is None:
             evaluate = list(range(len(self.plan.groups)))
@@ -306,37 +363,64 @@ class EnforcementEngine:
             backend = self._ensure_backend(index)
             shards = backend.num_workers
             backend_name = backend.name
-            installs: List[Tuple[int, str, int, Dict[str, Any]]] = []
-            enforces: List[Tuple[int, str, int, Dict[str, Any]]] = []
+            persistent = self.config.persistent_tables
+            requests: List[Tuple[int, str, int, Dict[str, Any]]] = []
             drops: List[Tuple[int, str, int, Dict[str, Any]]] = []
             for position in evaluate:
                 group = self.plan.groups[position]
-                array = self._arrays[position]
-                rules_payload = [(rule.lhs, rule.rhs) for rule in group.rules]
-                for worker, chunk in enumerate(np.array_split(array, shards)):
-                    matches: Any = chunk
-                    if index is None:
-                        # dict-path tables expect match tuples, not arrays
-                        matches = [tuple(row) for row in chunk.tolist()]
-                    installs.append(
-                        (
-                            worker,
-                            "install",
-                            position,
-                            {
-                                "pattern": group.pattern,
-                                "matches": matches,
-                                "mined": False,
-                            },
+                update = (
+                    updates.get(position)
+                    if persistent
+                    and updates is not None
+                    and position in self._resident
+                    else None
+                )
+                if update is not None:
+                    ball, fresh = update
+                    for worker, chunk in enumerate(
+                        np.array_split(fresh, shards)
+                    ):
+                        requests.append(
+                            (
+                                worker,
+                                "enforce_update",
+                                position,
+                                {
+                                    "ball": ball,
+                                    "fresh": self._shard_matches(chunk, index),
+                                },
+                            )
                         )
+                else:
+                    array = self._arrays[position]
+                    rules_payload = [
+                        (rule.lhs, rule.rhs) for rule in group.rules
+                    ]
+                    for worker, chunk in enumerate(
+                        np.array_split(array, shards)
+                    ):
+                        requests.append(
+                            (
+                                worker,
+                                "enforce_install",
+                                position,
+                                {
+                                    "pattern": group.pattern,
+                                    "matches": self._shard_matches(chunk, index),
+                                    "rules": rules_payload,
+                                },
+                            )
+                        )
+                    if persistent:
+                        self._resident.add(position)
+                if not persistent:
+                    drops.extend(
+                        (worker, "enforce_drop", position, {})
+                        for worker in range(shards)
                     )
-                    enforces.append(
-                        (worker, "enforce", position, {"rules": rules_payload})
-                    )
-                    drops.append((worker, "drop", position, {}))
-            backend.run_unmetered(installs)
-            outcomes = backend.run_unmetered(enforces)
-            backend.run_unmetered(drops, wait=False)
+            outcomes = backend.run_unmetered(requests)
+            if drops:
+                backend.run_unmetered(drops, wait=False)
             cursor = 0
             for position in evaluate:
                 group = self.plan.groups[position]

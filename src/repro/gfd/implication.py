@@ -10,7 +10,14 @@ Implication is the engine of cover computation (Sections 5.2 and 6.3).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import (
+    AbstractSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..pattern.embedding import may_embed
 from ..pattern.pattern import Pattern
@@ -18,7 +25,12 @@ from .closure import chase, embedded_rules
 from .gfd import GFD
 from .literals import FalseLiteral, Literal
 
-__all__ = ["implies", "implies_any", "ImplicationChecker"]
+__all__ = [
+    "implies",
+    "implies_any",
+    "ImplicationChecker",
+    "greedy_group_elimination",
+]
 
 
 def implies(sigma: Sequence[GFD], gfd: GFD) -> bool:
@@ -74,11 +86,27 @@ class ImplicationChecker:
             self._cache[key] = rules
         return rules
 
-    def implies(self, gfd: GFD, exclude: Optional[int] = None) -> bool:
-        """``(Σ minus the GFD at index ``exclude``) ⊨ gfd``."""
+    def implies(
+        self,
+        gfd: GFD,
+        exclude: Union[None, int, AbstractSet[int]] = None,
+    ) -> bool:
+        """``(Σ minus the GFDs at the ``exclude`` indices) ⊨ gfd``.
+
+        ``exclude`` is an index or a set of indices into the ``Σ`` the
+        checker was built over; excluded GFDs contribute no chase rules.
+        The set form is what group-wise cover elimination uses: one checker
+        (and its embedded-rule cache) serves every leave-``k``-out test.
+        """
+        if exclude is None:
+            excluded: AbstractSet[int] = frozenset()
+        elif isinstance(exclude, int):
+            excluded = {exclude}
+        else:
+            excluded = exclude
         tagged = self._rules_for(gfd.pattern)
         rules = [
-            (lhs, rhs) for index, lhs, rhs in tagged if index != exclude
+            (lhs, rhs) for index, lhs, rhs in tagged if index not in excluded
         ]
         closure = chase(gfd.pattern, [], gfd.lhs, rules=rules)
         if closure.conflicting:
@@ -90,3 +118,42 @@ class ImplicationChecker:
     def implied_by_rest(self, index: int) -> bool:
         """Whether ``Σ \\ {φ_index} ⊨ φ_index`` — the cover redundancy test."""
         return self.implies(self._sigma[index], exclude=index)
+
+
+def greedy_group_elimination(
+    sigma: Sequence[GFD],
+    group: Sequence[int],
+    embedded: Sequence[int],
+    checker: Optional[ImplicationChecker] = None,
+) -> List[int]:
+    """``ParImp``: greedy redundancy elimination within one ``ParCover`` unit.
+
+    Tests each group member against ``embedded`` minus already-removed group
+    members minus itself (the ``Σ̄_Q`` context of Lemma 6) and returns the
+    removed indices, sorted.  Members are scanned most-specific-first
+    (larger patterns, then larger LHS) so the surviving cover prefers small
+    general rules — the same tie-break as ``SeqCover``.
+
+    ``checker`` optionally supplies a shared :class:`ImplicationChecker`
+    over the *full* ``Σ``; restriction to the embedded context is implicit
+    (a GFD whose pattern does not embed into the target's contributes no
+    chase rules), so one checker's embedded-rule cache serves every unit of
+    a worker's batch.  Results are identical either way.
+    """
+    if checker is None:
+        checker = ImplicationChecker(sigma)
+    removed: set = set()
+    ordered = sorted(
+        group,
+        key=lambda index: (
+            -sigma[index].pattern.num_edges,
+            -len(sigma[index].lhs),
+            str(sigma[index]),
+        ),
+    )
+    embedded_set = frozenset(embedded)
+    outside = frozenset(range(len(sigma))) - embedded_set
+    for index in ordered:
+        if checker.implies(sigma[index], exclude=outside | removed | {index}):
+            removed.add(index)
+    return sorted(removed)

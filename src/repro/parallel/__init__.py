@@ -6,12 +6,14 @@ from .backend import (
     MultiprocessBackend,
     SerialBackend,
     SharedIndexBuffers,
+    TransferLedger,
     make_backend,
     shared_memory_available,
 )
 from .balancer import (
     assign_units_lpt,
     is_skewed,
+    plan_pivot_group_moves,
     rebalance_pivot_group_arrays,
     rebalance_pivot_groups,
     rebalance_shards,
@@ -26,6 +28,7 @@ __all__ = [
     "SerialBackend",
     "MultiprocessBackend",
     "SharedIndexBuffers",
+    "TransferLedger",
     "make_backend",
     "shared_memory_available",
     "SimulatedCluster",
@@ -37,6 +40,7 @@ __all__ = [
     "parallel_cover_ungrouped",
     "assign_units_lpt",
     "is_skewed",
+    "plan_pivot_group_moves",
     "rebalance_shards",
     "rebalance_pivot_groups",
     "rebalance_pivot_group_arrays",

@@ -1,12 +1,13 @@
-"""Execution backends for ``ParDis`` — simulated workers or real processes.
+"""Execution backends for ``ParDis``/``ParCover``/enforcement — simulated
+workers or real processes.
 
 ``ParDis`` (Section 6.2) is a BSP algorithm: per superstep, the master sends
 each worker a batch of shard-local tasks (incremental joins, boolean-mask
 lattice validation, tally collection) and aggregates the small results.  The
 engine expresses every worker-side operation as an *op* on a
 :class:`ShardWorker` — a worker's private state: its match-table shard per
-verified pattern and its lattice mask store — and delegates execution to a
-backend:
+verified pattern, its lattice mask store, its resident enforcement tables
+and its cover-phase rule set — and delegates execution to a backend:
 
 * :class:`SerialBackend` runs the ops inline in the master process under the
   :class:`~repro.parallel.cluster.SimulatedCluster` metering (the historical
@@ -31,19 +32,31 @@ Shared-memory lifecycle: the master owns the segment (created in
 resource tracker never double-unlinks), and :meth:`MultiprocessBackend.
 shutdown` joins the pools, closes and unlinks.  ``tests/test_backend.py``
 asserts no segment survives a shutdown.
+
+Bulk data stays worker-resident by design: join results are *parked*
+worker-side, rebalanced pivot groups ship worker-to-worker through a
+shared-memory staging segment (:meth:`MultiprocessBackend.create_stage` +
+the ``stage_out``/``stage_in`` ops), and enforcement match tables persist in
+the workers across :meth:`~repro.enforce.engine.EnforcementEngine.refresh`
+calls.  The :class:`TransferLedger` on every backend counts exactly which
+match rows cross the master boundary, so tests and benchmarks can *prove*
+that only manifests and scalars travel.
 """
 
 from __future__ import annotations
 
+import itertools
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.match_table import MatchTable
 from ..core.spawning import counts_from_statistics, extension_statistics
+from ..gfd.implication import ImplicationChecker, greedy_group_elimination
 from ..graph.graph import Graph
 from ..graph.index import GraphIndex
 from ..pattern.incremental import extend_matches
@@ -60,7 +73,9 @@ __all__ = [
     "SerialBackend",
     "MultiprocessBackend",
     "SharedIndexBuffers",
+    "TransferLedger",
     "make_backend",
+    "next_node_key",
     "shared_memory_available",
 ]
 
@@ -70,10 +85,108 @@ BACKEND_NAMES = ("serial", "multiprocess")
 #: One superstep request: ``(worker, op name, pattern node key, payload)``.
 Request = Tuple[int, str, int, Dict[str, Any]]
 
+#: Worker-state keys are unique across every engine in this master process,
+#: so engines sharing one backend never collide on worker state.
+_NODE_KEYS = itertools.count()
+
+
+def next_node_key() -> int:
+    """A fresh process-wide worker-state key (pattern node, Σ slot, ...)."""
+    return next(_NODE_KEYS)
+
 
 def shared_memory_available() -> bool:
     """Whether ``multiprocessing.shared_memory`` exists on this platform."""
     return _shared_memory is not None
+
+
+# ----------------------------------------------------------------------
+# transfer accounting
+# ----------------------------------------------------------------------
+@dataclass
+class TransferLedger:
+    """Match rows crossing process/role boundaries, counted per backend.
+
+    The whole point of worker-resident shard state is that *match rows* stay
+    where they were computed; this ledger makes the claim checkable.  Both
+    backends account identically (the serial backend has no pickle cost,
+    but the protocol is the same), so differential tests can assert e.g.
+    that a clean incremental ``refresh()`` ships **zero** rows through the
+    master.
+
+    Attributes:
+        rows_to_workers: match rows sent master → worker in op payloads
+            (installs, enforcement installs/updates).
+        rows_to_master: match rows returned worker → master in op results
+            (un-parked joins, fetched joins, violating rows of enforcement
+            reports).
+        rows_staged: match rows moved worker ↔ worker through a shared
+            staging segment — they never visit the master.
+        sigma_rules: GFDs broadcast to workers for the cover phase
+            (manifests, not match rows; tracked for completeness).
+    """
+
+    rows_to_workers: int = 0
+    rows_to_master: int = 0
+    rows_staged: int = 0
+    sigma_rules: int = 0
+
+    def snapshot(self) -> "TransferLedger":
+        """An immutable copy (for before/after deltas in tests)."""
+        return TransferLedger(
+            self.rows_to_workers,
+            self.rows_to_master,
+            self.rows_staged,
+            self.sigma_rules,
+        )
+
+
+def _rows_in(matches: Any) -> int:
+    """Row count of a matches payload (array, list, or ``None``)."""
+    if matches is None:
+        return 0
+    if isinstance(matches, np.ndarray):
+        return int(matches.shape[0])
+    return len(matches)
+
+
+def _payload_rows(op: str, payload: Dict[str, Any]) -> int:
+    """Match rows the master ships *into* a worker with one op."""
+    if op == "install":
+        if payload.get("adopt") is not None:
+            return 0
+        return _rows_in(payload.get("matches"))
+    if op == "enforce_install":
+        return _rows_in(payload.get("matches"))
+    if op == "enforce_update":
+        return _rows_in(payload.get("fresh"))
+    return 0
+
+
+def _result_rows(op: str, result: Any) -> int:
+    """Match rows a worker returns *to* the master from one op."""
+    if op == "join":
+        return sum(_rows_in(part[0]) for part in result)
+    if op == "fetch_join":
+        return _rows_in(result)
+    if op in ("enforce", "enforce_install", "enforce_update"):
+        return sum(_rows_in(part[2]) for part in result)
+    return 0
+
+
+def _account(ledger: TransferLedger, op: str, payload: Dict[str, Any],
+             result: Any) -> None:
+    """Charge one executed op (with its result) to the ledger."""
+    ledger.rows_to_workers += _payload_rows(op, payload)
+    if op == "sigma":
+        ledger.sigma_rules += len(payload.get("sigma", ()))
+        return
+    if op == "stage_out":
+        ledger.rows_staged += sum(result)
+        return
+    if op == "stage_in":
+        return  # the same rows were already counted at stage_out
+    ledger.rows_to_master += _result_rows(op, result)
 
 
 # ----------------------------------------------------------------------
@@ -87,6 +200,13 @@ class ShardWorker:
     ``{mask id: boolean row mask}``.  The serial backend keeps ``n`` of
     these in-process; the multiprocess backend keeps one per worker process,
     built around the attached (detached) graph index.
+
+    Two further state families live here so *their* bulk data also stays
+    worker-resident: the cover phase's rule set ``Σ`` plus its amortized
+    :class:`~repro.gfd.implication.ImplicationChecker` (``op_sigma`` /
+    ``op_implication_batch`` / ``op_cover_probe``), and the enforcement
+    engine's persistent per-group match arrays with their cached per-rule
+    violation masks (``op_enforce_install`` / ``op_enforce_update``).
     """
 
     def __init__(
@@ -104,6 +224,13 @@ class ShardWorker:
         # position), until an install adopts them — matches never cross the
         # process boundary unless the master orders a rebalance
         self.joins: Dict[Tuple[int, int], Any] = {}
+        # cover phase: key -> Σ (list of GFDs) and its shared checker
+        self.sigmas: Dict[int, List[Any]] = {}
+        self.checkers: Dict[int, ImplicationChecker] = {}
+        # enforcement residency: key -> {"pattern", "rules", "rows", "masks"}
+        # where rows is the resident (N, vars) int64 shard and masks maps
+        # rule offset -> boolean violation mask aligned with rows
+        self.enforce_state: Dict[int, Dict[str, Any]] = {}
 
     # ------------------------------------------------------------------
     def execute(self, op: str, key: int, payload: Dict[str, Any]) -> Any:
@@ -199,6 +326,75 @@ class ShardWorker:
         """Surrender one parked join result to the master (for rebalancing)."""
         return self.joins.pop((key, payload["position"]))
 
+    def op_join_groups(self, key: int, payload: Dict[str, Any]):
+        """Pivot-group manifest of one parked join: ``(pivots, counts)``.
+
+        The master plans rebalancing moves from these summaries alone
+        (:func:`~repro.parallel.balancer.plan_pivot_group_moves`) — pivot
+        node ids and row counts are scalars, so skew detection and move
+        planning never ship a match row.
+        """
+        matches = self.joins[(key, payload["position"])]
+        pivots = matches[:, payload["pivot"]]
+        uniques, counts = np.unique(pivots, return_counts=True)
+        return uniques, counts
+
+    def op_stage_out(self, key: int, payload: Dict[str, Any]) -> List[int]:
+        """Write outbound pivot groups of a parked join into a staging segment.
+
+        ``sends`` entries are ``(byte offset, pivot id array)``; the rows of
+        each listed pivot group are copied contiguously into the shared
+        segment at the given offset and removed from the parked join.  Only
+        the per-send row counts return to the master (sanity scalars) — the
+        rows go worker-to-worker through the segment.
+        """
+        slot = (key, payload["position"])
+        matches = self.joins[slot]
+        segment = _attach_segment(payload["segment"])
+        written: List[int] = []
+        try:
+            pivot_column = matches[:, payload["pivot"]]
+            removed = np.zeros(matches.shape[0], dtype=bool)
+            for offset, pivots in payload["sends"]:
+                mask = np.isin(pivot_column, pivots)
+                rows = matches[mask]
+                removed |= mask
+                view = np.ndarray(
+                    rows.shape, dtype=np.int64,
+                    buffer=segment.buf, offset=offset,
+                )
+                view[...] = rows
+                written.append(int(rows.shape[0]))
+            self.joins[slot] = matches[~removed]
+        finally:
+            segment.close()
+        return written
+
+    def op_stage_in(self, key: int, payload: Dict[str, Any]) -> int:
+        """Append staged pivot groups to this worker's parked join.
+
+        ``spans`` entries are ``(byte offset, row count)`` into the staging
+        segment; rows are *copied* out (the master unlinks the segment right
+        after the superstep).  Returns the received row count.
+        """
+        slot = (key, payload["position"])
+        width = payload["width"]
+        segment = _attach_segment(payload["segment"])
+        try:
+            parts = [self.joins[slot]]
+            received = 0
+            for offset, count in payload["spans"]:
+                view = np.ndarray(
+                    (count, width), dtype=np.int64,
+                    buffer=segment.buf, offset=offset,
+                )
+                parts.append(np.array(view, copy=True))
+                received += count
+            self.joins[slot] = np.concatenate(parts)
+        finally:
+            segment.close()
+        return received
+
     # -- HSpawn ---------------------------------------------------------
     def op_scan(self, key: int, payload: Dict[str, Any]) -> Tuple[List[int], List[int]]:
         """Per-literal row counts and local distinct-pivot supports.
@@ -281,22 +477,18 @@ class ShardWorker:
         return overlaps
 
     # -- enforcement (repro.enforce) ------------------------------------
-    def op_enforce(self, key: int, payload: Dict[str, Any]) -> List[Tuple]:
-        """Evaluate one pattern group's compiled rules on this shard.
+    def _enforce_results(self, state: Dict[str, Any]) -> List[Tuple]:
+        """Per-rule ``(count, distinct node ids, violating rows)`` tuples.
 
-        ``payload["rules"]`` entries are ``(lhs literals, rhs literal or
-        None)`` over the *canonical* pattern variables (``None`` = negative
-        GFD).  Per rule the result is ``(violation count, distinct
-        violating node ids, violating match rows)``; rows are canonical
+        Derived from the resident rows and cached masks; rows are canonical
         match tuples as an ``(N, vars)`` int64 array.  Counts and node sets
         are exact per shard; the master merges across shards.
         """
-        table = self.tables[key]
-        match_array = table.match_array
+        rows = state["rows"]
         results: List[Tuple] = []
-        for lhs, rhs in payload["rules"]:
-            mask = table.violation_mask(lhs, rhs)
-            violating = match_array[mask]
+        for offset in range(len(state["rules"])):
+            mask = state["masks"][offset]
+            violating = rows[mask]
             nodes = (
                 np.unique(violating)
                 if violating.size
@@ -304,6 +496,135 @@ class ShardWorker:
             )
             results.append((int(violating.shape[0]), nodes, violating))
         return results
+
+    def op_enforce_install(self, key: int, payload: Dict[str, Any]) -> List[Tuple]:
+        """Install one pattern group's match shard and evaluate its rules.
+
+        ``payload["rules"]`` entries are ``(lhs literals, rhs literal or
+        None)`` over the *canonical* pattern variables (``None`` = negative
+        GFD).  The shard rows and the per-rule violation masks stay
+        resident (keyed by the group position) so later
+        :meth:`op_enforce_update` calls can splice deltas instead of
+        receiving the world again; see :meth:`_enforce_results` for the
+        return shape.
+        """
+        table = MatchTable(
+            self.graph,
+            payload["pattern"],
+            payload["matches"],
+            self.gamma,
+            index=self.index,
+        )
+        rows = table.match_array
+        masks = {
+            offset: table.violation_mask(lhs, rhs)
+            for offset, (lhs, rhs) in enumerate(payload["rules"])
+        }
+        state = {
+            "pattern": payload["pattern"],
+            "rules": list(payload["rules"]),
+            "rows": rows,
+            "masks": masks,
+        }
+        self.enforce_state[key] = state
+        return self._enforce_results(state)
+
+    def op_enforce(self, key: int, payload: Dict[str, Any]) -> List[Tuple]:
+        """Re-derive one resident group's rule results (no data shipped)."""
+        return self._enforce_results(self.enforce_state[key])
+
+    def op_enforce_update(self, key: int, payload: Dict[str, Any]) -> List[Tuple]:
+        """Splice a delta into a resident group and re-evaluate its rules.
+
+        ``payload["ball"]`` is the affected-pivot node set (the radius-
+        ``d_Q`` ball around the touched nodes): resident rows whose pivot —
+        canonical variable 0 — lies in the ball are dropped.  ``payload
+        ["fresh"]`` carries this shard's slice of the re-derived matches;
+        only those rows cross the process boundary.  Cached violation masks
+        of the *kept* rows are reused verbatim — a kept row contains no
+        touched node (else its pivot were in the ball, per the deletion
+        soundness argument in :mod:`repro.enforce.delta`), so its per-rule
+        verdicts cannot have changed — and masks are computed fresh only
+        for the incoming rows, against the worker's current index.
+        """
+        state = self.enforce_state[key]
+        rows = state["rows"]
+        if rows.shape[0]:
+            keep = ~np.isin(rows[:, 0], payload["ball"])
+            kept_rows = rows[keep]
+        else:
+            keep = None
+            kept_rows = rows
+        fresh_table = MatchTable(
+            self.graph,
+            state["pattern"],
+            payload["fresh"],
+            self.gamma,
+            index=self.index,
+        )
+        fresh_rows = fresh_table.match_array
+        for offset, (lhs, rhs) in enumerate(state["rules"]):
+            kept_mask = state["masks"][offset]
+            if keep is not None:
+                kept_mask = kept_mask[keep]
+            fresh_mask = fresh_table.violation_mask(lhs, rhs)
+            state["masks"][offset] = np.concatenate([kept_mask, fresh_mask])
+        state["rows"] = np.concatenate([kept_rows, fresh_rows])
+        return self._enforce_results(state)
+
+    def op_enforce_drop(self, key: int, payload: Dict[str, Any]) -> None:
+        """Release one resident enforcement group."""
+        self.enforce_state.pop(key, None)
+        return None
+
+    # -- cover phase (ParCover / ParCovern) ------------------------------
+    def op_sigma(self, key: int, payload: Dict[str, Any]) -> int:
+        """Receive the cover phase's rule set ``Σ`` (broadcast once).
+
+        The worker keeps ``Σ`` and one :class:`ImplicationChecker` over it;
+        the checker's embedded-rule cache is shared by every implication
+        test of this worker's batch, so repeated chases over one pattern
+        skip embedding enumeration — the amortization ``SeqCover`` enjoys,
+        now per worker.
+        """
+        sigma = list(payload["sigma"])
+        self.sigmas[key] = sigma
+        self.checkers[key] = ImplicationChecker(sigma)
+        return len(sigma)
+
+    def op_implication_batch(self, key: int, payload: Dict[str, Any]) -> List[int]:
+        """``ParImp`` over a batch of work units ``(group, embedded)``.
+
+        Each unit is greedily reduced in isolation (Lemma 6 independence);
+        only the removed Σ-indices return to the master.
+        """
+        sigma = self.sigmas[key]
+        checker = self.checkers[key]
+        removed: List[int] = []
+        for group, embedded in payload["units"]:
+            removed.extend(
+                greedy_group_elimination(sigma, group, embedded, checker=checker)
+            )
+        return removed
+
+    def op_cover_probe(self, key: int, payload: Dict[str, Any]) -> List[Tuple[int, bool]]:
+        """Leave-one-out implication verdicts for ``ParCovern``.
+
+        For each Σ-index the worker tests ``Σ \\ {φ_index} ⊨ φ_index``
+        against the full remainder (no grouping — the paper's baseline);
+        verdicts are booleans, reconciled sequentially by the master.
+        """
+        checker = self.checkers[key]
+        return [
+            (index, checker.implied_by_rest(index))
+            for index in payload["indices"]
+        ]
+
+    def op_drop_sigma(self, key: int, payload: Dict[str, Any]) -> None:
+        """Release the cover phase's worker-side rule set."""
+        self.sigmas.pop(key, None)
+        self.checkers.pop(key, None)
+        return None
 
     # -- lifecycle ------------------------------------------------------
     def op_drop_store(self, key: int, payload: Dict[str, Any]) -> None:
@@ -324,6 +645,9 @@ class ShardWorker:
         self.tables.clear()
         self.stores.clear()
         self.joins.clear()
+        self.sigmas.clear()
+        self.checkers.clear()
+        self.enforce_state.clear()
         return None
 
 
@@ -338,9 +662,15 @@ class ExecutionBackend:
     #: Whether workers live in other processes (payloads cross a pickle
     #: boundary, so bulk data should stay worker-resident when possible).
     remote: bool = False
+    #: Whether workers can exchange rows through a shared staging segment
+    #: (worker-to-worker shipping without a master round-trip).
+    supports_staging: bool = False
     #: Identity of the graph snapshot the workers were built around; an
     #: engine refuses to run on a backend holding a different snapshot.
     source_token: Tuple = ()
+    #: Match rows that crossed the master boundary (see
+    #: :class:`TransferLedger`); every run method accounts into this.
+    transfers: TransferLedger
 
     def run_superstep(self, step, requests: Sequence[Request]) -> List[Any]:
         """Run one BSP round of requests; results align with the batch."""
@@ -355,6 +685,27 @@ class ExecutionBackend:
         in-order, so a later op can never overtake a drop) — keeps
         per-pattern cleanup off the master's critical path.
         """
+        raise NotImplementedError
+
+    def refresh_index(self, index: GraphIndex) -> None:
+        """Swap the workers onto a new frozen index snapshot.
+
+        Keeps all worker-resident state (notably the persistent enforcement
+        tables, whose kept rows stay valid across a delta — see
+        :meth:`ShardWorker.op_enforce_update`).  Callers must not hold
+        discovery-phase tables across a swap; those cache columns of the
+        old snapshot.
+        """
+        raise NotImplementedError
+
+    def create_stage(self, nbytes: int):
+        """Create a worker-to-worker staging segment (master-owned)."""
+        raise NotImplementedError(
+            f"the {self.name} backend does not support staging"
+        )
+
+    def release_stage(self, segment) -> None:
+        """Close and unlink a staging segment after its superstep."""
         raise NotImplementedError
 
     def shutdown(self) -> None:
@@ -376,6 +727,7 @@ class SerialBackend(ExecutionBackend):
     ) -> None:
         self.num_workers = num_workers
         self.source_token = (id(graph), id(index))
+        self.transfers = TransferLedger()
         self.workers = [
             ShardWorker(graph, index, gamma) for _ in range(num_workers)
         ]
@@ -384,23 +736,32 @@ class SerialBackend(ExecutionBackend):
         results = []
         for worker, op, key, payload in requests:
             shard = self.workers[worker]
-            results.append(
-                step.run(
-                    worker,
-                    lambda shard=shard, op=op, key=key, payload=payload: (
-                        shard.execute(op, key, payload)
-                    ),
-                )
+            result = step.run(
+                worker,
+                lambda shard=shard, op=op, key=key, payload=payload: (
+                    shard.execute(op, key, payload)
+                ),
             )
+            _account(self.transfers, op, payload, result)
+            results.append(result)
         return results
 
     def run_unmetered(
         self, requests: Sequence[Request], wait: bool = True
     ) -> List[Any]:
-        return [
-            self.workers[worker].execute(op, key, payload)
-            for worker, op, key, payload in requests
-        ]
+        results = []
+        for worker, op, key, payload in requests:
+            result = self.workers[worker].execute(op, key, payload)
+            _account(self.transfers, op, payload, result)
+            results.append(result)
+        return results
+
+    def refresh_index(self, index: GraphIndex) -> None:
+        """Point the in-process workers at a new index snapshot (free)."""
+        for worker in self.workers:
+            worker.index = index
+        graph = index.graph if index is not None else None
+        self.source_token = (id(graph), id(index))
 
     def shutdown(self) -> None:
         for worker in self.workers:
@@ -525,9 +886,16 @@ _SEGMENT = None
 def _mp_initialize(
     spec_blob: bytes, segment_name: Optional[str], arrays_blob: Optional[bytes]
 ) -> None:
-    """Pool initializer: attach the index buffers and build the worker."""
+    """Pool initializer: attach the index buffers and build the worker.
+
+    A spec without ``meta`` builds a graph-free worker (the cover phase
+    works on ``Σ`` alone and needs no index).
+    """
     global _WORKER, _SEGMENT
     spec = pickle.loads(spec_blob)
+    if spec.get("meta") is None:
+        _WORKER = ShardWorker(None, None, spec["gamma"])
+        return
     if segment_name is not None:
         _SEGMENT = _attach_segment(segment_name)
         arrays = _views_from_layout(spec["layout"], _SEGMENT.buf)
@@ -535,6 +903,31 @@ def _mp_initialize(
         arrays = pickle.loads(arrays_blob)
     index = GraphIndex.from_buffers(spec["meta"], arrays)
     _WORKER = ShardWorker(None, index, spec["gamma"])
+
+
+def _mp_attach_index(
+    spec_blob: bytes, segment_name: Optional[str], arrays_blob: Optional[bytes]
+) -> bool:
+    """Swap the worker process onto a new index snapshot.
+
+    Builds the new detached :class:`GraphIndex` first, then closes the old
+    segment attachment — worker-resident state (parked joins, enforcement
+    rows and masks) survives untouched; only the index views are replaced.
+    """
+    global _WORKER, _SEGMENT
+    spec = pickle.loads(spec_blob)
+    if segment_name is not None:
+        segment = _attach_segment(segment_name)
+        arrays = _views_from_layout(spec["layout"], segment.buf)
+    else:
+        segment = None
+        arrays = pickle.loads(arrays_blob)
+    _WORKER.index = GraphIndex.from_buffers(spec["meta"], arrays)
+    old = _SEGMENT
+    _SEGMENT = segment
+    if old is not None:
+        old.close()
+    return True
 
 
 def _mp_execute(op: str, key: int, payload: Dict[str, Any]) -> Tuple[Any, float]:
@@ -555,6 +948,11 @@ class MultiprocessBackend(ExecutionBackend):
     state to its process (plain pools cannot route tasks).  Construction
     blocks until every worker has attached, so export/attach errors surface
     in the master, not as broken futures mid-run.
+
+    ``index=None`` builds *graph-free* workers: the cover phase
+    (:func:`~repro.parallel.parcover.parallel_cover`) operates on ``Σ``
+    alone, so a standalone ``ParCover`` run needs processes but no graph.
+    Discovery and enforcement require the index (their engines enforce it).
     """
 
     name = "multiprocess"
@@ -567,30 +965,25 @@ class MultiprocessBackend(ExecutionBackend):
         gamma: Sequence[str],
         use_shared_memory: bool = True,
     ) -> None:
-        if index is None:
-            raise ValueError(
-                "the multiprocess backend requires the frozen graph index "
-                "(config.use_index=False only supports the serial backend)"
-            )
         self.num_workers = num_workers
         # pin the snapshot: the token is id()-based, so the objects must
         # stay alive for the backend's lifetime or a recycled id could
         # falsely validate a different graph
         self._index = index
-        self.source_token = (id(index.graph), id(index))
+        self._gamma = list(gamma)
+        self._use_shared_memory = bool(
+            use_shared_memory and shared_memory_available()
+        )
+        # staging honors the same opt-out as the index transport: with
+        # shared memory disabled (or absent), rebalancing falls back to
+        # the fetch-through-master route instead of allocating segments
+        self.supports_staging = self._use_shared_memory
+        self.transfers = TransferLedger()
+        self.source_token = (
+            (id(index.graph), id(index)) if index is not None else (None, None)
+        )
         self.buffers: Optional[SharedIndexBuffers] = None
-        if use_shared_memory and shared_memory_available():
-            self.buffers = SharedIndexBuffers(index)
-            spec = {
-                "meta": self.buffers.meta,
-                "layout": self.buffers.layout,
-                "gamma": list(gamma),
-            }
-            initargs = (pickle.dumps(spec), self.buffers.name, None)
-        else:
-            meta, arrays = index.export_buffers()
-            spec = {"meta": meta, "gamma": list(gamma)}
-            initargs = (pickle.dumps(spec), None, pickle.dumps(arrays))
+        initargs, self.buffers = self._index_initargs(index)
         self._pools: List[ProcessPoolExecutor] = []
         try:
             for _ in range(num_workers):
@@ -609,10 +1002,75 @@ class MultiprocessBackend(ExecutionBackend):
             raise
         self._down = False
 
+    def _index_initargs(
+        self, index: Optional[GraphIndex]
+    ) -> Tuple[Tuple, Optional[SharedIndexBuffers]]:
+        """``(initializer args, owned buffers)`` for shipping one snapshot."""
+        if index is None:
+            spec = {"meta": None, "gamma": self._gamma}
+            return (pickle.dumps(spec), None, None), None
+        if self._use_shared_memory:
+            buffers = SharedIndexBuffers(index)
+            spec = {
+                "meta": buffers.meta,
+                "layout": buffers.layout,
+                "gamma": self._gamma,
+            }
+            return (pickle.dumps(spec), buffers.name, None), buffers
+        meta, arrays = index.export_buffers()
+        spec = {"meta": meta, "gamma": self._gamma}
+        return (pickle.dumps(spec), None, pickle.dumps(arrays)), None
+
     @property
     def shm_name(self) -> Optional[str]:
         """The shared segment's name (None on the pickle-fallback path)."""
         return self.buffers.name if self.buffers is not None else None
+
+    def refresh_index(self, index: GraphIndex) -> None:
+        """Ship a new index snapshot to the resident worker processes.
+
+        The new segment is created and attached by every worker *before*
+        the old one is unlinked, so a mid-swap failure leaves the backend
+        on the previous snapshot.  Worker-resident match state survives —
+        this is what lets :meth:`~repro.enforce.engine.EnforcementEngine.
+        refresh` keep its persistent tables across graph mutations instead
+        of re-shipping them.  Costs one index export (O(graph) into shared
+        memory, no pickling of match rows); match-row transfer stays zero.
+        """
+        if index is None:
+            raise ValueError("refresh_index requires a frozen graph index")
+        initargs, new_buffers = self._index_initargs(index)
+        try:
+            futures = [
+                pool.submit(_mp_attach_index, *initargs)
+                for pool in self._pools
+            ]
+            for future in futures:
+                future.result()
+        except Exception:
+            if new_buffers is not None:
+                new_buffers.close()
+            raise
+        old = self.buffers
+        self.buffers = new_buffers
+        if old is not None:
+            old.close()
+        self._index = index
+        self.source_token = (id(index.graph), id(index))
+
+    def create_stage(self, nbytes: int):
+        """A fresh staging segment for one worker-to-worker exchange."""
+        if not self.supports_staging:  # pragma: no cover - platform dependent
+            raise RuntimeError("shared memory is unavailable")
+        return _shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+
+    def release_stage(self, segment) -> None:
+        """Unlink a staging segment once both sides of the exchange ran."""
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
 
     def run_superstep(self, step, requests: Sequence[Request]) -> List[Any]:
         futures = [
@@ -620,9 +1078,10 @@ class MultiprocessBackend(ExecutionBackend):
             for worker, op, key, payload in requests
         ]
         results = []
-        for worker, future in futures:
+        for (worker, future), (_, op, _key, payload) in zip(futures, requests):
             result, seconds = future.result()
             step.charge(worker, seconds)
+            _account(self.transfers, op, payload, result)
             results.append(result)
         return results
 
@@ -635,7 +1094,12 @@ class MultiprocessBackend(ExecutionBackend):
         ]
         if not wait:
             return []
-        return [future.result()[0] for future in futures]
+        results = []
+        for future, (_, op, _key, payload) in zip(futures, requests):
+            result = future.result()[0]
+            _account(self.transfers, op, payload, result)
+            results.append(result)
+        return results
 
     def shutdown(self) -> None:
         if getattr(self, "_down", False):
@@ -662,7 +1126,12 @@ def make_backend(
     gamma: Sequence[str],
     use_shared_memory: bool = True,
 ) -> ExecutionBackend:
-    """Instantiate a backend by config name (``serial`` | ``multiprocess``)."""
+    """Instantiate a backend by config name (``serial`` | ``multiprocess``).
+
+    ``graph``/``index`` may both be ``None`` for graph-free work (the cover
+    phase); discovery and enforcement pass the frozen index so multiprocess
+    workers can attach it via shared memory.
+    """
     if name == "serial":
         return SerialBackend(num_workers, graph, index, gamma)
     if name == "multiprocess":

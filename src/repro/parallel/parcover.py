@@ -15,19 +15,38 @@ be resolved greedily inside one unit (keeping one), never independently
 ``ParCovern`` — the paper's no-grouping baseline — checks every GFD against
 the full remainder, which re-enumerates embeddings of all of ``Σ`` for every
 test; the grouping speedup of Exp-4 comes precisely from skipping that.
+
+Execution runs on the same :class:`~repro.parallel.backend.ShardWorker` op
+layer as ``ParDis`` and enforcement: the master broadcasts ``Σ`` once
+(``op_sigma``), ships work units as index lists, and receives removed
+indices / implication verdicts — scalars.  ``backend`` selects ``"serial"``
+(inline under the simulated cluster, the historical semantics and default)
+or ``"multiprocess"`` (real per-worker processes; graph-free workers, since
+implication needs no graph), or accepts a pre-started
+:class:`~repro.parallel.backend.ExecutionBackend` — e.g. the pool a
+discovery run just used — so the cover phase shards over the same worker
+pools as discovery.  Covers are identical across backends and worker counts
+by construction (unit checks are deterministic and independent); the
+differential harness asserts it.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.cover import CoverResult, _scan_order
 from ..gfd.gfd import GFD
-from ..gfd.implication import ImplicationChecker
+from ..gfd.implication import ImplicationChecker, greedy_group_elimination
 from ..pattern.canonical import canonical_key
 from ..pattern.embedding import is_embedded
 from ..pattern.pattern import Pattern
+from .backend import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    make_backend,
+    next_node_key,
+)
 from .balancer import assign_units_lpt
 from .cluster import SimulatedCluster
 
@@ -72,65 +91,129 @@ def _embedded_indices(
 def _check_group(
     sigma: Sequence[GFD], group: List[int], embedded: List[int]
 ) -> List[int]:
-    """``ParImp``: greedy redundancy elimination within one group.
+    """``ParImp`` on one unit (kept as the serial reference entry point)."""
+    return greedy_group_elimination(sigma, group, embedded)
 
-    Tests each group member against (embedded set minus already-removed group
-    members minus itself); returns the removed indices.
+
+class _CoverSession:
+    """Backend + cluster lifecycle shared by both cover variants.
+
+    Owns the backend when given a name (or ``None`` — the historical
+    serial default) and shuts it down on exit; a supplied
+    :class:`ExecutionBackend` instance is borrowed (the caller keeps
+    ownership — e.g. the pools of a finished discovery run), and only this
+    session's ``Σ`` slot is dropped.
     """
-    removed: Set[int] = set()
-    ordered = sorted(
-        group,
-        key=lambda index: (
-            -sigma[index].pattern.num_edges,
-            -len(sigma[index].lhs),
-            str(sigma[index]),
-        ),
-    )
-    for index in ordered:
-        context = [
-            sigma[position]
-            for position in embedded
-            if position != index and position not in removed
-        ]
-        if ImplicationChecker(context).implies(sigma[index]):
-            removed.add(index)
-    return sorted(removed)
+
+    def __init__(
+        self,
+        num_workers: int,
+        cluster: Optional[SimulatedCluster],
+        backend: Union[None, str, ExecutionBackend],
+    ) -> None:
+        if isinstance(backend, ExecutionBackend):
+            self.backend = backend
+            self.owns = False
+            num_workers = backend.num_workers
+        else:
+            name = backend or "serial"
+            if name not in BACKEND_NAMES:
+                raise ValueError(
+                    f"unknown parallel backend {name!r} "
+                    f"(expected one of {BACKEND_NAMES})"
+                )
+            self.backend = make_backend(name, num_workers, None, None, [])
+            self.owns = True
+        self.cluster = cluster or SimulatedCluster(num_workers)
+        self.key = next_node_key()
+
+    @property
+    def num_workers(self) -> int:
+        return self.cluster.num_workers
+
+    def broadcast_sigma(self, sigma: Sequence[GFD]) -> None:
+        """Ship ``Σ`` to every worker once (the only bulk transfer)."""
+        with self.cluster.superstep() as step:
+            step.broadcast(len(sigma))
+            self.backend.run_superstep(
+                step,
+                [
+                    (worker, "sigma", self.key, {"sigma": list(sigma)})
+                    for worker in range(self.num_workers)
+                ],
+            )
+
+    def __enter__(self) -> "_CoverSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            self.backend.run_unmetered(
+                [
+                    (worker, "drop_sigma", self.key, {})
+                    for worker in range(self.num_workers)
+                ],
+                wait=False,
+            )
+        finally:
+            if self.owns:
+                self.backend.shutdown()
 
 
 def parallel_cover(
     sigma: Sequence[GFD],
     num_workers: int = 4,
     cluster: Optional[SimulatedCluster] = None,
+    backend: Union[None, str, ExecutionBackend] = None,
 ) -> Tuple[CoverResult, SimulatedCluster]:
-    """Compute a cover of ``Σ`` with grouping + LPT balancing (``ParCover``)."""
+    """Compute a cover of ``Σ`` with grouping + LPT balancing (``ParCover``).
+
+    Args:
+        sigma: the rule set to reduce.
+        num_workers: the worker count ``n`` (ignored when ``backend`` is a
+            pre-started instance, which knows its own).
+        cluster: optionally supply a pre-built metered cluster.
+        backend: a backend name (``"serial"`` — the default — or
+            ``"multiprocess"``), or a pre-started
+            :class:`~repro.parallel.backend.ExecutionBackend` to reuse
+            (the caller keeps ownership).
+
+    Returns ``(cover result, metered cluster)``; the cover is identical
+    across backends and worker counts.
+    """
     started = time.perf_counter()
     sigma = list(sigma)
-    cluster = cluster or SimulatedCluster(num_workers)
-
-    with cluster.master():
-        groups = _group_sigma(sigma)
-        ordered_keys = sorted(groups)
-        units: List[Tuple[List[int], List[int]]] = []
-        for key in ordered_keys:
-            group = groups[key]
-            representative = sigma[group[0]].pattern
-            embedded = _embedded_indices(sigma, representative, group)
-            units.append((group, embedded))
-        weights = [len(group) * max(1, len(embedded)) for group, embedded in units]
-        assignment = assign_units_lpt(weights, cluster.num_workers)
-
-    removed_indices: Set[int] = set()
-    with cluster.superstep() as step:
-        for worker, unit_ids in enumerate(assignment):
-            def work(unit_ids: List[int] = unit_ids) -> List[int]:
-                removed: List[int] = []
-                for unit_id in unit_ids:
-                    group, embedded = units[unit_id]
-                    removed.extend(_check_group(sigma, group, embedded))
-                return removed
-            for index in step.run(worker, work):
-                removed_indices.add(index)
-    cluster.ship_to_master(len(removed_indices))
+    with _CoverSession(num_workers, cluster, backend) as session:
+        cluster = session.cluster
+        with cluster.master():
+            groups = _group_sigma(sigma)
+            ordered_keys = sorted(groups)
+            units: List[Tuple[List[int], List[int]]] = []
+            for group_key in ordered_keys:
+                group = groups[group_key]
+                representative = sigma[group[0]].pattern
+                embedded = _embedded_indices(sigma, representative, group)
+                units.append((group, embedded))
+            weights = [
+                len(group) * max(1, len(embedded)) for group, embedded in units
+            ]
+            assignment = assign_units_lpt(weights, cluster.num_workers)
+        removed_indices: Set[int] = set()
+        if sigma:
+            session.broadcast_sigma(sigma)
+            with cluster.superstep() as step:
+                requests = [
+                    (
+                        worker,
+                        "implication_batch",
+                        session.key,
+                        {"units": [units[unit_id] for unit_id in unit_ids]},
+                    )
+                    for worker, unit_ids in enumerate(assignment)
+                ]
+                for part in session.backend.run_superstep(step, requests):
+                    removed_indices.update(part)
+            cluster.ship_to_master(len(removed_indices))
 
     cover = [gfd for index, gfd in enumerate(sigma) if index not in removed_indices]
     removed = [sigma[index] for index in sorted(removed_indices)]
@@ -147,6 +230,7 @@ def parallel_cover_ungrouped(
     sigma: Sequence[GFD],
     num_workers: int = 4,
     cluster: Optional[SimulatedCluster] = None,
+    backend: Union[None, str, ExecutionBackend] = None,
 ) -> Tuple[CoverResult, SimulatedCluster]:
     """``ParCovern``: leave-one-out checks against the *full* set, no groups.
 
@@ -154,51 +238,50 @@ def parallel_cover_ungrouped(
     GFD is only removed when it is implied by the remainder *after* removing
     every GFD that precedes it in the scan order and was itself removed —
     matching the sequential semantics, but paying full-``Σ`` embedding
-    enumeration per test, distributed round-robin.
+    enumeration per test, distributed round-robin over the workers
+    (``op_cover_probe``).  ``backend`` selects the execution backend as in
+    :func:`parallel_cover`.
     """
     started = time.perf_counter()
     sigma = list(sigma)
-    cluster = cluster or SimulatedCluster(num_workers)
+    with _CoverSession(num_workers, cluster, backend) as session:
+        cluster = session.cluster
+        with cluster.master():
+            order = _scan_order(sigma)
+        # Distribute tests in scan-order round-robin.  Each worker evaluates
+        # its share against the full Σ minus the candidate (the expensive
+        # part); the master then reconciles mutual implications sequentially
+        # (cheap — implication verdicts are reused, only chains re-check).
+        verdicts: Dict[int, bool] = {}
+        if sigma:
+            session.broadcast_sigma(sigma)
+            with cluster.superstep() as step:
+                assignments: List[List[int]] = [
+                    [] for _ in range(cluster.num_workers)
+                ]
+                for position, index in enumerate(order):
+                    assignments[position % cluster.num_workers].append(index)
+                requests = [
+                    (worker, "cover_probe", session.key, {"indices": indices})
+                    for worker, indices in enumerate(assignments)
+                ]
+                for part in session.backend.run_superstep(step, requests):
+                    for index, verdict in part:
+                        verdicts[index] = verdict
+            cluster.ship_to_master(len(sigma))
 
-    with cluster.master():
-        order = _scan_order(sigma)
-
-    # Distribute tests in scan-order round-robin.  Each worker evaluates its
-    # share against the full Σ minus the candidate (the expensive part); the
-    # master then reconciles mutual implications sequentially (cheap —
-    # implication verdicts are reused, only chains are re-checked).
-    verdicts: Dict[int, bool] = {}
-    with cluster.superstep() as step:
-        assignments: List[List[int]] = [[] for _ in range(cluster.num_workers)]
-        for position, index in enumerate(order):
-            assignments[position % cluster.num_workers].append(index)
-        for worker, indices in enumerate(assignments):
-            def work(indices: List[int] = indices) -> List[Tuple[int, bool]]:
-                results = []
-                for index in indices:
-                    remainder = [
-                        gfd for position, gfd in enumerate(sigma)
-                        if position != index
-                    ]
-                    checker = ImplicationChecker(remainder)
-                    results.append((index, checker.implies(sigma[index])))
-                return results
-            for index, verdict in step.run(worker, work):
-                verdicts[index] = verdict
-    cluster.ship_to_master(len(sigma))
-
-    removed_indices: Set[int] = set()
-    with cluster.master():
-        for index in order:
-            if not verdicts[index]:
-                continue
-            remainder = [
-                gfd
-                for position, gfd in enumerate(sigma)
-                if position != index and position not in removed_indices
-            ]
-            if ImplicationChecker(remainder).implies(sigma[index]):
-                removed_indices.add(index)
+        removed_indices: Set[int] = set()
+        with cluster.master():
+            for index in order:
+                if not verdicts[index]:
+                    continue
+                remainder = [
+                    gfd
+                    for position, gfd in enumerate(sigma)
+                    if position != index and position not in removed_indices
+                ]
+                if ImplicationChecker(remainder).implies(sigma[index]):
+                    removed_indices.add(index)
 
     cover = [gfd for index, gfd in enumerate(sigma) if index not in removed_indices]
     removed = [sigma[index] for index in sorted(removed_indices)]

@@ -263,3 +263,181 @@ class TestMatchCapAgreement:
         assert truncated  # the cap did bind
         for node in tree.all_nodes():
             assert not any(id(parent) in truncated for parent in node.parents)
+
+
+class TestWorkerToWorkerStaging:
+    """Rebalanced pivot groups ship worker-to-worker, not through the master."""
+
+    def _skewed_graph(self, num_workers: int = 3) -> Graph:
+        """Hub pivots colocated on worker 0 so rebalancing must move groups."""
+        graph = Graph()
+        nodes = []
+        for i in range(3 * num_workers):
+            if i % num_workers == 0:
+                nodes.append(graph.add_node("hub", {"kind": "h"}))
+            else:
+                nodes.append(
+                    graph.add_node("person", {"kind": "a", "year": 2000})
+                )
+        hubs = [n for n in nodes if graph.node_label(n) == "hub"]
+        people = [
+            graph.add_node("person", {"kind": "ab"[i % 2], "year": 2000 + i % 3})
+            for i in range(60)
+        ]
+        for i, person in enumerate(people):
+            graph.add_edge(person, hubs[i % len(hubs)], "link")
+            if i % 2:
+                graph.add_edge(person, people[(i * 7 + 1) % 60], "like")
+        return graph
+
+    def test_plan_matches_array_rebalance_loads(self):
+        """The summary-based plan lands the same loads and group homes as
+        the master-side array rebalance it replaces."""
+        from repro.parallel.balancer import (
+            plan_pivot_group_moves,
+            rebalance_pivot_group_arrays,
+        )
+
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            num_shards = int(rng.integers(2, 5))
+            shards = []
+            for worker in range(num_shards):
+                rows = int(rng.integers(0, 40))
+                pivots = rng.integers(0, 9, size=rows)
+                shards.append(
+                    np.stack([pivots, rng.integers(0, 100, size=rows)], axis=1)
+                    if rows
+                    else np.empty((0, 2), dtype=np.int64)
+                )
+            summaries = [
+                np.unique(shard[:, 0], return_counts=True) for shard in shards
+            ]
+            moves, received = plan_pivot_group_moves(summaries)
+            planned_loads = [int(s[1].sum()) for s in summaries]
+            for (src, dst), (pivots, rows) in moves.items():
+                planned_loads[src] -= rows
+                planned_loads[dst] += rows
+            rebalanced, _ = rebalance_pivot_group_arrays(shards, 0)
+            actual_loads = [int(shard.shape[0]) for shard in rebalanced]
+            assert planned_loads == actual_loads
+            # pivot-disjointness: after applying the plan no pivot lives on
+            # two shards
+            homes = {}
+            for worker, (pivots, counts) in enumerate(summaries):
+                for pivot in pivots.tolist():
+                    homes[pivot] = {worker}
+            for (src, dst), (pivots, rows) in moves.items():
+                for pivot in pivots:
+                    homes[pivot] = {dst}
+            assert all(len(workers) == 1 for workers in homes.values())
+
+    def test_direct_shipping_keeps_rows_off_the_master(self):
+        """With staging on, the skewed-join rebalance moves rows through
+        shared memory: the ledger shows staged rows and zero fetches."""
+        graph = self._skewed_graph()
+        config = small_config(
+            k=3, sigma=3, active_attributes=["kind", "year"]
+        )
+        results = {}
+        ledgers = {}
+        for direct in (True, False):
+            run_config = replace(config, direct_shipping=direct)
+            runner = ParallelDiscovery(
+                graph, run_config, num_workers=3, backend="multiprocess"
+            )
+            backend = make_backend(
+                "multiprocess", 3, graph, graph.index(), runner.gamma
+            )
+            try:
+                runner = ParallelDiscovery(
+                    graph, run_config, backend=backend
+                )
+                result = runner.run()
+                results[direct] = {gfd_identity(g) for g in result.gfds}
+                ledgers[direct] = backend.transfers.snapshot()
+                staged_metric = sum(
+                    w.items_staged for w in runner.cluster.workers
+                )
+                if direct:
+                    assert backend.transfers.rows_staged > 0
+                    assert staged_metric > 0
+                else:
+                    assert backend.transfers.rows_staged == 0
+            finally:
+                backend.shutdown()
+        assert results[True] == results[False]
+        # the fallback route fetches rows to the master; staging must not
+        assert ledgers[False].rows_to_master > ledgers[True].rows_to_master
+        assert ledgers[True].rows_to_master == 0
+        # both routes ship the cold-start seeds; the fallback additionally
+        # re-ships every fetched row back out, the staging route none
+        assert (
+            ledgers[False].rows_to_workers - ledgers[True].rows_to_workers
+            == ledgers[False].rows_to_master
+        )
+
+    def test_no_segment_leak_after_staged_run(self):
+        graph = self._skewed_graph()
+        config = small_config(k=3, sigma=3, active_attributes=["kind", "year"])
+        runner = ParallelDiscovery(
+            graph, config, num_workers=3, backend="multiprocess"
+        )
+        runner.run()  # owned backend: shutdown inside run()
+        # the index segment is gone; staging segments were per-exchange
+        assert runner._backend is None
+
+
+class TestGraphFreeAndIndexRefresh:
+    def test_graph_free_multiprocess_backend(self):
+        """Cover-phase workers need processes but no graph."""
+        backend = make_backend("multiprocess", 2, None, None, [])
+        try:
+            assert backend.shm_name is None
+            results = backend.run_unmetered(
+                [(w, "drop_sigma", 0, {}) for w in range(2)]
+            )
+            assert results == [None, None]
+        finally:
+            backend.shutdown()
+
+    def test_refresh_index_swaps_segment_and_keeps_state(self):
+        graph = small_graph()
+        index = graph.index()
+        backend = MultiprocessBackend(2, index, ["kind", "year"])
+        try:
+            first_segment = backend.shm_name
+            # park enforcement state worker-side
+            from repro.pattern import Pattern
+
+            pattern = Pattern(["person", "city"], [(0, 1, "live_in")], pivot=0)
+            from repro.pattern.matcher import find_matches
+
+            rows = np.asarray(
+                list(find_matches(graph, pattern, index=index)), dtype=np.int64
+            )
+            from repro.gfd.literals import ConstantLiteral
+
+            rules = [((ConstantLiteral(0, "kind", "a"),), None)]
+            install = backend.run_unmetered(
+                [
+                    (0, "enforce_install", 7,
+                     {"pattern": pattern, "matches": rows, "rules": rules}),
+                ]
+            )
+            before = install[0][0][0]
+            # mutate the graph, ship the new snapshot
+            node = graph.add_node("person", {"kind": "a"})
+            new_index = graph.index()
+            backend.refresh_index(new_index)
+            assert backend.shm_name != first_segment
+            with pytest.raises(FileNotFoundError):
+                _probe_segment(first_segment)
+            # resident state survived the swap
+            after = backend.run_unmetered([(0, "enforce", 7, {})])
+            assert after[0][0][0] == before
+        finally:
+            backend.shutdown()
+        if backend.shm_name is not None:
+            with pytest.raises(FileNotFoundError):
+                _probe_segment(backend.shm_name)

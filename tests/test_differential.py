@@ -27,8 +27,13 @@ import pytest
 
 from repro.core import DiscoveryConfig, discover, gfd_identity, sequential_cover
 from repro.core.support import DistinctPivotSketch, sketch_distinct_upper_bound
+from repro.gfd import implies
 from repro.graph import Graph
-from repro.parallel import discover_parallel
+from repro.parallel import (
+    discover_parallel,
+    parallel_cover,
+    parallel_cover_ungrouped,
+)
 
 #: Number of random graphs in the population (one pytest case each).
 NUM_GRAPHS = 30
@@ -155,6 +160,81 @@ class TestDifferentialEngines:
                 graph, config, num_workers=3, balance=False, backend=backend
             )
             assert _fingerprint(result) == reference
+
+
+class TestParCoverDifferential:
+    """``ParCover``/``ParCovern`` sharded over real worker processes.
+
+    The cover phase runs on the same ``ShardWorker`` op layer as discovery:
+    workers receive ``Σ`` once plus unit manifests, and return removed
+    indices (grouped) or implication verdicts (ungrouped).  Since unit
+    checks are deterministic and independent, the computed cover must be
+    *byte-identical* — same GFDs in the same order — across backends and
+    worker counts.
+    """
+
+    def _sigma(self, seed):
+        graph = _random_graph(seed)
+        return discover(graph, _config(seed)).gfds
+
+    @pytest.mark.parametrize("seed", [0, 7, 19])
+    def test_grouped_cover_identical_across_backends(self, seed):
+        sigma = self._sigma(seed)
+        reference, _ = parallel_cover(sigma, num_workers=2, backend="serial")
+        for workers in (2, 3, 4):
+            serial, _ = parallel_cover(
+                sigma, num_workers=workers, backend="serial"
+            )
+            multiprocess, _ = parallel_cover(
+                sigma, num_workers=workers, backend="multiprocess"
+            )
+            for result in (serial, multiprocess):
+                assert result.cover == reference.cover
+                assert result.removed == reference.removed
+                assert result.implication_tests == reference.implication_tests
+        # the cover is sound: every removed GFD is implied by the survivors
+        for removed in reference.removed:
+            assert implies(reference.cover, removed)
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_ungrouped_cover_identical_across_backends(self, seed):
+        sigma = self._sigma(seed)
+        reference, _ = parallel_cover_ungrouped(
+            sigma, num_workers=2, backend="serial"
+        )
+        for workers, backend in ((2, "multiprocess"), (4, "multiprocess"),
+                                 (3, "serial")):
+            result, _ = parallel_cover_ungrouped(
+                sigma, num_workers=workers, backend=backend
+            )
+            assert result.cover == reference.cover
+            assert result.removed == reference.removed
+
+    def test_cover_equivalent_to_sequential(self):
+        """Both parallel variants agree with ``SeqCover`` on identity sets."""
+        sigma = self._sigma(5)
+        sequential = {
+            gfd_identity(g) for g in sequential_cover(sigma).cover
+        }
+        for compute in (parallel_cover, parallel_cover_ungrouped):
+            result, _ = compute(sigma, num_workers=3, backend="multiprocess")
+            assert {gfd_identity(g) for g in result.cover} == sequential
+
+    def test_sigma_ships_once_and_no_match_rows(self):
+        """The cover phase broadcasts Σ and exchanges scalars otherwise."""
+        from repro.parallel.backend import make_backend
+
+        sigma = self._sigma(0)
+        backend = make_backend("multiprocess", 3, None, None, [])
+        try:
+            result, _ = parallel_cover(sigma, backend=backend)
+            assert backend.transfers.sigma_rules == 3 * len(sigma)
+            assert backend.transfers.rows_to_workers == 0
+            assert backend.transfers.rows_to_master == 0
+            reference, _ = parallel_cover(sigma, num_workers=3)
+            assert result.cover == reference.cover
+        finally:
+            backend.shutdown()
 
 
 class TestSketchMergeSemantics:

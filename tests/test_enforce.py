@@ -438,3 +438,119 @@ class TestReportSurface:
             report = engine.validate()
         assert report.rules[0].violation_count == 0
         assert report.is_clean
+
+
+class TestWorkerResidency:
+    """Persistent enforcement tables: match rows stay in the workers.
+
+    With ``EnforcementConfig.persistent_tables`` (the default), a full pass
+    installs each group's match shard once; afterwards only deltas travel —
+    a clean :meth:`refresh` ships **zero** match rows in either direction,
+    and a dirty one ships exactly the re-derived rows plus the violating
+    rows of the report.  The backend's ``TransferLedger`` proves it.
+    """
+
+    def _structured(self):
+        """A graph whose refresh delta is exactly one match row."""
+        graph = Graph()
+        people = [
+            graph.add_node("person", {"kind": "a", "year": 2000 + i % 2})
+            for i in range(40)
+        ]
+        cities = [graph.add_node("city", {"kind": "c"}) for _ in range(5)]
+        for i, person in enumerate(people):
+            graph.add_edge(person, cities[i % 5], "live_in")
+        pattern = Pattern(["person", "city"], [(0, 1, "live_in")], pivot=0)
+        rule = GFD(
+            pattern,
+            frozenset({ConstantLiteral(0, "kind", "a")}),
+            ConstantLiteral(0, "year", 2000),
+        )
+        return graph, people, [rule]
+
+    @pytest.mark.parametrize("backend", ["serial", "multiprocess"])
+    def test_clean_refresh_ships_zero_match_rows(self, backend):
+        graph, people, sigma = self._structured()
+        config = _uncapped(backend=backend, num_workers=2)
+        with EnforcementEngine(graph, sigma, config) as engine:
+            engine.validate()
+            ledger = engine._backend.transfers
+            assert ledger.rows_to_workers == 40  # the one-time install
+            before = ledger.snapshot()
+            # clean pass 1: nothing changed at all
+            report = engine.refresh()
+            # clean pass 2: a mutation that affects no pattern group
+            bystander = graph.add_node("award", {})
+            graph.set_attr(bystander, "kind", "z")
+            report = engine.refresh()
+            assert report.mode == "incremental"
+            after = engine._backend.transfers
+            assert after.rows_to_workers == before.rows_to_workers
+            assert after.rows_to_master == before.rows_to_master
+
+    @pytest.mark.parametrize("backend", ["serial", "multiprocess"])
+    def test_dirty_refresh_ships_only_the_delta(self, backend):
+        graph, people, sigma = self._structured()
+        config = _uncapped(backend=backend, num_workers=2)
+        with EnforcementEngine(graph, sigma, config) as engine:
+            full = engine.validate()
+            resident_backend = engine._backend
+            before = engine._backend.transfers.snapshot()
+            graph.set_attr(people[0], "year", 2001)  # 1 affected match
+            report = engine.refresh()
+            assert report.mode == "incremental"
+            assert report.total_violations == full.total_violations + 1
+            after = engine._backend.transfers
+            # exactly the one re-derived row went master -> workers; the 40
+            # resident rows never traveled again
+            assert after.rows_to_workers - before.rows_to_workers == 1
+            # worker -> master carries only the violating rows of the report
+            assert (
+                after.rows_to_master - before.rows_to_master
+                == report.total_violations
+            )
+            # the backend (and with it the resident state) survived the
+            # index snapshot change
+            assert engine._backend is resident_backend
+
+    def test_persistent_equals_rebuilt_reports(self):
+        """persistent_tables on/off and both backends: identical reports."""
+        rng = random.Random(2)
+        reports = []
+        for backend in ("serial", "multiprocess"):
+            for persistent in (True, False):
+                graph = _random_graph(2)
+                sigma = _random_sigma(rng.__class__(7), graph, 10)
+                config = _uncapped(
+                    backend=backend,
+                    num_workers=3,
+                    persistent_tables=persistent,
+                )
+                with EnforcementEngine(graph, sigma, config) as engine:
+                    engine.validate()
+                    mutated = sorted(graph.nodes())[:3]
+                    for node in mutated:
+                        graph.set_attr(node, "year", 2002)
+                    refreshed = engine.refresh()
+                    reports.append(
+                        (
+                            refreshed.total_violations,
+                            _engine_sets(refreshed),
+                            [r.violation_count for r in refreshed.rules],
+                        )
+                    )
+        assert all(report == reports[0] for report in reports[1:])
+
+    def test_incremental_report_equals_full_revalidation(self):
+        """A chain of mutations: refresh() == a fresh engine's validate()."""
+        graph, people, sigma = self._structured()
+        config = _uncapped(num_workers=2)
+        with EnforcementEngine(graph, sigma, config) as engine:
+            engine.validate()
+            for step, person in enumerate(people[:6]):
+                graph.set_attr(person, "year", 2001)
+                incremental = engine.refresh()
+                with EnforcementEngine(graph, sigma, config) as scratch:
+                    full = scratch.validate()
+                assert incremental.total_violations == full.total_violations
+                assert _engine_sets(incremental) == _engine_sets(full)
