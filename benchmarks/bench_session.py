@@ -1,0 +1,210 @@
+"""The Session facade gate: one backend lifecycle per pipeline.
+
+Asserts the API-redesign acceptance property on a real dataset, per
+backend:
+
+1. **One lifecycle** — a discover → cover → enforce → refresh pipeline
+   under one :class:`repro.Session` starts its worker pools exactly once
+   and attaches the graph index exactly once (`session.metrics()` reads
+   the backend's `LifecycleCounters`); the post-mutation snapshot goes
+   through `refresh_index`, never a pool rebuild.
+
+2. **Shim identity** — the Session's discovered Σ, cover and enforcement
+   report are byte-identical to the legacy entry points (`discover`,
+   `parallel_cover`, a standalone `EnforcementEngine`), which now exist as
+   shims over the same engines.
+
+3. **Measured-cost LPT** — a second cover in the same session balances by
+   worker-measured chase costs (the cost model has observations) and still
+   produces the identical cover.
+
+``--check`` asserts all three; numbers land in
+``benchmarks/results/BENCH_session.json`` and the full metrics view in
+``benchmarks/results/session_metrics_bench.json``.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_session.py
+    PYTHONPATH=src python benchmarks/bench_session.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import warnings
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import RESULTS_DIR, dataset, discovery_config, record  # noqa: E402
+
+from repro import Session  # noqa: E402
+from repro.core import discover, gfd_identity  # noqa: E402
+from repro.core.config import EnforcementConfig  # noqa: E402
+from repro.enforce import EnforcementEngine  # noqa: E402
+from repro.parallel import parallel_cover, shared_memory_available  # noqa: E402
+
+#: Session worker count for both backends.
+WORKERS = 2
+
+
+def _pipeline(graph, config, backend):
+    """One full pipeline on a fresh session; returns everything measured."""
+    started = time.perf_counter()
+    with Session(graph, config, backend=backend, num_workers=WORKERS) as session:
+        result = session.discover()
+        cover1 = session.cover(result.gfds)
+        cover2 = session.cover(result.gfds)  # measured-cost LPT this time
+        report = session.enforce()
+        touched = graph.add_node("person", {"type": "person"})
+        refreshed = session.refresh()
+        graph.remove_attr(touched, "type")
+        refreshed = session.refresh()
+        metrics = session.metrics()
+    return {
+        "elapsed_s": time.perf_counter() - started,
+        "result": result,
+        "cover1": cover1,
+        "cover2": cover2,
+        "report": report,
+        "refreshed": refreshed,
+        "metrics": metrics,
+    }
+
+
+def run(check: bool = False, max_rules: int = None):
+    """One measured pass; returns the report lines and the metrics dict."""
+    config = discovery_config("yago2")
+    backends = ["serial"]
+    if shared_memory_available():
+        backends.append("multiprocess")
+
+    # the legacy reference path (fresh resources per phase, pristine graph)
+    legacy = discover(dataset("yago2").copy(), config)
+
+    lines = [f"|Sigma| = {len(legacy.gfds)}"]
+    metrics = {"num_rules": len(legacy.gfds), "workers": WORKERS}
+
+    for backend in backends:
+        graph = dataset("yago2").copy()  # the pipeline mutates its graph
+        outcome = _pipeline(graph, config, backend)
+        # legacy shims over the *same* Σ ordering and an equal pristine
+        # graph — identity must hold byte for byte
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy_cover, _ = parallel_cover(
+                outcome["result"].gfds, num_workers=WORKERS
+            )
+        with EnforcementEngine(
+            dataset("yago2").copy(),
+            outcome["cover2"].cover,
+            EnforcementConfig(backend="serial", num_workers=WORKERS),
+        ) as engine:
+            legacy_report = engine.validate()
+        view = outcome["metrics"]
+        lines.append(
+            f"{backend}: pipeline {outcome['elapsed_s']:.2f}s — backend "
+            f"started {view.backend_starts}x, pools {view.lifecycle.pools_started}, "
+            f"index attached {view.lifecycle.index_attaches}x "
+            f"(+{view.lifecycle.index_refreshes} refresh), "
+            f"{view.cluster.supersteps} supersteps, cost-model "
+            f"observations {view.cover_cost_observations}"
+        )
+        metrics[backend] = {
+            "elapsed_s": round(outcome["elapsed_s"], 3),
+            "backend_starts": view.backend_starts,
+            "pools_started": view.lifecycle.pools_started,
+            "index_attaches": view.lifecycle.index_attaches,
+            "index_refreshes": view.lifecycle.index_refreshes,
+            "supersteps": view.cluster.supersteps,
+            "cover_cost_observations": view.cover_cost_observations,
+        }
+
+        same_sigma = {gfd_identity(g) for g in outcome["result"].gfds} == {
+            gfd_identity(g) for g in legacy.gfds
+        }
+        same_cover = [str(g) for g in outcome["cover1"].cover] == [
+            str(g) for g in legacy_cover.cover
+        ]
+        same_cover_again = [str(g) for g in outcome["cover2"].cover] == [
+            str(g) for g in legacy_cover.cover
+        ]
+        same_report = [
+            (r.violation_count, sorted(r.nodes), r.sample)
+            for r in outcome["report"].rules
+        ] == [
+            (r.violation_count, sorted(r.nodes), r.sample)
+            for r in legacy_report.rules
+        ]
+        lines.append(
+            f"{backend}: sigma identical {same_sigma}, cover identical "
+            f"{same_cover}/{same_cover_again}, report identical {same_report}"
+        )
+
+        if check:
+            assert view.backend_starts == 1, "pools must start exactly once"
+            assert view.lifecycle.pools_started == WORKERS
+            assert view.lifecycle.index_attaches == 1, (
+                "the index must be attached exactly once; snapshots "
+                "re-point via refresh_index"
+            )
+            assert view.lifecycle.index_refreshes >= 1
+            assert view.cover_cost_observations > 0, (
+                "cover timings must feed the chase-cost model"
+            )
+            assert same_sigma and same_cover and same_cover_again, (
+                "Session must equal the legacy entry points"
+            )
+            assert same_report, "Session enforcement must equal the engine"
+            assert outcome["refreshed"].mode == "incremental"
+
+        full_view = RESULTS_DIR / "session_metrics_bench.json"
+        RESULTS_DIR.mkdir(exist_ok=True)
+        payload = view.as_dict()
+        payload["backend"] = backend
+        full_view.write_text(json.dumps(payload, indent=2) + "\n")
+
+    (RESULTS_DIR / "BENCH_session.json").write_text(
+        json.dumps(metrics, indent=2) + "\n"
+    )
+    return lines, metrics
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert the one-lifecycle and shim-identity gates",
+    )
+    parser.add_argument(
+        "--max-rules",
+        type=int,
+        default=None,
+        help="accepted for CI-arg parity with the sibling gates (unused)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds for --check",
+    )
+    args = parser.parse_args(argv)
+    started = time.perf_counter()
+    lines, _ = run(check=args.check, max_rules=args.max_rules)
+    for line in lines:
+        print(line)
+    record("bench_session", lines)
+    if args.check and args.budget is not None:
+        elapsed = time.perf_counter() - started
+        assert elapsed <= args.budget, (
+            f"bench_session took {elapsed:.1f}s > budget {args.budget:.0f}s"
+        )
+    print("bench_session: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,16 +1,18 @@
 """Knowledge-base cleaning: discover rules, inject errors, detect them.
 
-Reproduces the paper's Exp-5 protocol as an application: mine GFDs from a
-YAGO2-shaped knowledge graph, corrupt a copy with unseen values (the α/β
-noise model), then use the rules to flag dirty entities and score the
-detection, comparing against AMIE rules mined from the same graph.
+Reproduces the paper's Exp-5 protocol as an application: one
+:class:`repro.Session` mines GFDs from a YAGO2-shaped knowledge graph and
+reduces them to a cover; copies are corrupted with unseen values (the α/β
+noise model) and each dirty graph gets its own serving session (a session
+is bound to one graph) through which the rules flag dirty entities, scored
+against ground truth and against AMIE rules mined from the same graph.
 
 Run:  python examples/knowledge_base_cleaning.py
 """
 
 from __future__ import annotations
 
-from repro import DiscoveryConfig, discover, sequential_cover
+from repro import DiscoveryConfig, EnforcementConfig, Session
 from repro.baselines import AmieMiner, mine_amie
 from repro.datasets import KB_ATTRIBUTES, inject_noise, yago2_like
 from repro.quality import amie_detection, gfd_detection
@@ -26,12 +28,14 @@ def main() -> None:
         max_lhs_size=1,
         active_attributes=list(KB_ATTRIBUTES),
     )
-    result = discover(graph, config)
-    cover = sequential_cover(result.gfds)
-    print(
-        f"discovered {len(result.gfds)} GFDs, cover keeps {len(cover.cover)} "
-        f"({cover.reduction_ratio:.0%} redundant)"
-    )
+    with Session(graph, config) as session:
+        result = session.discover()
+        cover = session.cover()
+        print(
+            f"discovered {len(result.gfds)} GFDs, cover keeps "
+            f"{len(cover.cover)} ({cover.reduction_ratio:.0%} redundant)"
+        )
+        sigma = session.sigma
 
     amie = mine_amie(graph, min_support=config.sigma)
     print(f"AMIE baseline: {len(amie.rules)} Horn rules")
@@ -40,7 +44,18 @@ def main() -> None:
         dirty, report = inject_noise(
             graph, alpha=alpha, beta=beta, attributes=KB_ATTRIBUTES, seed=11
         )
-        gfd_metrics = gfd_detection(dirty, cover.cover, report.dirty_nodes)
+        # one serving session per dirty graph (a session is bound to one
+        # graph); passing it to the detector would let further detection
+        # calls on this graph reuse the backend and compiled plan
+        with Session(
+            dirty,
+            enforcement=EnforcementConfig(max_violation_samples=10_000),
+            backend="serial",
+            num_workers=1,
+        ) as serving:
+            gfd_metrics = gfd_detection(
+                dirty, sigma, report.dirty_nodes, session=serving
+            )
         amie_metrics = amie_detection(
             dirty,
             amie.rules,

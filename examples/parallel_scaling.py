@@ -1,19 +1,20 @@
-"""Parallel scalability: DisGFD across worker counts (Theorem 5 in action).
+"""Parallel scalability: one Session per worker count (Theorem 5 in action).
 
-Runs ParDis over the metered cluster simulation for n ∈ {1, 2, 4, 8, 16},
-prints the modeled parallel response time (makespan + master + modeled
-communication) and verifies the result set never changes — parallelism buys
-time, not different rules.
+Runs the discover → cover pipeline on a :class:`repro.Session` for
+n ∈ {1, 2, 4, 8}, prints the modeled parallel response time (makespan +
+master + modeled communication) and verifies the result set never changes —
+parallelism buys time, not different rules.  Each session starts its worker
+pools exactly once and shares them between the discovery and cover phases
+(asserted from ``session.metrics()``).
 
 Run:  python examples/parallel_scaling.py
 """
 
 from __future__ import annotations
 
-from repro import DiscoveryConfig, discover
+from repro import DiscoveryConfig, Session
 from repro.core import gfd_identity
 from repro.datasets import KB_ATTRIBUTES, yago2_like
-from repro.parallel import discover_parallel
 
 
 def main() -> None:
@@ -26,29 +27,35 @@ def main() -> None:
         active_attributes=list(KB_ATTRIBUTES),
     )
 
-    sequential = discover(graph, config)
-    print(
-        f"\nSeqDis: {len(sequential.gfds)} GFDs in "
-        f"{sequential.stats.elapsed_seconds:.2f}s (single process)"
-    )
-    reference = {gfd_identity(gfd) for gfd in sequential.gfds}
-
-    print("\nParDis (modeled cluster time):")
-    print("  n   parallel_s   makespan_s   master_s   speedup_vs_n=1")
+    reference = None
+    cover_size = None
     base = None
-    for workers in (1, 2, 4, 8, 16):
-        result, cluster = discover_parallel(graph, config, num_workers=workers)
-        assert {gfd_identity(gfd) for gfd in result.gfds} == reference
-        elapsed = cluster.metrics.elapsed_parallel
-        if base is None:
-            base = elapsed
-        print(
-            f"  {workers:>2}   {elapsed:>9.3f}   "
-            f"{cluster.metrics.parallel_seconds:>9.3f}   "
-            f"{cluster.metrics.master_seconds:>7.3f}   {base / elapsed:>6.2f}x"
-        )
-    print("\nresult sets identical across all runs — scalability is free of")
-    print("semantic drift (the property the paper's Theorem 5 relies on).")
+    print("\nSession pipeline (modeled cluster time):")
+    print("  n   parallel_s   makespan_s   master_s   speedup_vs_n=1")
+    for workers in (1, 2, 4, 8):
+        with Session(graph, config, num_workers=workers) as session:
+            result = session.discover()
+            cover = session.cover()
+            metrics = session.metrics()
+            identities = {gfd_identity(gfd) for gfd in result.gfds}
+            if reference is None:
+                reference = identities
+                cover_size = len(cover.cover)
+            assert identities == reference, "result set drifted with n"
+            assert len(cover.cover) == cover_size, "cover drifted with n"
+            assert metrics.backend_starts == 1, "pools must start once"
+            elapsed = metrics.cluster.elapsed_parallel
+            if base is None:
+                base = elapsed
+            print(
+                f"  {workers:>2}   {elapsed:>9.3f}   "
+                f"{metrics.cluster.parallel_seconds:>9.3f}   "
+                f"{metrics.cluster.master_seconds:>7.3f}   "
+                f"{base / elapsed:>6.2f}x"
+            )
+    print(f"\ncover: {cover_size} rules at every n — scalability is free of")
+    print("semantic drift (the property the paper's Theorem 5 relies on),")
+    print("and each session ran discovery and cover on ONE pool set.")
 
 
 if __name__ == "__main__":

@@ -2,16 +2,21 @@
 
 Exercises the reasoning layer (Section 3's FPT analyses): builds a rule set
 with redundancies and contradictions, checks satisfiability, explains which
-rules are implied by which, computes a cover, and constructs a model graph
-witnessing satisfiability.
+rules are implied by which, computes a cover, constructs a model graph
+witnessing satisfiability — and then *serves* the cover against that model
+through a :class:`repro.Session` (load Σ from its JSON envelope, enforce,
+mutate, refresh), showing the reasoning and serving layers meet.
 
 Run:  python examples/rule_analysis.py
 """
 
 from __future__ import annotations
 
-from repro import format_gfd, implies, is_satisfiable, parse_gfd, sequential_cover
-from repro.gfd import build_model, graph_satisfies
+import tempfile
+from pathlib import Path
+
+from repro import Session, format_gfd, implies, is_satisfiable, parse_gfd, sequential_cover
+from repro.gfd import build_model, dumps_sigma, graph_satisfies
 
 
 def main() -> None:
@@ -72,6 +77,34 @@ def main() -> None:
         f"satisfies every kept rule: "
         f"{all(graph_satisfies(model, rule) for rule in cover.cover if rule.is_positive)}"
     )
+
+    # serve the cover against the witness model through a Session: persist
+    # Σ, load it into the session, validate, mutate, refresh incrementally
+    sigma_path = Path(tempfile.gettempdir()) / "rule_analysis_sigma.json"
+    sigma_path.write_text(dumps_sigma(cover.cover) + "\n")
+    with Session(model) as session:
+        session.load_sigma(sigma_path)
+        report = session.enforce()
+        print(
+            f"\nsession over the model: {len(session.sigma)} rules loaded "
+            f"from {sigma_path.name}, clean={report.is_clean}"
+        )
+        # break the producer rule on the live model and catch it
+        # incrementally: declaring the product a film obliges its creator
+        # to be a producer, which the witness model's creator is not
+        product = next(
+            node
+            for node in range(model.num_nodes)
+            if model.node_label(node) == "product"
+        )
+        model.set_attr(product, "type", "film")
+        report = session.refresh()
+        print(
+            f"after declaring node {product} a film: mode={report.mode}, "
+            f"violations={report.total_violations}"
+        )
+        assert not report.is_clean
+    sigma_path.unlink(missing_ok=True)
 
 
 if __name__ == "__main__":

@@ -19,16 +19,20 @@ The package implements the paper end to end:
   generator, and DBpedia/YAGO2/IMDB scale models with planted rules;
 * :mod:`repro.quality` — violation detection and Exp-5 accuracy metrics;
 * :mod:`repro.enforce` — the rule enforcement engine: compiled multi-GFD
-  validation with incremental delta maintenance.
+  validation with incremental delta maintenance;
+* :mod:`repro.session` — the resource-owning :class:`~repro.session.
+  Session` facade: one backend and index snapshot shared across the whole
+  discover → cover → enforce → refresh pipeline.
 
 Quickstart::
 
-    from repro import Graph, DiscoveryConfig, discover
+    from repro import Graph, DiscoveryConfig, Session
 
     graph = ...  # build or load a property graph
-    result = discover(graph, DiscoveryConfig(k=3, sigma=100))
-    for gfd in result.sorted_by_support():
-        print(result.supports[gfd], gfd)
+    with Session(graph, DiscoveryConfig(k=3, sigma=100)) as session:
+        result = session.discover()
+        session.cover()
+        report = session.enforce()   # serve Σ against the live graph
 """
 
 from .core import (
@@ -61,14 +65,16 @@ from .gfd import (
 )
 from .graph import Graph, GraphBuilder
 from .parallel import (
+    ChaseCostModel,
     ParallelDiscovery,
     SimulatedCluster,
     discover_parallel,
     parallel_cover,
 )
 from .pattern import WILDCARD, Pattern, find_matches, pivot_image
+from .session import Session, SessionMetrics
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -107,10 +113,14 @@ __all__ = [
     # parallel
     "ParallelDiscovery",
     "SimulatedCluster",
+    "ChaseCostModel",
     "discover_parallel",
     "parallel_cover",
     # enforcement
     "EnforcementConfig",
     "EnforcementEngine",
     "EnforcementReport",
+    # session facade
+    "Session",
+    "SessionMetrics",
 ]

@@ -9,11 +9,19 @@ Subcommands:
 * ``validate <graph> <rules>`` — check a rule file against a graph and
   report violations;
 * ``enforce <graph> <rules>`` — validate a rule set with the compiled
-  :class:`~repro.enforce.engine.EnforcementEngine` (grouped patterns,
-  columnar masks, serial or multiprocess backend);
+  enforcement plan (grouped patterns, columnar masks, serial or
+  multiprocess backend);
 * ``cover <rules>`` — compute a cover of a rule file (``--workers``/
   ``--backend`` selects the parallel ``ParCover``, sharded over the same
-  worker op layer as discovery).
+  worker op layer as discovery);
+* ``pipeline <graph>`` — discover → cover → enforce on one
+  :class:`~repro.session.Session`: worker pools start once, the graph
+  index is attached once, and ``--metrics`` dumps the unified session
+  ledger as JSON.
+
+The graph-ful verbs (``discover``, ``enforce``, ``pipeline``) all run on a
+:class:`~repro.session.Session`, so a single backend lifecycle serves
+every phase of a command.
 
 Graphs are the JSON/TSV formats of :mod:`repro.graph.io`.  Rule files are
 either plain text — one GFD per line in the syntax of
@@ -30,7 +38,7 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from .core import DiscoveryConfig, EnforcementConfig, discover, sequential_cover
+from .core import DiscoveryConfig, EnforcementConfig, sequential_cover
 from .gfd import (
     GFD,
     dumps_sigma,
@@ -40,7 +48,7 @@ from .gfd import (
     parse_gfd,
 )
 from .graph import Graph, compute_statistics, load_json, load_tsv
-from .parallel import discover_parallel
+from .session import Session
 
 __all__ = ["main", "load_graph", "load_rules", "save_rules"]
 
@@ -111,6 +119,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_metrics(session: Session, path: Optional[str]) -> None:
+    """Write ``session.metrics()`` as JSON (the CI artifact format)."""
+    if path:
+        Path(path).write_text(
+            json.dumps(session.metrics().as_dict(), indent=2) + "\n"
+        )
+
+
 def _cmd_discover(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     config = DiscoveryConfig(
@@ -122,36 +138,35 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     )
     if args.backend is not None:
         config.parallel_backend = args.backend
-    if (args.workers or 0) > 1 or config.parallel_backend == "multiprocess":
-        # args.workers None lets the engine default apply (config.num_workers,
-        # then 4) instead of degrading a backend-only request to one worker
-        result, cluster = discover_parallel(
-            graph, config, num_workers=args.workers
-        )
+    parallel = (args.workers or 0) > 1 or config.parallel_backend == "multiprocess"
+    with Session(graph, config, num_workers=args.workers) as session:
+        result = session.discover()
+        if parallel:
+            print(
+                f"# backend={session.backend_name} "
+                f"workers={session.num_workers} "
+                f"modeled parallel time "
+                f"{session.cluster.metrics.elapsed_parallel:.3f}s, "
+                f"real {result.stats.elapsed_seconds:.3f}s",
+                file=sys.stderr,
+            )
+        if args.cover:
+            result_gfds = session.cover().cover
+        else:
+            result_gfds = result.sorted_by_support()
+        for gfd in result_gfds:
+            support = result.supports.get(gfd, 0)
+            print(f"{support}\t{format_gfd(gfd)}")
         print(
-            f"# backend={config.parallel_backend} workers={cluster.num_workers} "
-            f"modeled parallel time {cluster.metrics.elapsed_parallel:.3f}s, "
-            f"real {result.stats.elapsed_seconds:.3f}s",
+            f"# {len(result_gfds)} GFDs "
+            f"({sum(1 for g in result_gfds if g.is_negative)} negative), "
+            f"{result.stats.candidates_checked} candidates checked, "
+            f"{result.stats.elapsed_seconds:.2f}s",
             file=sys.stderr,
         )
-    else:
-        result = discover(graph, config)
-    if args.cover:
-        result_gfds = sequential_cover(result.gfds).cover
-    else:
-        result_gfds = result.sorted_by_support()
-    for gfd in result_gfds:
-        support = result.supports.get(gfd, 0)
-        print(f"{support}\t{format_gfd(gfd)}")
-    print(
-        f"# {len(result_gfds)} GFDs "
-        f"({sum(1 for g in result_gfds if g.is_negative)} negative), "
-        f"{result.stats.candidates_checked} candidates checked, "
-        f"{result.stats.elapsed_seconds:.2f}s",
-        file=sys.stderr,
-    )
-    if args.output:
-        save_rules(result_gfds, args.output, supports=result.supports)
+        if args.output:
+            save_rules(result_gfds, args.output, supports=result.supports)
+        _write_metrics(session, args.metrics)
     return 0
 
 
@@ -169,21 +184,22 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_enforce(args: argparse.Namespace) -> int:
-    from .enforce import EnforcementEngine
-
     graph = load_graph(args.graph)
     rules = load_rules(args.rules)
-    options = dict(
-        num_workers=args.workers,
-        shared_memory=not args.no_shared_memory,
+    config = EnforcementConfig(
         max_violation_samples=args.samples,
         sample_seed=args.seed,
+        max_violations_per_rule=args.max_violations_per_rule,
     )
-    if args.backend is not None:
-        options["backend"] = args.backend
-    config = EnforcementConfig(**options)
-    with EnforcementEngine(graph, rules, config) as engine:
-        report = engine.validate()
+    with Session(
+        graph,
+        DiscoveryConfig(shared_memory=not args.no_shared_memory),
+        enforcement=config,
+        num_workers=args.workers,
+        backend=args.backend,
+    ) as session:
+        report = session.enforce(rules)
+        _write_metrics(session, args.metrics)
     for rule in report.rules:
         print(
             f"{rule.violation_count}\t{rule.distinct_pivots}\t"
@@ -215,6 +231,7 @@ def _cmd_enforce(args: argparse.Namespace) -> int:
                     "violations": rule.violation_count,
                     "distinct_pivots": rule.distinct_pivots,
                     "sample_truncated": rule.sample_truncated,
+                    "witnesses_truncated": rule.witnesses_truncated,
                     "sample": [list(match) for match in rule.sample],
                 }
                 for rule in report.rules
@@ -224,16 +241,61 @@ def _cmd_enforce(args: argparse.Namespace) -> int:
     return 0 if report.is_clean else 1
 
 
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    """discover → cover → enforce in one session (one backend lifecycle)."""
+    graph = load_graph(args.graph)
+    config = DiscoveryConfig(
+        k=args.k,
+        sigma=args.sigma,
+        max_lhs_size=args.max_lhs,
+        mine_negative=not args.no_negative,
+        shared_memory=not args.no_shared_memory,
+    )
+    if args.backend is not None:
+        config.parallel_backend = args.backend
+    with Session(graph, config, num_workers=args.workers) as session:
+        result = session.discover()
+        cover = session.cover()
+        report = session.enforce()
+        metrics = session.metrics()
+        for gfd in cover.cover:
+            support = result.supports.get(gfd, 0)
+            print(f"{support}\t{format_gfd(gfd)}")
+        print(
+            f"# discovered {len(result.gfds)} GFDs, cover keeps "
+            f"{len(cover.cover)} ({len(cover.removed)} redundant), "
+            f"{report.total_violations} violations on the source graph",
+            file=sys.stderr,
+        )
+        print(
+            f"# backend={metrics.backend_name} workers={metrics.num_workers} "
+            f"started {metrics.backend_starts}x, index attached "
+            f"{metrics.lifecycle.index_attaches}x, "
+            f"{metrics.cluster.supersteps} supersteps",
+            file=sys.stderr,
+        )
+        if args.output:
+            save_rules(cover.cover, args.output, supports=result.supports)
+        _write_metrics(session, args.metrics)
+    return 0 if report.is_clean else 1
+
+
 def _cmd_cover(args: argparse.Namespace) -> int:
     rules = load_rules(args.rules)
     if (args.workers or 0) > 1 or args.backend is not None:
+        import warnings
+
         from .parallel import parallel_cover
 
-        result, cluster = parallel_cover(
-            rules,
-            num_workers=args.workers or 4,
-            backend=args.backend,
-        )
+        with warnings.catch_warnings():
+            # the cover verb has no graph, so there is no session to open:
+            # the standalone parallel_cover call IS the supported path here
+            warnings.simplefilter("ignore", DeprecationWarning)
+            result, cluster = parallel_cover(
+                rules,
+                num_workers=args.workers or 4,
+                backend=args.backend,
+            )
         print(
             f"# backend={args.backend or 'serial'} "
             f"workers={cluster.num_workers} "
@@ -299,7 +361,41 @@ def build_parser() -> argparse.ArgumentParser:
     disc.add_argument("--cover", action="store_true",
                       help="reduce the output to a cover")
     disc.add_argument("--output", help="also write rules to this file")
+    disc.add_argument("--metrics", help="write session metrics (backend "
+                                        "lifecycle, transfers, supersteps) "
+                                        "as JSON to this file")
     disc.set_defaults(func=_cmd_discover)
+
+    pipe = commands.add_parser(
+        "pipeline",
+        help="discover → cover → enforce in one resource-owning session",
+        epilog="Runs the paper's whole workflow on a single Session: the "
+               "worker pools start once and the graph index is attached "
+               "once, shared by all three phases (--metrics proves it).  "
+               "Prints the cover with supports; exit code 1 if the source "
+               "graph violates its own rules (it should not).",
+    )
+    pipe.add_argument("graph", help="graph file (.json or .tsv)")
+    pipe.add_argument("--k", type=int, default=3, help="pattern-variable bound")
+    pipe.add_argument("--sigma", type=int, default=10, help="support threshold")
+    pipe.add_argument("--max-lhs", type=int, default=2, help="LHS literal cap")
+    pipe.add_argument("--workers", type=int, default=None,
+                      help="session workers (default: 1 serial / "
+                           "4 multiprocess)")
+    pipe.add_argument("--backend", choices=["serial", "multiprocess"],
+                      default=None,
+                      help="session execution backend (default: serial, or "
+                           "$REPRO_PARALLEL_BACKEND)")
+    pipe.add_argument("--no-shared-memory", action="store_true",
+                      help="ship graph buffers to multiprocess workers by "
+                           "pickle instead of shared memory")
+    pipe.add_argument("--no-negative", action="store_true",
+                      help="skip negative GFDs")
+    pipe.add_argument("--output", help="write the cover to this file "
+                                       "(.json keeps supports)")
+    pipe.add_argument("--metrics", help="write session metrics as JSON to "
+                                        "this file")
+    pipe.set_defaults(func=_cmd_pipeline)
 
     enf = commands.add_parser(
         "enforce",
@@ -326,8 +422,15 @@ def build_parser() -> argparse.ArgumentParser:
                           "sample when the cap binds)")
     enf.add_argument("--seed", type=int, default=0,
                      help="seed of the capped violation sample")
+    enf.add_argument("--max-violations-per-rule", type=int, default=None,
+                     help="per-rule cap on materialized violating rows — "
+                          "counts stay exact, witness sets degrade "
+                          "gracefully on adversarial rules (default: "
+                          "unbounded)")
     enf.add_argument("--json", help="also write a machine-readable report "
                                     "to this file")
+    enf.add_argument("--metrics", help="write session metrics as JSON to "
+                                       "this file")
     enf.set_defaults(func=_cmd_enforce)
 
     val = commands.add_parser("validate", help="check rules against a graph")

@@ -12,7 +12,15 @@ from .reduction import (
     normalize_gfd,
 )
 from .results import DiscoveryResult, MiningStats
+from .sketch import (
+    CardinalitySketch,
+    ExactCardinalitySketch,
+    make_sketch,
+    register_sketch,
+    sketch_names,
+)
 from .support import (
+    DistinctPivotSketch,
     correlation,
     gfd_support,
     gfd_support_any,
@@ -43,4 +51,10 @@ __all__ = [
     "gfd_support_any",
     "correlation",
     "negative_base_support",
+    "CardinalitySketch",
+    "DistinctPivotSketch",
+    "ExactCardinalitySketch",
+    "make_sketch",
+    "register_sketch",
+    "sketch_names",
 ]

@@ -135,6 +135,11 @@ class DiscoveryConfig:
             ``σ``, so with the (default-off) flag enabled, results can
             differ only by the sketch's bounded overcount direction.
         sketch_precision: HLL precision ``p`` (``2^p`` registers).
+        sketch_backend: name of the registered
+            :class:`~repro.core.sketch.CardinalitySketch` estimator used by
+            the prefilter (``"hll"`` — the default — or ``"exact"``; compact
+            alternatives like UltraLogLog register via
+            :func:`~repro.core.sketch.register_sketch`).
     """
 
     k: int = 3
@@ -165,6 +170,7 @@ class DiscoveryConfig:
     direct_shipping: bool = True
     sketch_support_prefilter: bool = False
     sketch_precision: int = 12
+    sketch_backend: str = "hll"
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -227,6 +233,19 @@ class EnforcementConfig:
             more than this fraction of the graph's nodes was touched since
             the last validation — localized re-matching only pays while the
             delta is small.
+        max_violations_per_rule: per-rule cap on the violating *rows* each
+            worker materializes and returns (``None`` — the default — keeps
+            the exact behavior).  The ``CandidateBudget`` of the serving
+            side: an adversarial negative rule whose violation set is the
+            whole match table then degrades gracefully — violation *counts*
+            (and therefore :attr:`~repro.enforce.engine.EnforcementReport.
+            is_clean`) stay exact, computed from mask popcounts, but the
+            reported node sets, samples and distinct-pivot figures cover
+            only the retained rows and the rule report is flagged
+            ``witnesses_truncated``.  When the cap binds, the retained
+            subset depends on shard boundaries (order independence cannot
+            be had without materializing everything — the very cost the cap
+            avoids).
         max_violation_samples: violating matches retained per rule in the
             report (``None`` = all).  When the cap binds, the retained
             subset is a seeded uniform sample over the lexicographically
@@ -234,9 +253,11 @@ class EnforcementConfig:
             enumeration order, worker count and backend.
         sample_seed: RNG seed of that capped sample.
         sketch_cardinality: report each rule's distinct violating pivots
-            as an HLL-sketch *upper bound* (cf. the support prefilter)
+            as a sketch *upper bound* (cf. the support prefilter)
             instead of the exact distinct count — O(1) memory per rule on
             huge violation sets; counts and node sets stay exact.
+        sketch_backend: registered cardinality estimator used when
+            ``sketch_cardinality`` is on (default ``"hll"``).
     """
 
     backend: str = field(default_factory=_default_backend)
@@ -245,9 +266,11 @@ class EnforcementConfig:
     use_index: bool = True
     persistent_tables: bool = True
     max_delta_fraction: float = 0.25
+    max_violations_per_rule: Optional[int] = None
     max_violation_samples: Optional[int] = 10
     sample_seed: int = 0
     sketch_cardinality: bool = False
+    sketch_backend: str = "hll"
 
     def __post_init__(self) -> None:
         if self.backend not in ("serial", "multiprocess"):
@@ -261,6 +284,8 @@ class EnforcementConfig:
             raise ValueError("max_delta_fraction must be a fraction in [0, 1]")
         if self.max_violation_samples is not None and self.max_violation_samples < 0:
             raise ValueError("max_violation_samples must be >= 0")
+        if self.max_violations_per_rule is not None and self.max_violations_per_rule < 1:
+            raise ValueError("max_violations_per_rule must be >= 1")
         if self.backend == "multiprocess" and not self.use_index:
             raise ValueError("the multiprocess backend requires use_index=True")
 

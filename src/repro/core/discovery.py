@@ -22,7 +22,8 @@ Pruning follows Lemma 4: (a) trivial GFDs are never emitted, (b) once
 from __future__ import annotations
 
 import time
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from contextlib import nullcontext
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..graph.graph import Graph
 from ..graph.index import GraphIndex
@@ -88,32 +89,117 @@ class SequentialDiscovery:
             self.gamma = self.graph_stats.top_attributes(config.max_active_attributes)
         self.stats = MiningStats()
         self._found: Dict[Tuple, Tuple[GFD, int]] = {}
+        #: How many ``_found`` entries :meth:`_drain_found` has handed out.
+        self._drained = 0
 
     # ------------------------------------------------------------------
+    # engine lifecycle hooks (the parallel engine overrides these; the
+    # sequential reference engine needs no external resources)
+    # ------------------------------------------------------------------
+    def _start_backend(self) -> None:
+        """Acquire execution resources before the first level runs."""
+
+    def _finish_backend(self) -> None:
+        """Release (or hand back) execution resources after the last level."""
+
+    def _master(self):
+        """Context manager metering master-side post-processing."""
+        return nullcontext()
+
+    def _seed_level(self, tree: GenerationTree) -> None:
+        """Spawn the level-0 single-node patterns."""
+        self._seed_single_nodes(tree)
+
+    def _extend_level(self, tree: GenerationTree, level: int) -> List[TreeNode]:
+        """``VSpawn(level)``: one-edge extensions of the previous level."""
+        return self._vspawn(tree, level)
+
+    def _mine_node(self, node: TreeNode) -> None:
+        """``HSpawn``: mine the dependencies of one verified pattern."""
+        self._hspawn(node)
+
+    # ------------------------------------------------------------------
+    def _drain_found(self) -> List[Tuple[GFD, int]]:
+        """The ``(gfd, support)`` pairs emitted since the previous drain.
+
+        ``_found`` is insertion-ordered by GFD identity; a re-emission that
+        only raises a support does not re-append, so drained batches are
+        exactly the *newly discovered* rules.
+        """
+        items = list(self._found.values())
+        fresh = items[self._drained:]
+        self._drained = len(items)
+        return fresh
+
+    def _levels(
+        self, tree: GenerationTree
+    ) -> Iterator[Tuple[int, List[Tuple[GFD, int]]]]:
+        """Drive the levelwise search, yielding per-level emission batches.
+
+        The shared core of :meth:`run` and :meth:`run_iter`: seed, mine
+        level 0, then alternate ``VSpawn``/``HSpawn`` up to the edge
+        budget, yielding ``(level, [(gfd, support), ...])`` after each
+        completed level.  Backend lifecycle is the caller's concern.
+        """
+        self._seed_level(tree)
+        for node in tree.level(0):
+            self._mine_node(node)
+        yield 0, self._drain_found()
+        for level in range(1, self.config.edge_budget + 1):
+            new_nodes = self._extend_level(tree, level)
+            if not new_nodes:
+                return
+            for node in new_nodes:
+                self._mine_node(node)
+            yield level, self._drain_found()
+
     def run(self) -> DiscoveryResult:
         """Execute discovery and return the minimum frequent GFDs."""
         started = time.perf_counter()
+        self._drained = 0
+        self._start_backend()
         tree = GenerationTree()
-        self._seed_single_nodes(tree)
-        for node in tree.level(0):
-            self._hspawn(node)
-        for level in range(1, self.config.edge_budget + 1):
-            new_nodes = self._vspawn(tree, level)
-            if not new_nodes:
-                break
-            for node in new_nodes:
-                self._hspawn(node)
-        gfds = [gfd for gfd, _ in self._found.values()]
-        supports = {gfd: supp for gfd, supp in self._found.values()}
-        if self.config.minimality_filter:
-            gfds = minimal_cover_by_reduction(gfds)
-            supports = {gfd: supports[gfd] for gfd in gfds}
+        try:
+            for _level, _fresh in self._levels(tree):
+                pass
+            gfds = [gfd for gfd, _ in self._found.values()]
+            supports = {gfd: supp for gfd, supp in self._found.values()}
+            with self._master():
+                if self.config.minimality_filter:
+                    gfds = minimal_cover_by_reduction(gfds)
+                    supports = {gfd: supports[gfd] for gfd in gfds}
+        finally:
+            self._finish_backend()
         self.stats.positives_found = sum(1 for gfd in gfds if gfd.is_positive)
         self.stats.negatives_found = sum(1 for gfd in gfds if gfd.is_negative)
         self.stats.elapsed_seconds = time.perf_counter() - started
         return DiscoveryResult(
             gfds=gfds, supports=supports, stats=self.stats, tree=tree
         )
+
+    def run_iter(self) -> Iterator[Tuple[int, List[Tuple[GFD, int]]]]:
+        """Stream discovery: yield ``(level, [(gfd, support), ...])`` batches.
+
+        Rules arrive as their generation-tree level completes, so a
+        consumer can act on (or stop after) early rules without waiting for
+        the full run — the engine behind ``Session.discover_iter`` and its
+        early-stop budgets.  Closing the iterator early releases the
+        engine's execution resources (the ``finally`` below runs on
+        ``GeneratorExit``).
+
+        Two deliberate differences from :meth:`run`: the final pairwise
+        ``≪``-minimality filter is *not* applied (it is a global pass over
+        the completed set — ``Session.discover`` still applies it), and a
+        support that is later raised for an already-yielded rule is not
+        re-reported.
+        """
+        self._drained = 0
+        self._start_backend()
+        tree = GenerationTree()
+        try:
+            yield from self._levels(tree)
+        finally:
+            self._finish_backend()
 
     # ------------------------------------------------------------------
     # vertical spawning
@@ -297,7 +383,9 @@ class SequentialDiscovery:
             if table.mask_count(mask) < self.config.sigma:
                 return False
             bound = table.sketch_support_bound(
-                mask, self.config.sketch_precision
+                mask,
+                self.config.sketch_precision,
+                kind=self.config.sketch_backend,
             )
             if bound < self.config.sigma:
                 self.stats.sketch_pruned_literals += 1

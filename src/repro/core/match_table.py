@@ -319,17 +319,24 @@ class MatchTable:
         return self._pivot_array[mask]
 
     def sketch_support_bound(
-        self, mask: np.ndarray, precision: int = 12, z: float = 3.0
+        self,
+        mask: np.ndarray,
+        precision: int = 12,
+        z: float = 3.0,
+        kind: str = "hll",
     ) -> int:
-        """A probable *upper bound* on :meth:`mask_support` via an HLL sketch.
+        """A probable *upper bound* on :meth:`mask_support` via a sketch.
 
         Cheap pre-filter companion to the exact run count: a bound below a
         threshold proves (with sketch confidence ``z``) the support is too,
         while anything at or above it still needs :meth:`mask_support`.
+        ``kind`` selects a registered cardinality estimator (default HLL).
         """
         from .support import sketch_distinct_upper_bound
 
-        return sketch_distinct_upper_bound(self._pivot_array[mask], precision, z)
+        return sketch_distinct_upper_bound(
+            self._pivot_array[mask], precision, z, kind=kind
+        )
 
     def stack_supports(self, stack: np.ndarray) -> np.ndarray:
         """Distinct-pivot counts per row of a 2-D boolean mask stack.

@@ -27,6 +27,7 @@ from ..gfd.literals import FalseLiteral
 from ..gfd.satisfaction import satisfies_all, satisfies_literal
 from ..pattern.matcher import find_matches, pivot_image
 from ..pattern.pattern import Pattern
+from .sketch import make_sketch, register_sketch
 
 __all__ = [
     "pattern_support",
@@ -116,11 +117,23 @@ class DistinctPivotSketch:
         return int(math.ceil(self.estimate() * (1.0 + z * 1.04 / math.sqrt(m))))
 
 
+# The HLL sketch is the default implementation of the pluggable
+# CardinalitySketch protocol (see repro.core.sketch).
+register_sketch("hll", DistinctPivotSketch)
+
+
 def sketch_distinct_upper_bound(
-    values: np.ndarray, precision: int = 12, z: float = 3.0
+    values: np.ndarray,
+    precision: int = 12,
+    z: float = 3.0,
+    kind: str = "hll",
 ) -> int:
-    """One-shot probable upper bound on ``|set(values)|`` via an HLL sketch."""
-    return DistinctPivotSketch(precision).add_array(values).upper_bound(z)
+    """One-shot probable upper bound on ``|set(values)|``.
+
+    ``kind`` names a registered :class:`~repro.core.sketch.CardinalitySketch`
+    backend (default: the HLL sketch above).
+    """
+    return make_sketch(kind, precision).add_array(values).upper_bound(z)
 
 
 def pattern_support(graph: Graph, pattern: Pattern) -> int:

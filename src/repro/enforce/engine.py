@@ -47,7 +47,7 @@ from ..gfd.gfd import GFD
 from ..gfd.satisfaction import Violation
 from ..graph.graph import Graph
 from ..graph.index import GraphIndex
-from ..parallel.backend import ExecutionBackend, make_backend
+from ..parallel.backend import ExecutionBackend, make_backend, next_node_key
 from ..pattern.matcher import Match, find_matches
 from ..pattern.pattern import Pattern
 from .delta import DeltaLog, affected_nodes
@@ -60,12 +60,15 @@ __all__ = ["RuleReport", "EnforcementReport", "EnforcementEngine"]
 class RuleReport:
     """Per-rule outcome of one validation pass.
 
-    ``nodes`` and ``violation_count`` are always exact (computed from the
-    full violation set); ``sample`` is capped by the engine config, and
-    ``sample_truncated`` flags when the cap bound.  ``distinct_pivots`` is
-    the number of distinct graph nodes the pivot takes over violating
-    matches — exact by default, an HLL-sketch upper bound under
-    ``EnforcementConfig.sketch_cardinality``.
+    ``violation_count`` is always exact (a mask popcount per shard).
+    ``nodes`` is exact too unless ``EnforcementConfig.
+    max_violations_per_rule`` bound — then ``witnesses_truncated`` is set
+    and the node set, ``sample`` and ``distinct_pivots`` cover only the
+    retained violating rows (the graceful-degradation mode for adversarial
+    rules).  ``sample`` is additionally capped by ``max_violation_samples``
+    (``sample_truncated``).  ``distinct_pivots`` is the number of distinct
+    graph nodes the pivot takes over violating matches — exact by default,
+    a sketch upper bound under ``EnforcementConfig.sketch_cardinality``.
     """
 
     gfd: GFD
@@ -74,6 +77,7 @@ class RuleReport:
     sample: Tuple[Match, ...]
     sample_truncated: bool
     distinct_pivots: int
+    witnesses_truncated: bool = False
 
     def violations(self) -> List[Violation]:
         """The sampled violations as :class:`Violation` objects."""
@@ -113,7 +117,12 @@ class EnforcementReport:
         return self.total_violations == 0
 
     def flagged_nodes(self) -> Set[int]:
-        """``V^GFD``: every node contained in some violating match (exact)."""
+        """``V^GFD``: every node contained in some violating match.
+
+        Exact, unless ``EnforcementConfig.max_violations_per_rule`` bound on
+        some rule — then that rule's contribution covers only its retained
+        witness rows (its report entry has ``witnesses_truncated`` set).
+        """
         flagged: Set[int] = set()
         for rule in self.rules:
             flagged.update(rule.nodes)
@@ -147,6 +156,18 @@ class EnforcementEngine:
             pattern).
         config: evaluation parameters; ``None`` uses the
             :class:`~repro.core.config.EnforcementConfig` defaults.
+        backend: a pre-started
+            :class:`~repro.parallel.backend.ExecutionBackend` to *borrow*
+            — e.g. the pool set a :class:`repro.session.Session` shares
+            across discover/cover/enforce.  The caller keeps ownership: on
+            :meth:`close` the engine only drops its resident groups, never
+            the pools, and a graph-snapshot change re-points the borrowed
+            backend via ``refresh_index`` instead of rebuilding it.
+            ``None`` (the default) makes the engine construct and own a
+            backend per ``config``.
+        delta: a :class:`~repro.enforce.delta.DeltaLog` already attached to
+            ``graph`` (session-owned).  ``None`` attaches (and on close
+            detaches) a private log.
 
     Thread-safety: none — one engine serves one caller, like the discovery
     engines.  Mutating the graph *during* a validation pass is undefined.
@@ -157,18 +178,29 @@ class EnforcementEngine:
         graph: Graph,
         sigma: Sequence[GFD],
         config: Optional[EnforcementConfig] = None,
+        backend: Optional[ExecutionBackend] = None,
+        delta: Optional[DeltaLog] = None,
     ) -> None:
         self.graph = graph
         self.sigma = list(sigma)
         self.config = config if config is not None else EnforcementConfig()
         self.plan: EnforcementPlan = compile_plan(self.sigma)
-        self.delta = DeltaLog()
-        graph.attach_delta_log(self.delta)
+        self._owns_delta = delta is None
+        self.delta = delta if delta is not None else DeltaLog()
+        if self._owns_delta:
+            graph.attach_delta_log(self.delta)
         self._arrays: List[Optional[np.ndarray]] = [None] * len(self.plan.groups)
         self._report: Optional[EnforcementReport] = None
         self._validated_version: Optional[int] = None
-        self._backend: Optional[ExecutionBackend] = None
+        self._owns_backend = backend is None
+        self._backend: Optional[ExecutionBackend] = backend
         self._backend_index: Optional[GraphIndex] = None
+        #: Worker-state keys of the pattern groups — allocated from the
+        #: process-wide counter so engines sharing one backend (sessions,
+        #: or an engine rebuilt over the same pools) never collide.
+        self._group_keys: List[int] = [
+            next_node_key() for _ in self.plan.groups
+        ]
         #: Group positions whose match shards are resident in the current
         #: backend's workers (valid only while that backend lives).
         self._resident: set = set()
@@ -180,16 +212,49 @@ class EnforcementEngine:
     @property
     def num_workers(self) -> int:
         """The evaluation shard count in effect."""
+        if self._backend is not None:
+            return self._backend.num_workers
         return self.config.resolved_workers
 
+    def invalidate_residency(self) -> None:
+        """Forget worker-resident shards (a shared backend was reset).
+
+        A session-shared backend is wiped (``op_reset``) whenever a
+        discovery run returns it; the session calls this so the next
+        enforcement pass re-installs its shards instead of updating state
+        that no longer exists.
+        """
+        self._resident.clear()
+
+    def _drop_resident(self) -> None:
+        """Free this engine's resident groups on a backend that outlives it."""
+        if not self._resident or self._backend is None:
+            return
+        try:
+            self._backend.run_unmetered(
+                [
+                    (worker, "enforce_drop", self._group_keys[position], {})
+                    for position in sorted(self._resident)
+                    for worker in range(self._backend.num_workers)
+                ],
+                wait=False,
+            )
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+        self._resident.clear()
+
     def close(self) -> None:
-        """Detach the delta log and release the backend (idempotent)."""
+        """Release (or hand back) the delta log and backend (idempotent)."""
         if self._closed:
             return
         self._closed = True
-        self.graph.detach_delta_log(self.delta)
+        if self._owns_delta:
+            self.graph.detach_delta_log(self.delta)
         if self._backend is not None:
-            self._backend.shutdown()
+            if self._owns_backend:
+                self._backend.shutdown()
+            else:
+                self._drop_resident()
             self._backend = None
 
     def __enter__(self) -> "EnforcementEngine":
@@ -294,18 +359,27 @@ class EnforcementEngine:
         :meth:`~repro.parallel.backend.ExecutionBackend.refresh_index` —
         free on the serial backend, one shared-memory index export on the
         multiprocess backend — so the worker-resident match shards and
-        cached violation masks survive graph mutations.  Without it the
-        backend is rebuilt from scratch on every snapshot change (workers
-        then hold no state worth preserving).
+        cached violation masks survive graph mutations.  An *owned*
+        backend without persistent tables is instead rebuilt from scratch
+        on every snapshot change (its workers hold no state worth
+        preserving); a *borrowed* backend is never rebuilt — the session
+        that lent it keeps exactly one pool set alive, so snapshot changes
+        always go through ``refresh_index``.
         """
         if self._backend is not None and self._backend_index is index:
             return self._backend
         if self._backend is not None:
-            if (
+            if self._backend.source_token == (id(self.graph), id(index)):
+                # the backend already holds this snapshot (e.g. the owning
+                # session re-pointed it) — adopt without re-shipping
+                self._backend_index = index
+                return self._backend
+            keep = not self._owns_backend or (
                 self.config.persistent_tables
                 and index is not None
                 and self._backend_index is not None
-            ):
+            )
+            if keep:
                 self._backend.refresh_index(index)
                 self._backend_index = index
                 return self._backend
@@ -364,10 +438,13 @@ class EnforcementEngine:
             shards = backend.num_workers
             backend_name = backend.name
             persistent = self.config.persistent_tables
+            gamma = list(self.plan.attributes())
+            cap = self.config.max_violations_per_rule
             requests: List[Tuple[int, str, int, Dict[str, Any]]] = []
             drops: List[Tuple[int, str, int, Dict[str, Any]]] = []
             for position in evaluate:
                 group = self.plan.groups[position]
+                key = self._group_keys[position]
                 update = (
                     updates.get(position)
                     if persistent
@@ -384,7 +461,7 @@ class EnforcementEngine:
                             (
                                 worker,
                                 "enforce_update",
-                                position,
+                                key,
                                 {
                                     "ball": ball,
                                     "fresh": self._shard_matches(chunk, index),
@@ -403,11 +480,13 @@ class EnforcementEngine:
                             (
                                 worker,
                                 "enforce_install",
-                                position,
+                                key,
                                 {
                                     "pattern": group.pattern,
                                     "matches": self._shard_matches(chunk, index),
                                     "rules": rules_payload,
+                                    "gamma": gamma,
+                                    "cap": cap,
                                 },
                             )
                         )
@@ -415,7 +494,7 @@ class EnforcementEngine:
                         self._resident.add(position)
                 if not persistent:
                     drops.extend(
-                        (worker, "enforce_drop", position, {})
+                        (worker, "enforce_drop", key, {})
                         for worker in range(shards)
                     )
             outcomes = backend.run_unmetered(requests)
@@ -433,7 +512,11 @@ class EnforcementEngine:
             # nothing to re-evaluate: keep metadata consistent without
             # touching (or rebuilding) the backend
             shards = self.num_workers
-            backend_name = self.config.backend
+            backend_name = (
+                self._backend.name
+                if self._backend is not None
+                else self.config.backend
+            )
         report = EnforcementReport(
             rules=rule_reports,
             mode=mode,
@@ -453,6 +536,7 @@ class EnforcementEngine:
     ) -> RuleReport:
         """Merge one rule's per-shard results into its report entry."""
         count = sum(part[0] for part in parts)
+        witnesses_truncated = any(part[3] for part in parts)
         node_arrays = [part[1] for part in parts if part[1].size]
         nodes = (
             frozenset(np.unique(np.concatenate(node_arrays)).tolist())
@@ -466,22 +550,30 @@ class EnforcementEngine:
         else:
             canonical = np.empty((0, width), dtype=np.int64)
         if self.config.sketch_cardinality and canonical.shape[0]:
-            distinct_pivots = sketch_distinct_upper_bound(canonical[:, 0])
+            distinct_pivots = sketch_distinct_upper_bound(
+                canonical[:, 0], kind=self.config.sketch_backend
+            )
         else:
             distinct_pivots = (
                 int(np.unique(canonical[:, 0]).size) if canonical.shape[0] else 0
             )
         # back to the rule's original variable order, then a lexicographic
         # sort: the retained sample must not depend on shard boundaries,
-        # backend, or match enumeration order
+        # backend, or match enumeration order (under the per-rule violation
+        # cap the retained rows already depend on shard boundaries — the
+        # documented degradation — but the sort keeps the sample stable for
+        # a fixed sharding)
         mapped = canonical[:, rule.column_map]
         if mapped.shape[0] > 1:
             mapped = mapped[np.lexsort(mapped.T[::-1])]
         cap = self.config.max_violation_samples
-        truncated = cap is not None and count > cap
+        retained = int(mapped.shape[0])
+        truncated = cap is not None and retained > cap
         if truncated:
             chosen = sorted(
-                random.Random(self.config.sample_seed).sample(range(count), cap)
+                random.Random(self.config.sample_seed).sample(
+                    range(retained), cap
+                )
             )
             mapped = mapped[chosen]
         sample = tuple(tuple(row) for row in mapped.tolist())
@@ -492,4 +584,5 @@ class EnforcementEngine:
             sample=sample,
             sample_truncated=truncated,
             distinct_pivots=distinct_pivots,
+            witnesses_truncated=witnesses_truncated,
         )

@@ -3,6 +3,7 @@
 from .backend import (
     BACKEND_NAMES,
     ExecutionBackend,
+    LifecycleCounters,
     MultiprocessBackend,
     SerialBackend,
     SharedIndexBuffers,
@@ -19,6 +20,7 @@ from .balancer import (
     rebalance_shards,
 )
 from .cluster import ClusterMetrics, SimulatedCluster, WorkerMetrics
+from .costs import ChaseCostModel
 from .parcover import parallel_cover, parallel_cover_ungrouped
 from .pardis import ParallelDiscovery, discover_parallel
 
@@ -29,6 +31,8 @@ __all__ = [
     "MultiprocessBackend",
     "SharedIndexBuffers",
     "TransferLedger",
+    "LifecycleCounters",
+    "ChaseCostModel",
     "make_backend",
     "shared_memory_available",
     "SimulatedCluster",

@@ -48,6 +48,7 @@ from __future__ import annotations
 import itertools
 import pickle
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -74,9 +75,11 @@ __all__ = [
     "MultiprocessBackend",
     "SharedIndexBuffers",
     "TransferLedger",
+    "LifecycleCounters",
     "make_backend",
     "next_node_key",
     "shared_memory_available",
+    "warn_standalone_entry_point",
 ]
 
 #: Recognized values of ``DiscoveryConfig.parallel_backend``.
@@ -93,6 +96,26 @@ _NODE_KEYS = itertools.count()
 def next_node_key() -> int:
     """A fresh process-wide worker-state key (pattern node, Σ slot, ...)."""
     return next(_NODE_KEYS)
+
+
+def warn_standalone_entry_point(function: str, backend: Any) -> None:
+    """Deprecation notice for per-call backend construction.
+
+    The legacy wrappers (``discover_parallel``, ``parallel_cover``) remain
+    supported shims, but a standalone call — one that does not reuse a
+    pre-started :class:`ExecutionBackend` — spins up and tears down a pool
+    set per invocation; sessions share one.  Callers that *have* no graph
+    to open a session over (the ``repro-gfd cover`` verb) suppress this
+    explicitly.
+    """
+    if not isinstance(backend, ExecutionBackend):
+        warnings.warn(
+            f"{function}() builds a fresh execution backend per call; "
+            "prefer repro.session.Session, which starts the worker pools "
+            "once and shares them across discover/cover/enforce",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
 
 def shared_memory_available() -> bool:
@@ -141,6 +164,36 @@ class TransferLedger:
         )
 
 
+@dataclass
+class LifecycleCounters:
+    """Resource-lifecycle events of one backend instance.
+
+    The Session facade promises "worker pools started once, index attached
+    once" across a whole discover → cover → enforce → refresh pipeline;
+    these counters make that promise assertable (``Session.metrics()``)
+    instead of assumed.
+
+    Attributes:
+        pools_started: worker pools (processes or in-process shard slots)
+            created at construction — exactly ``num_workers``, exactly once
+            per backend.
+        index_attaches: graph-index snapshots shipped to the workers at
+            construction (1 segment export for graph-ful backends, 0 for
+            graph-free cover pools).
+        index_refreshes: :meth:`ExecutionBackend.refresh_index` calls —
+            snapshot re-points that *reuse* the live pools instead of
+            rebuilding them.
+        resets: worker-state wipes (an engine returning a borrowed backend).
+        shutdowns: terminal releases (0 while the backend is live, 1 after).
+    """
+
+    pools_started: int = 0
+    index_attaches: int = 0
+    index_refreshes: int = 0
+    resets: int = 0
+    shutdowns: int = 0
+
+
 def _rows_in(matches: Any) -> int:
     """Row count of a matches payload (array, list, or ``None``)."""
     if matches is None:
@@ -174,10 +227,14 @@ def _result_rows(op: str, result: Any) -> int:
     return 0
 
 
-def _account(ledger: TransferLedger, op: str, payload: Dict[str, Any],
+def _account(backend: "ExecutionBackend", op: str, payload: Dict[str, Any],
              result: Any) -> None:
-    """Charge one executed op (with its result) to the ledger."""
+    """Charge one executed op (with its result) to the backend's ledgers."""
+    ledger = backend.transfers
     ledger.rows_to_workers += _payload_rows(op, payload)
+    if op == "reset":
+        backend.lifecycle.resets += 1
+        return
     if op == "sigma":
         ledger.sigma_rules += len(payload.get("sigma", ()))
         return
@@ -246,7 +303,10 @@ class ShardWorker:
 
         The value/agreement counts feed the master's alphabet generation,
         saving a dedicated round per pattern (only collected when the
-        pattern will be mined).
+        pattern will be mined).  ``payload["gamma"]`` carries the run's
+        active attributes — the engine's Γ, not the backend-construction
+        one, which may predate a graph mutation that changed the top
+        attributes.
         """
         adopt = payload.get("adopt")
         matches = self.joins.pop(adopt) if adopt is not None else payload["matches"]
@@ -254,7 +314,7 @@ class ShardWorker:
             self.graph,
             payload["pattern"],
             matches,
-            self.gamma,
+            payload.get("gamma", self.gamma),
             index=self.index,
         )
         self.tables[key] = table
@@ -478,23 +538,34 @@ class ShardWorker:
 
     # -- enforcement (repro.enforce) ------------------------------------
     def _enforce_results(self, state: Dict[str, Any]) -> List[Tuple]:
-        """Per-rule ``(count, distinct node ids, violating rows)`` tuples.
+        """Per-rule ``(count, node ids, violating rows, truncated)`` tuples.
 
         Derived from the resident rows and cached masks; rows are canonical
-        match tuples as an ``(N, vars)`` int64 array.  Counts and node sets
-        are exact per shard; the master merges across shards.
+        match tuples as an ``(N, vars)`` int64 array.  Counts are always
+        exact per shard (a mask popcount); with the per-rule violation cap
+        (``state["cap"]``) only the first ``cap`` violating rows of this
+        shard are gathered — the graceful-degradation mode for adversarial
+        rules whose violation set is the whole match table — and
+        ``truncated`` flags that the node set and witness rows cover a
+        subset.  The master merges across shards.
         """
         rows = state["rows"]
+        cap = state.get("cap")
         results: List[Tuple] = []
         for offset in range(len(state["rules"])):
             mask = state["masks"][offset]
-            violating = rows[mask]
+            count = int(np.count_nonzero(mask))
+            truncated = cap is not None and count > cap
+            if truncated:
+                violating = rows[np.flatnonzero(mask)[:cap]]
+            else:
+                violating = rows[mask]
             nodes = (
                 np.unique(violating)
                 if violating.size
                 else np.empty(0, dtype=np.int64)
             )
-            results.append((int(violating.shape[0]), nodes, violating))
+            results.append((count, nodes, violating, truncated))
         return results
 
     def op_enforce_install(self, key: int, payload: Dict[str, Any]) -> List[Tuple]:
@@ -502,17 +573,21 @@ class ShardWorker:
 
         ``payload["rules"]`` entries are ``(lhs literals, rhs literal or
         None)`` over the *canonical* pattern variables (``None`` = negative
-        GFD).  The shard rows and the per-rule violation masks stay
-        resident (keyed by the group position) so later
-        :meth:`op_enforce_update` calls can splice deltas instead of
-        receiving the world again; see :meth:`_enforce_results` for the
-        return shape.
+        GFD).  ``payload["gamma"]`` carries the plan's attribute set —
+        enforcement must not inherit the backend-construction ``Γ`` (a
+        session-shared backend was built for *discovery's* attributes) —
+        and ``payload["cap"]`` the optional per-rule violation cap.  The
+        shard rows and the per-rule violation masks stay resident (keyed by
+        the engine's group key) so later :meth:`op_enforce_update` calls
+        can splice deltas instead of receiving the world again; see
+        :meth:`_enforce_results` for the return shape.
         """
+        gamma = payload.get("gamma", self.gamma)
         table = MatchTable(
             self.graph,
             payload["pattern"],
             payload["matches"],
-            self.gamma,
+            gamma,
             index=self.index,
         )
         rows = table.match_array
@@ -525,6 +600,8 @@ class ShardWorker:
             "rules": list(payload["rules"]),
             "rows": rows,
             "masks": masks,
+            "gamma": list(gamma),
+            "cap": payload.get("cap"),
         }
         self.enforce_state[key] = state
         return self._enforce_results(state)
@@ -559,7 +636,7 @@ class ShardWorker:
             self.graph,
             state["pattern"],
             payload["fresh"],
-            self.gamma,
+            state.get("gamma", self.gamma),
             index=self.index,
         )
         fresh_rows = fresh_table.match_array
@@ -592,20 +669,28 @@ class ShardWorker:
         self.checkers[key] = ImplicationChecker(sigma)
         return len(sigma)
 
-    def op_implication_batch(self, key: int, payload: Dict[str, Any]) -> List[int]:
+    def op_implication_batch(
+        self, key: int, payload: Dict[str, Any]
+    ) -> Tuple[List[int], List[float]]:
         """``ParImp`` over a batch of work units ``(group, embedded)``.
 
         Each unit is greedily reduced in isolation (Lemma 6 independence);
-        only the removed Σ-indices return to the master.
+        only the removed Σ-indices return to the master, plus each unit's
+        measured chase seconds — the feedback that lets the master replace
+        the static ``|group| × |embedded|`` LPT weights with observed costs
+        on the next cover (:class:`~repro.parallel.costs.ChaseCostModel`).
         """
         sigma = self.sigmas[key]
         checker = self.checkers[key]
         removed: List[int] = []
+        seconds: List[float] = []
         for group, embedded in payload["units"]:
+            begin = time.perf_counter()
             removed.extend(
                 greedy_group_elimination(sigma, group, embedded, checker=checker)
             )
-        return removed
+            seconds.append(time.perf_counter() - begin)
+        return removed, seconds
 
     def op_cover_probe(self, key: int, payload: Dict[str, Any]) -> List[Tuple[int, bool]]:
         """Leave-one-out implication verdicts for ``ParCovern``.
@@ -671,6 +756,9 @@ class ExecutionBackend:
     #: Match rows that crossed the master boundary (see
     #: :class:`TransferLedger`); every run method accounts into this.
     transfers: TransferLedger
+    #: Resource-lifecycle events (pool starts, index attaches/refreshes);
+    #: see :class:`LifecycleCounters` — what ``Session.metrics()`` reads.
+    lifecycle: LifecycleCounters
 
     def run_superstep(self, step, requests: Sequence[Request]) -> List[Any]:
         """Run one BSP round of requests; results align with the batch."""
@@ -728,6 +816,10 @@ class SerialBackend(ExecutionBackend):
         self.num_workers = num_workers
         self.source_token = (id(graph), id(index))
         self.transfers = TransferLedger()
+        self.lifecycle = LifecycleCounters(
+            pools_started=num_workers,
+            index_attaches=1 if index is not None else 0,
+        )
         self.workers = [
             ShardWorker(graph, index, gamma) for _ in range(num_workers)
         ]
@@ -742,7 +834,7 @@ class SerialBackend(ExecutionBackend):
                     shard.execute(op, key, payload)
                 ),
             )
-            _account(self.transfers, op, payload, result)
+            _account(self, op, payload, result)
             results.append(result)
         return results
 
@@ -752,7 +844,7 @@ class SerialBackend(ExecutionBackend):
         results = []
         for worker, op, key, payload in requests:
             result = self.workers[worker].execute(op, key, payload)
-            _account(self.transfers, op, payload, result)
+            _account(self, op, payload, result)
             results.append(result)
         return results
 
@@ -762,8 +854,13 @@ class SerialBackend(ExecutionBackend):
             worker.index = index
         graph = index.graph if index is not None else None
         self.source_token = (id(graph), id(index))
+        self.lifecycle.index_refreshes += 1
 
     def shutdown(self) -> None:
+        if getattr(self, "_down", False):
+            return
+        self._down = True
+        self.lifecycle.shutdowns += 1
         for worker in self.workers:
             worker.op_reset(0, {})
 
@@ -979,6 +1076,10 @@ class MultiprocessBackend(ExecutionBackend):
         # the fetch-through-master route instead of allocating segments
         self.supports_staging = self._use_shared_memory
         self.transfers = TransferLedger()
+        self.lifecycle = LifecycleCounters(
+            pools_started=num_workers,
+            index_attaches=1 if index is not None else 0,
+        )
         self.source_token = (
             (id(index.graph), id(index)) if index is not None else (None, None)
         )
@@ -1057,6 +1158,7 @@ class MultiprocessBackend(ExecutionBackend):
             old.close()
         self._index = index
         self.source_token = (id(index.graph), id(index))
+        self.lifecycle.index_refreshes += 1
 
     def create_stage(self, nbytes: int):
         """A fresh staging segment for one worker-to-worker exchange."""
@@ -1081,7 +1183,7 @@ class MultiprocessBackend(ExecutionBackend):
         for (worker, future), (_, op, _key, payload) in zip(futures, requests):
             result, seconds = future.result()
             step.charge(worker, seconds)
-            _account(self.transfers, op, payload, result)
+            _account(self, op, payload, result)
             results.append(result)
         return results
 
@@ -1097,7 +1199,7 @@ class MultiprocessBackend(ExecutionBackend):
         results = []
         for future, (_, op, _key, payload) in zip(futures, requests):
             result = future.result()[0]
-            _account(self.transfers, op, payload, result)
+            _account(self, op, payload, result)
             results.append(result)
         return results
 
@@ -1105,6 +1207,7 @@ class MultiprocessBackend(ExecutionBackend):
         if getattr(self, "_down", False):
             return
         self._down = True
+        self.lifecycle.shutdowns += 1
         for pool in self._pools:
             pool.shutdown(wait=True)
         self._pools = []

@@ -46,11 +46,14 @@ from .backend import (
     ExecutionBackend,
     make_backend,
     next_node_key,
+    warn_standalone_entry_point,
 )
 from .balancer import assign_units_lpt
 from .cluster import SimulatedCluster
+from .costs import ChaseCostModel
 
 __all__ = ["parallel_cover", "parallel_cover_ungrouped"]
+
 
 
 def _pattern_group_key(pattern: Pattern) -> Tuple:
@@ -165,6 +168,7 @@ def parallel_cover(
     num_workers: int = 4,
     cluster: Optional[SimulatedCluster] = None,
     backend: Union[None, str, ExecutionBackend] = None,
+    cost_model: Optional[ChaseCostModel] = None,
 ) -> Tuple[CoverResult, SimulatedCluster]:
     """Compute a cover of ``Σ`` with grouping + LPT balancing (``ParCover``).
 
@@ -177,10 +181,23 @@ def parallel_cover(
             ``"multiprocess"``), or a pre-started
             :class:`~repro.parallel.backend.ExecutionBackend` to reuse
             (the caller keeps ownership).
+        cost_model: a :class:`~repro.parallel.costs.ChaseCostModel` whose
+            measured per-unit chase costs replace the static
+            ``|group| × |embedded|`` LPT weights; the workers' timings for
+            this run are fed back into it afterwards.  ``None`` keeps the
+            paper's static weights.  Weights only shift *which worker* runs
+            a unit — the cover itself is weight-independent.
 
     Returns ``(cover result, metered cluster)``; the cover is identical
-    across backends and worker counts.
+    across backends, worker counts and weight models.
+
+    .. deprecated::
+        Standalone calls (without a pre-started ``backend``) spin up and
+        tear down one worker-pool set per invocation; pipelines should go
+        through :meth:`repro.session.Session.cover`, which also persists
+        the cost model across covers.
     """
+    warn_standalone_entry_point("parallel_cover", backend)
     started = time.perf_counter()
     sigma = list(sigma)
     with _CoverSession(num_workers, cluster, backend) as session:
@@ -194,9 +211,16 @@ def parallel_cover(
                 representative = sigma[group[0]].pattern
                 embedded = _embedded_indices(sigma, representative, group)
                 units.append((group, embedded))
-            weights = [
-                len(group) * max(1, len(embedded)) for group, embedded in units
-            ]
+            if cost_model is not None:
+                weights = [
+                    cost_model.weight(key, len(group), len(embedded))
+                    for key, (group, embedded) in zip(ordered_keys, units)
+                ]
+            else:
+                weights = [
+                    ChaseCostModel.static_weight(len(group), len(embedded))
+                    for group, embedded in units
+                ]
             assignment = assign_units_lpt(weights, cluster.num_workers)
         removed_indices: Set[int] = set()
         if sigma:
@@ -211,8 +235,20 @@ def parallel_cover(
                     )
                     for worker, unit_ids in enumerate(assignment)
                 ]
-                for part in session.backend.run_superstep(step, requests):
-                    removed_indices.update(part)
+                parts = session.backend.run_superstep(step, requests)
+            for unit_ids, (removed_part, unit_seconds) in zip(
+                assignment, parts
+            ):
+                removed_indices.update(removed_part)
+                if cost_model is not None:
+                    for unit_id, seconds in zip(unit_ids, unit_seconds):
+                        group, embedded = units[unit_id]
+                        cost_model.observe(
+                            ordered_keys[unit_id],
+                            len(group),
+                            len(embedded),
+                            seconds,
+                        )
             cluster.ship_to_master(len(removed_indices))
 
     cover = [gfd for index, gfd in enumerate(sigma) if index not in removed_indices]
@@ -242,6 +278,7 @@ def parallel_cover_ungrouped(
     (``op_cover_probe``).  ``backend`` selects the execution backend as in
     :func:`parallel_cover`.
     """
+    warn_standalone_entry_point("parallel_cover_ungrouped", backend)
     started = time.perf_counter()
     sigma = list(sigma)
     with _CoverSession(num_workers, cluster, backend) as session:

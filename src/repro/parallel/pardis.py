@@ -35,7 +35,6 @@ so both engines agree on the discovered set even when the cap binds.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, FrozenSet, List, Optional, Tuple, Union
 
 import numpy as np
@@ -50,7 +49,6 @@ from ..core.match_table import (
     merge_value_counts,
     variable_literals_from_counts,
 )
-from ..core.reduction import minimal_cover_by_reduction
 from ..core.results import DiscoveryResult
 from ..core.spawning import (
     extensions_from_counts,
@@ -69,6 +67,7 @@ from .backend import (
     ExecutionBackend,
     make_backend,
     next_node_key,
+    warn_standalone_entry_point,
 )
 from .balancer import (
     is_skewed,
@@ -176,9 +175,11 @@ class ParallelDiscovery(SequentialDiscovery):
         """The execution backend this engine runs on."""
         return self._backend_name
 
-    def run(self) -> DiscoveryResult:
-        """Execute parallel discovery; results equal the sequential run's."""
-        started = time.perf_counter()
+    # ------------------------------------------------------------------
+    # engine lifecycle hooks (plugged into the inherited run()/run_iter())
+    # ------------------------------------------------------------------
+    def _start_backend(self) -> None:
+        """Acquire (or validate) the execution backend before level 0."""
         if self._owns_backend:
             self._backend = make_backend(
                 self._backend_name,
@@ -200,43 +201,35 @@ class ParallelDiscovery(SequentialDiscovery):
                     "the supplied backend was built for a different graph "
                     "snapshot; rebuild it from this graph's current index"
                 )
-        try:
-            tree = GenerationTree()
-            self._seed_parallel(tree)
-            for node in tree.level(0):
-                self._hspawn_parallel(node)
-            for level in range(1, self.config.edge_budget + 1):
-                new_nodes = self._vspawn_parallel(tree, level)
-                if not new_nodes:
-                    break
-                for node in new_nodes:
-                    self._hspawn_parallel(node)
-            gfds = [gfd for gfd, _ in self._found.values()]
-            supports = {gfd: supp for gfd, supp in self._found.values()}
-            with self.cluster.master():
-                if self.config.minimality_filter:
-                    gfds = minimal_cover_by_reduction(gfds)
-                    supports = {gfd: supports[gfd] for gfd in gfds}
-        finally:
-            if self._owns_backend:
+
+    def _finish_backend(self) -> None:
+        """Release an owned backend; reset a borrowed one for its owner."""
+        if self._owns_backend:
+            if self._backend is not None:
                 self._backend.shutdown()
                 self._backend = None
-            else:
-                # the caller keeps the backend: clear this run's shard state
-                # (best effort — a backend that just broke mid-run must not
-                # displace the original error with its cleanup failure)
-                try:
-                    self._backend.run_unmetered(
-                        [(w, "reset", 0, {}) for w in range(self.num_workers)]
-                    )
-                except Exception:
-                    pass
-        self.stats.positives_found = sum(1 for gfd in gfds if gfd.is_positive)
-        self.stats.negatives_found = sum(1 for gfd in gfds if gfd.is_negative)
-        self.stats.elapsed_seconds = time.perf_counter() - started
-        return DiscoveryResult(
-            gfds=gfds, supports=supports, stats=self.stats, tree=tree
-        )
+        else:
+            # the caller keeps the backend: clear this run's shard state
+            # (best effort — a backend that just broke mid-run must not
+            # displace the original error with its cleanup failure)
+            try:
+                self._backend.run_unmetered(
+                    [(w, "reset", 0, {}) for w in range(self.num_workers)]
+                )
+            except Exception:
+                pass
+
+    def _master(self):
+        return self.cluster.master()
+
+    def _seed_level(self, tree: GenerationTree) -> None:
+        self._seed_parallel(tree)
+
+    def _extend_level(self, tree: GenerationTree, level: int) -> List[TreeNode]:
+        return self._vspawn_parallel(tree, level)
+
+    def _mine_node(self, node: TreeNode) -> None:
+        self._hspawn_parallel(node)
 
     # ------------------------------------------------------------------
     # seeding and vertical spawning
@@ -330,6 +323,10 @@ class ParallelDiscovery(SequentialDiscovery):
             "mined": mined,
             "want_variable": want_variable,
             "same_attr_only": self.config.variable_literals_same_attr_only,
+            # this run's Γ travels with the install: a session-shared
+            # backend may have been constructed for an older snapshot
+            # whose top attributes differ
+            "gamma": self.gamma,
         }
         requests = []
         for worker in range(self.num_workers):
@@ -909,7 +906,15 @@ def discover_parallel(
     (Figures 5a-c) don't rescan the same graph once per worker count;
     ``backend`` overrides ``config.parallel_backend`` (a name) or supplies a
     pre-started backend to reuse across runs.
+
+    .. deprecated::
+        Standalone calls (without a pre-started ``backend``) spin up and
+        tear down one worker-pool set per invocation.  Pipelines should
+        hold a :class:`repro.session.Session`, whose single backend serves
+        discover → cover → enforce; this wrapper remains as a shim for the
+        one-shot case and is differential-tested against the Session path.
     """
+    warn_standalone_entry_point("discover_parallel", backend)
     runner = ParallelDiscovery(
         graph,
         config or DiscoveryConfig(),

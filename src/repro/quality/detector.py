@@ -9,10 +9,13 @@ Three detectors, one per rule system compared in Figure 7:
 * **AMIE** — nodes incident to a body grounding whose predicted head fact
   is absent (under the PCA, only subjects with some head fact count).
 
-Since PR 3 the GFD/GCFD path runs on the :class:`~repro.enforce.engine.
-EnforcementEngine` (grouped patterns, columnar masks, CSR index) instead of
-per-rule match enumeration over the dict graph — same violation sets, much
-faster on shared-pattern rule sets.
+Since PR 3 the GFD/GCFD path runs on the compiled enforcement plan
+(grouped patterns, columnar masks, CSR index) instead of per-rule match
+enumeration over the dict graph — same violation sets, much faster on
+shared-pattern rule sets.  Since PR 5 it goes through the
+:class:`~repro.session.Session` facade: one-shot calls open a scoped
+session, and callers holding a pipeline session can pass it in to reuse
+its backend, index snapshot and compiled plan.
 
 **Cap semantics** (``max_per_gfd``): when a rule has more violations than
 the cap, the retained subset is a uniform ``random.Random(seed)`` sample
@@ -55,24 +58,53 @@ def detect_gfd_violations(
     sigma: Sequence[GFD],
     max_per_gfd: Optional[int] = 10_000,
     seed: int = 0,
+    session: Optional["Session"] = None,
 ) -> List[Violation]:
     """Violations of ``Σ`` in ``graph``, seeded-capped per GFD.
 
-    Runs a one-shot :class:`~repro.enforce.engine.EnforcementEngine` pass
-    (serial backend, single shard — detection is a metrics convenience; for
-    repeated or scaled-out validation hold an engine directly and call
-    ``refresh``).  ``max_per_gfd=None`` retains every violation.
+    Runs one :meth:`~repro.session.Session.enforce` pass.  Without a
+    ``session`` a scoped one is opened (serial backend, single shard —
+    detection is a metrics convenience) and closed again; for repeated or
+    scaled-out detection pass the pipeline's own session, whose backend,
+    index snapshot and compiled plan are then reused — note the caps are
+    the *session's* enforcement config in that case, not ``max_per_gfd``/
+    ``seed``.  ``max_per_gfd=None`` retains every violation.
     """
-    from ..enforce.engine import EnforcementEngine
+    from ..session import Session
 
+    if session is not None:
+        if session.graph is not graph:
+            raise ValueError(
+                "the supplied session serves a different graph than the one "
+                "being checked — open a session over this graph (detection "
+                "runs against session.graph)"
+            )
+        policy = session.enforcement
+        if (
+            policy.max_violation_samples != max_per_gfd
+            or policy.sample_seed != seed
+            or policy.max_violations_per_rule is not None
+        ):
+            raise ValueError(
+                "the session's enforcement sampling (max_violation_samples="
+                f"{policy.max_violation_samples!r}, sample_seed="
+                f"{policy.sample_seed!r}, max_violations_per_rule="
+                f"{policy.max_violations_per_rule!r}) does not match the "
+                f"requested caps (max_per_gfd={max_per_gfd!r}, seed={seed!r}, "
+                "no witness cap); a session-backed detection uses the "
+                "session's EnforcementConfig — build the session with "
+                "matching values (a witness cap would make detection "
+                "shard-dependent)"
+            )
+        return session.enforce(list(sigma)).violations()
     config = EnforcementConfig(
-        backend="serial",
-        num_workers=1,
         max_violation_samples=max_per_gfd,
         sample_seed=seed,
     )
-    with EnforcementEngine(graph, sigma, config) as engine:
-        return engine.validate().violations()
+    with Session(
+        graph, enforcement=config, backend="serial", num_workers=1
+    ) as scoped:
+        return scoped.enforce(list(sigma)).violations()
 
 
 def nodes_in_violations(violations: Iterable[Violation]) -> Set[int]:
@@ -94,9 +126,16 @@ def gfd_detection(
     dirty_nodes: Iterable[int],
     max_per_gfd: Optional[int] = 10_000,
     seed: int = 0,
+    session: Optional["Session"] = None,
 ) -> DetectionMetrics:
-    """Run GFD validation on a dirty graph and score against ground truth."""
-    violations = detect_gfd_violations(graph, sigma, max_per_gfd, seed=seed)
+    """Run GFD validation on a dirty graph and score against ground truth.
+
+    ``session`` optionally reuses a pipeline's
+    :class:`~repro.session.Session` (see :func:`detect_gfd_violations`).
+    """
+    violations = detect_gfd_violations(
+        graph, sigma, max_per_gfd, seed=seed, session=session
+    )
     return detection_metrics(nodes_in_violations(violations), dirty_nodes)
 
 

@@ -1,0 +1,578 @@
+"""The :class:`Session` — one resource-owning facade for the whole pipeline.
+
+The paper's workflow is a single pipeline: ``ParDis`` discovers Σ,
+``ParCover`` minimizes it, and the rules are then *served* against the live
+graph.  Historically each phase was a separate entry point that built its
+own graph index, spun up its own worker pools and tore everything down on
+return — four pool lifecycles for one pipeline.  A ``Session`` owns those
+resources once:
+
+* the **frozen graph index** snapshot (re-snapshotted automatically when
+  the graph mutates — live backends are re-pointed via ``refresh_index``,
+  never rebuilt);
+* one lazily-started **execution backend** (serial or multiprocess) shared
+  by discover, cover and enforce;
+* one **delta log** attached to the graph for incremental enforcement;
+* the current **Σ** with its supports, flowing from phase to phase;
+* a **chase-cost model** so repeated covers balance by measured unit costs
+  instead of the static proxy weights;
+* a metered **cluster ledger** and the backend's transfer/lifecycle
+  counters, unified under :meth:`Session.metrics` — "pools started once,
+  index attached once" is asserted there, not assumed.
+
+Typical use::
+
+    from repro import DiscoveryConfig, Session
+
+    with Session(graph, DiscoveryConfig(k=3, sigma=50)) as session:
+        session.discover()           # ParDis on the session backend
+        session.cover()              # ParCover over the same pools
+        report = session.enforce()   # compiled validation, resident tables
+        graph.add_edge(u, v, "knows")
+        report = session.refresh()   # incremental — ships only the delta
+        session.save_sigma("sigma.json")
+        print(session.metrics().as_dict())
+
+Streaming discovery with early-stop budgets::
+
+    with Session(graph, config) as session:
+        for gfd in session.discover_iter(max_rules=25):
+            print(gfd)               # rules arrive as lattice levels finish
+
+The legacy entry points (``discover``, ``discover_parallel``,
+``parallel_cover``, a directly-constructed ``EnforcementEngine``) remain as
+thin shims over the same engines and are differential-tested against the
+Session path (``tests/test_api.py``); new code should hold a session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .core.config import DiscoveryConfig, EnforcementConfig
+from .core.cover import CoverResult
+from .core.results import DiscoveryResult
+from .enforce.delta import DeltaLog
+from .enforce.engine import EnforcementEngine, EnforcementReport
+from .gfd.gfd import GFD
+from .gfd.parser import dumps_sigma, loads_sigma
+from .graph.graph import Graph
+from .graph.index import GraphIndex
+from .graph.statistics import compute_statistics
+from .parallel.backend import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    LifecycleCounters,
+    TransferLedger,
+    make_backend,
+)
+from .parallel.cluster import ClusterMetrics, SimulatedCluster
+from .parallel.costs import ChaseCostModel
+from .parallel.parcover import parallel_cover
+from .parallel.pardis import ParallelDiscovery
+
+__all__ = ["Session", "SessionMetrics"]
+
+
+@dataclass
+class SessionMetrics:
+    """One unified view of a session's resource usage and work.
+
+    Combines the backend's :class:`~repro.parallel.backend.LifecycleCounters`
+    (pool starts, index attaches/refreshes) and
+    :class:`~repro.parallel.backend.TransferLedger` (match rows crossing the
+    master boundary) with the :class:`~repro.parallel.cluster.
+    ClusterMetrics` superstep ledger and the session's own phase counters.
+    The acceptance property of the facade reads directly off this object:
+    after a full discover → cover → enforce → refresh pipeline,
+    ``backend_starts == 1`` and ``lifecycle.index_attaches == 1``.
+    """
+
+    backend_name: str
+    num_workers: int
+    #: Backends the session constructed — 1 for any number of phases.
+    backend_starts: int
+    lifecycle: LifecycleCounters
+    transfers: TransferLedger
+    cluster: ClusterMetrics
+    #: Executed phase counts: discover / discover_iter / cover / enforce /
+    #: refresh.
+    phases: Dict[str, int] = field(default_factory=dict)
+    #: Current ``|Σ|`` held by the session.
+    sigma_size: int = 0
+    #: Cover-unit chase timings absorbed by the session's cost model.
+    cover_cost_observations: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable rendering (CI artifacts, ``--metrics``)."""
+        return {
+            "backend": self.backend_name,
+            "num_workers": self.num_workers,
+            "backend_starts": self.backend_starts,
+            "lifecycle": {
+                "pools_started": self.lifecycle.pools_started,
+                "index_attaches": self.lifecycle.index_attaches,
+                "index_refreshes": self.lifecycle.index_refreshes,
+                "resets": self.lifecycle.resets,
+                "shutdowns": self.lifecycle.shutdowns,
+            },
+            "transfers": {
+                "rows_to_workers": self.transfers.rows_to_workers,
+                "rows_to_master": self.transfers.rows_to_master,
+                "rows_staged": self.transfers.rows_staged,
+                "sigma_rules": self.transfers.sigma_rules,
+            },
+            "cluster": {
+                "supersteps": self.cluster.supersteps,
+                "parallel_seconds": self.cluster.parallel_seconds,
+                "master_seconds": self.cluster.master_seconds,
+                "total_work_seconds": self.cluster.total_work_seconds,
+            },
+            "phases": dict(self.phases),
+            "sigma_size": self.sigma_size,
+            "cover_cost_observations": self.cover_cost_observations,
+        }
+
+
+class Session:
+    """Context-managed pipeline state: discover → cover → enforce → refresh.
+
+    Args:
+        graph: the live data graph.  The session snapshots its frozen
+            index, attaches a delta log, and tracks mutations — a phase
+            run after a mutation re-snapshots and re-points the live
+            backend instead of rebuilding it.
+        config: the :class:`~repro.core.config.DiscoveryConfig` driving
+            discovery *and* the session's execution substrate
+            (``parallel_backend``, ``num_workers``, ``shared_memory``,
+            ``use_index``); ``None`` uses the defaults.
+        enforcement: enforcement policies (delta thresholds, sample caps,
+            the per-rule violation cap, persistent tables).  The execution
+            knobs (``backend``, ``num_workers``, ``shared_memory``,
+            ``use_index``) are overridden by the session's — one backend
+            serves every phase.  ``None`` uses the defaults.
+        num_workers: worker count ``n`` (overrides ``config.num_workers``;
+            default: ``config.num_workers``, else 1 for the serial backend
+            and 4 for multiprocess).
+        backend: backend name overriding ``config.parallel_backend``
+            (``"serial"`` or ``"multiprocess"``).
+
+    Single-threaded, like the engines.  Use as a context manager, or call
+    :meth:`close` — worker processes and shared-memory segments outlive no
+    session.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[DiscoveryConfig] = None,
+        enforcement: Optional[EnforcementConfig] = None,
+        num_workers: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        self.graph = graph
+        self.config = config if config is not None else DiscoveryConfig()
+        self._backend_name = backend or self.config.parallel_backend
+        if self._backend_name not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown parallel backend {self._backend_name!r} "
+                f"(expected one of {BACKEND_NAMES})"
+            )
+        if self._backend_name == "multiprocess" and not self.config.use_index:
+            raise ValueError(
+                "the multiprocess backend requires config.use_index=True"
+            )
+        if num_workers is None:
+            num_workers = self.config.num_workers
+        if num_workers is None:
+            num_workers = 1 if self._backend_name == "serial" else 4
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self._num_workers = num_workers
+        base = enforcement if enforcement is not None else EnforcementConfig()
+        #: The enforcement config actually used: session-owned execution
+        #: knobs, caller-owned policies.
+        self.enforcement = replace(
+            base,
+            backend=self._backend_name,
+            num_workers=num_workers,
+            shared_memory=self.config.shared_memory,
+            use_index=self.config.use_index,
+        )
+        self._snapshot_version = graph.version
+        self._index: Optional[GraphIndex] = (
+            graph.index() if self.config.use_index else None
+        )
+        self._stats = (
+            self._index.statistics()
+            if self._index is not None
+            else compute_statistics(graph)
+        )
+        if self.config.active_attributes is not None:
+            self._gamma = list(self.config.active_attributes)
+        else:
+            self._gamma = self._stats.top_attributes(
+                self.config.max_active_attributes
+            )
+        self.cluster = SimulatedCluster(num_workers)
+        self.cover_costs = ChaseCostModel()
+        self._delta = DeltaLog()
+        graph.attach_delta_log(self._delta)
+        self._backend: Optional[ExecutionBackend] = None
+        self._backend_starts = 0
+        self._engine: Optional[EnforcementEngine] = None
+        self._sigma: List[GFD] = []
+        self._supports: Dict[GFD, int] = {}
+        self._phases: Dict[str, int] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # resource ownership
+    # ------------------------------------------------------------------
+    @property
+    def backend_name(self) -> str:
+        """The execution backend this session runs on."""
+        return self._backend_name
+
+    @property
+    def num_workers(self) -> int:
+        """The worker count ``n`` shared by every phase."""
+        return self._num_workers
+
+    @property
+    def index(self) -> Optional[GraphIndex]:
+        """The session's current frozen index snapshot (``None`` when
+        ``config.use_index`` is off)."""
+        return self._index
+
+    @property
+    def delta(self) -> DeltaLog:
+        """The session-owned delta log fed by the graph's mutators."""
+        return self._delta
+
+    @property
+    def sigma(self) -> List[GFD]:
+        """The current rule set Σ (a copy)."""
+        return list(self._sigma)
+
+    @property
+    def supports(self) -> Dict[GFD, int]:
+        """Per-rule supports of the current Σ (a copy)."""
+        return dict(self._supports)
+
+    def backend(self) -> ExecutionBackend:
+        """The session's execution backend, started on first use.
+
+        Every phase runs on this one instance; :meth:`metrics` proves the
+        single lifecycle (``backend_starts``, ``lifecycle.pools_started``).
+        """
+        self._check_open()
+        if self._backend is None:
+            self._backend = make_backend(
+                self._backend_name,
+                self._num_workers,
+                self.graph,
+                self._index,
+                self._gamma,
+                use_shared_memory=self.config.shared_memory,
+            )
+            self._backend_starts += 1
+        return self._backend
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("the session is closed")
+
+    def _refresh_snapshot(self) -> None:
+        """Re-snapshot the index, statistics and Γ after graph mutations.
+
+        ``graph.index()`` is version-cached, so this is free while the
+        graph is unchanged; after a mutation the new snapshot is exported
+        to the live backend exactly once (``refresh_index`` — worker pools
+        survive).  On the dict reference path (``use_index=False``) the
+        statistics are rescanned on version change, so a post-mutation
+        discovery sees the same label counts a fresh session would.
+        """
+        if self.graph.version == self._snapshot_version:
+            return
+        self._snapshot_version = self.graph.version
+        if self.config.use_index:
+            index = self.graph.index()
+            if index is self._index:
+                return
+            self._index = index
+            self._stats = index.statistics()
+        else:
+            self._stats = compute_statistics(self.graph)
+        if self.config.active_attributes is None:
+            self._gamma = self._stats.top_attributes(
+                self.config.max_active_attributes
+            )
+        if self.config.use_index and self._backend is not None:
+            self._backend.refresh_index(self._index)
+
+    def _count(self, phase: str) -> None:
+        self._phases[phase] = self._phases.get(phase, 0) + 1
+
+    def _set_sigma(
+        self, rules: List[GFD], supports: Optional[Dict[GFD, int]] = None
+    ) -> None:
+        self._sigma = list(rules)
+        if supports is None:
+            supports = {}
+        self._supports = {
+            gfd: supports[gfd] for gfd in self._sigma if gfd in supports
+        }
+        if self._engine is not None and self._engine.sigma != self._sigma:
+            # Σ changed: the compiled plan (and any resident shards) no
+            # longer match — the next enforce builds a fresh engine over
+            # the same backend
+            self._engine.close()
+            self._engine = None
+
+    # ------------------------------------------------------------------
+    # pipeline phases
+    # ------------------------------------------------------------------
+    def _discovery_engine(self) -> ParallelDiscovery:
+        return ParallelDiscovery(
+            self.graph,
+            self.config,
+            cluster=self.cluster,
+            stats=self._stats,
+            index=self._index,
+            backend=self.backend(),
+        )
+
+    def _after_discovery(self) -> None:
+        """The shared backend was reset by the returning discovery engine."""
+        if self._engine is not None:
+            self._engine.invalidate_residency()
+
+    def discover(self) -> DiscoveryResult:
+        """Run ``ParDis`` on the session backend; Σ becomes the result.
+
+        Results are identical to the legacy entry points (differential
+        tests pin this); only the resource lifecycle differs — the
+        session's pools and index snapshot are reused, not rebuilt.
+        """
+        self._check_open()
+        self._refresh_snapshot()
+        self._count("discover")
+        engine = self._discovery_engine()
+        try:
+            result = engine.run()
+        finally:
+            self._after_discovery()
+        self._set_sigma(result.gfds, result.supports)
+        return result
+
+    def discover_iter(
+        self,
+        max_rules: Optional[int] = None,
+        max_levels: Optional[int] = None,
+    ) -> Iterator[GFD]:
+        """Stream discovery: yield rules as their lattice levels complete.
+
+        Early-stop budgets: ``max_rules`` stops after that many rules,
+        ``max_levels`` after the given generation-tree level (level 0 =
+        single-node patterns).  Σ (with supports) is set to everything
+        yielded so far whenever the iteration ends — exhausted, budgeted,
+        or abandoned (the update runs from the generator's ``finally``).
+
+        Streaming skips the final pairwise ``≪``-minimality filter — that
+        is a global pass over the completed set; run :meth:`cover` (or a
+        full :meth:`discover`) for the minimized Σ.
+        """
+        self._check_open()
+        self._refresh_snapshot()
+        self._count("discover_iter")
+        engine = self._discovery_engine()
+        emitted: List[Tuple[GFD, int]] = []
+        budget_hit = False
+        levels = engine.run_iter()
+        try:
+            for level, batch in levels:
+                for gfd, support in batch:
+                    emitted.append((gfd, support))
+                    yield gfd
+                    if max_rules is not None and len(emitted) >= max_rules:
+                        budget_hit = True
+                        break
+                if budget_hit:
+                    break
+                if max_levels is not None and level >= max_levels:
+                    break
+        finally:
+            levels.close()  # releases the engine's hold on the backend
+            self._after_discovery()
+            self._set_sigma(
+                [gfd for gfd, _ in emitted],
+                {gfd: support for gfd, support in emitted},
+            )
+
+    def cover(self, sigma: Optional[List[GFD]] = None) -> CoverResult:
+        """Reduce Σ to a minimal cover (``ParCover`` on the session pools).
+
+        Uses the session's :class:`~repro.parallel.costs.ChaseCostModel`:
+        the first cover balances by the static proxy weights, later covers
+        by the measured per-unit chase costs fed back from the workers.
+        ``sigma`` overrides the input set (default: the session's Σ);
+        either way the session's Σ becomes the computed cover.
+        """
+        self._check_open()
+        self._count("cover")
+        rules = list(sigma) if sigma is not None else list(self._sigma)
+        result, _ = parallel_cover(
+            rules,
+            cluster=self.cluster,
+            backend=self.backend(),
+            cost_model=self.cover_costs,
+        )
+        self._set_sigma(result.cover, self._supports)
+        return result
+
+    def _ensure_engine(self, rules: List[GFD]) -> EnforcementEngine:
+        if self._engine is not None and self._engine.sigma == rules:
+            return self._engine
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+        self._engine = EnforcementEngine(
+            self.graph,
+            rules,
+            self.enforcement,
+            backend=self.backend(),
+            delta=self._delta,
+        )
+        return self._engine
+
+    def enforce(self, sigma: Optional[List[GFD]] = None) -> EnforcementReport:
+        """Full validation of Σ against the current graph state.
+
+        Compiles Σ once per rule set (the engine is kept while Σ is
+        unchanged, so repeated calls reuse the compiled plan) and
+        evaluates on the session backend.  A *full* pass always re-matches
+        and re-installs the group shards; it is :meth:`refresh` that
+        exploits the worker-resident tables to ship deltas only — use it
+        for the serve loop.  ``sigma`` overrides the rule set without
+        changing the session's Σ.
+        """
+        self._check_open()
+        self._refresh_snapshot()
+        self._count("enforce")
+        rules = list(sigma) if sigma is not None else list(self._sigma)
+        return self._ensure_engine(rules).validate()
+
+    def refresh(self) -> EnforcementReport:
+        """Incremental revalidation after graph mutations.
+
+        Consumes the session's delta log: only the radius-``d_Q`` ball
+        around touched nodes is re-matched, resident shards receive just
+        the delta, and a clean refresh ships zero match rows (the transfer
+        ledger in :meth:`metrics` proves it).  Falls back to a full
+        :meth:`enforce` pass on the first call or on a too-wide delta.
+        """
+        self._check_open()
+        self._refresh_snapshot()
+        self._count("refresh")
+        if self._engine is not None:
+            # continue whatever Σ the engine is serving (an enforce(sigma)
+            # override included) — its resident tables are the state the
+            # delta splices into
+            return self._engine.refresh()
+        return self._ensure_engine(list(self._sigma)).refresh()
+
+    # ------------------------------------------------------------------
+    # Σ persistence
+    # ------------------------------------------------------------------
+    def save_sigma(self, path) -> None:
+        """Write the session's Σ (with supports) as the JSON envelope."""
+        self._check_open()
+        Path(path).write_text(
+            dumps_sigma(self._sigma, supports=self._supports) + "\n",
+            encoding="utf-8",
+        )
+
+    def load_sigma(self, path) -> List[GFD]:
+        """Load Σ (and supports) from a ``dumps_sigma`` JSON envelope.
+
+        The loaded set becomes the session's Σ — ready for :meth:`cover`,
+        :meth:`enforce` or :meth:`refresh` — and is also returned.
+        """
+        self._check_open()
+        rules, supports = loads_sigma(
+            Path(path).read_text(encoding="utf-8")
+        )
+        self._set_sigma(rules, supports)
+        return list(rules)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def metrics(self) -> SessionMetrics:
+        """The unified resource/work view (see :class:`SessionMetrics`).
+
+        Every field is a snapshot — two calls can be diffed for
+        before/after deltas without aliasing the live counters.
+        """
+        if self._backend is not None:
+            lifecycle = replace(self._backend.lifecycle)
+            transfers = self._backend.transfers.snapshot()
+        else:
+            lifecycle = LifecycleCounters()
+            transfers = TransferLedger()
+        return SessionMetrics(
+            backend_name=self._backend_name,
+            num_workers=self._num_workers,
+            backend_starts=self._backend_starts,
+            lifecycle=lifecycle,
+            transfers=transfers,
+            cluster=replace(self.cluster.metrics),
+            phases=dict(self._phases),
+            sigma_size=len(self._sigma),
+            cover_cost_observations=self.cover_costs.observations,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release every session resource (idempotent).
+
+        Closes the enforcement engine (dropping its resident shards),
+        shuts the backend down (worker processes joined, shared-memory
+        segments unlinked) and detaches the delta log.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+        if self._backend is not None:
+            # shut down but keep the reference: metrics() stays readable
+            # (shutdowns == 1 is part of the lifecycle story) and
+            # _check_open prevents any reuse
+            self._backend.shutdown()
+        self.graph.detach_delta_log(self._delta)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Session(backend={self._backend_name!r}, "
+            f"workers={self._num_workers}, sigma={len(self._sigma)}, "
+            f"{'closed' if self._closed else 'open'})"
+        )
