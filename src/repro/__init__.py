@@ -40,6 +40,7 @@ from .core import (
     DiscoveryConfig,
     DiscoveryResult,
     EnforcementConfig,
+    FaultConfig,
     MiningStats,
     SequentialDiscovery,
     discover,
@@ -105,6 +106,7 @@ __all__ = [
     "MiningStats",
     "CoverResult",
     "CandidateBudgetExceeded",
+    "FaultConfig",
     "SequentialDiscovery",
     "discover",
     "sequential_cover",

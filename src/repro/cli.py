@@ -38,7 +38,7 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from .core import DiscoveryConfig, EnforcementConfig, sequential_cover
+from .core import DiscoveryConfig, EnforcementConfig, FaultConfig, sequential_cover
 from .gfd import (
     GFD,
     dumps_sigma,
@@ -119,6 +119,40 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    """The supervision flags shared by the parallel verbs."""
+    parser.add_argument(
+        "--supervise", action="store_true",
+        help="supervise multiprocess workers: per-op timeouts, retry with "
+             "backoff, respawn-and-replay on worker death "
+             "(on by default when $REPRO_FAULT_PLAN is set)")
+    parser.add_argument(
+        "--op-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-op deadline before a worker counts as hung "
+             "(implies --supervise; default 30)")
+    parser.add_argument(
+        "--max-respawns", type=int, default=None, metavar="N",
+        help="worker respawn budget before degrading the slot to serial "
+             "execution (implies --supervise; default 2)")
+
+
+def _fault_from_args(args: argparse.Namespace):
+    """Resolve the fault flags to a ``make_backend``-style ``fault`` value.
+
+    Returns ``"auto"`` (follow ``$REPRO_FAULT_PLAN``) when no flag was
+    given, so configs keep their environment-driven default.
+    """
+    if not (args.supervise or args.op_timeout is not None
+            or args.max_respawns is not None):
+        return "auto"
+    kwargs = {}
+    if args.op_timeout is not None:
+        kwargs["op_timeout_s"] = args.op_timeout
+    if args.max_respawns is not None:
+        kwargs["max_respawns"] = args.max_respawns
+    return FaultConfig(**kwargs)
+
+
 def _write_metrics(session: Session, path: Optional[str]) -> None:
     """Write ``session.metrics()`` as JSON (the CI artifact format)."""
     if path:
@@ -136,6 +170,9 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         mine_negative=not args.no_negative,
         shared_memory=not args.no_shared_memory,
     )
+    fault = _fault_from_args(args)
+    if fault != "auto":
+        config.fault = fault
     if args.backend is not None:
         config.parallel_backend = args.backend
     parallel = (args.workers or 0) > 1 or config.parallel_backend == "multiprocess"
@@ -191,9 +228,13 @@ def _cmd_enforce(args: argparse.Namespace) -> int:
         sample_seed=args.seed,
         max_violations_per_rule=args.max_violations_per_rule,
     )
+    base = DiscoveryConfig(shared_memory=not args.no_shared_memory)
+    fault = _fault_from_args(args)
+    if fault != "auto":
+        base.fault = fault
     with Session(
         graph,
-        DiscoveryConfig(shared_memory=not args.no_shared_memory),
+        base,
         enforcement=config,
         num_workers=args.workers,
         backend=args.backend,
@@ -251,6 +292,9 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         mine_negative=not args.no_negative,
         shared_memory=not args.no_shared_memory,
     )
+    fault = _fault_from_args(args)
+    if fault != "auto":
+        config.fault = fault
     if args.backend is not None:
         config.parallel_backend = args.backend
     with Session(graph, config, num_workers=args.workers) as session:
@@ -295,6 +339,7 @@ def _cmd_cover(args: argparse.Namespace) -> int:
                 rules,
                 num_workers=args.workers or 4,
                 backend=args.backend,
+                fault=_fault_from_args(args),
             )
         print(
             f"# backend={args.backend or 'serial'} "
@@ -361,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
     disc.add_argument("--cover", action="store_true",
                       help="reduce the output to a cover")
     disc.add_argument("--output", help="also write rules to this file")
+    _add_fault_arguments(disc)
     disc.add_argument("--metrics", help="write session metrics (backend "
                                         "lifecycle, transfers, supersteps) "
                                         "as JSON to this file")
@@ -393,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip negative GFDs")
     pipe.add_argument("--output", help="write the cover to this file "
                                        "(.json keeps supports)")
+    _add_fault_arguments(pipe)
     pipe.add_argument("--metrics", help="write session metrics as JSON to "
                                         "this file")
     pipe.set_defaults(func=_cmd_pipeline)
@@ -429,6 +476,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "unbounded)")
     enf.add_argument("--json", help="also write a machine-readable report "
                                     "to this file")
+    _add_fault_arguments(enf)
     enf.add_argument("--metrics", help="write session metrics as JSON to "
                                        "this file")
     enf.set_defaults(func=_cmd_enforce)
@@ -452,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
     cov.add_argument("--backend", choices=["serial", "multiprocess"],
                      default=None,
                      help="cover execution backend (default: serial)")
+    _add_fault_arguments(cov)
     cov.add_argument("--output", help="also write the cover to this file")
     cov.set_defaults(func=_cmd_cover)
     return parser

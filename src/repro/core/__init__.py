@@ -1,6 +1,6 @@
 """The paper's primary contribution: GFD discovery and cover computation."""
 
-from .config import DiscoveryConfig, EnforcementConfig
+from .config import DiscoveryConfig, EnforcementConfig, FaultConfig
 from .cover import CoverResult, sequential_cover
 from .discovery import SequentialDiscovery, discover
 from .generation_tree import GenerationTree, TreeNode
@@ -32,6 +32,7 @@ from .support import (
 __all__ = [
     "DiscoveryConfig",
     "EnforcementConfig",
+    "FaultConfig",
     "DiscoveryResult",
     "MiningStats",
     "CoverResult",

@@ -13,7 +13,12 @@ import os
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-__all__ = ["DiscoveryConfig", "EnforcementConfig", "CandidateBudgetExceeded"]
+__all__ = [
+    "DiscoveryConfig",
+    "EnforcementConfig",
+    "FaultConfig",
+    "CandidateBudgetExceeded",
+]
 
 
 def _default_backend() -> str:
@@ -23,6 +28,80 @@ def _default_backend() -> str:
     multiprocess backend without touching any call site.
     """
     return os.environ.get("REPRO_PARALLEL_BACKEND", "serial")
+
+
+def _default_fault_plan() -> Optional[str]:
+    """The JSON fault plan from ``REPRO_FAULT_PLAN`` (``None`` when unset)."""
+    return os.environ.get("REPRO_FAULT_PLAN") or None
+
+
+def _default_fault() -> Optional["FaultConfig"]:
+    """Supervision default: off, unless a chaos plan is in the environment.
+
+    With ``REPRO_FAULT_PLAN`` set, every config grows a default
+    :class:`FaultConfig` — the chaos CI job runs the whole differential
+    suite under injected faults without touching any call site, exactly
+    like the ``REPRO_PARALLEL_BACKEND`` hook.
+    """
+    return FaultConfig() if _default_fault_plan() is not None else None
+
+
+@dataclass
+class FaultConfig:
+    """Supervision policy of the multiprocess execution backend.
+
+    With a :class:`FaultConfig` attached (``DiscoveryConfig.fault`` /
+    ``EnforcementConfig.fault``), every op submitted to a worker process is
+    *supervised*: a deadline detects hung workers, ``BrokenProcessPool``
+    detects dead ones, and a failed op is retried with exponential backoff
+    after the worker is respawned and its **install log** replayed (the
+    per-worker journal of state-mutating ops — installs, parked joins,
+    lattice masks, Σ, enforcement tables — every op is a deterministic
+    function of the index snapshot and that state, so replay reconstructs
+    the worker exactly).  ``None`` (the default) keeps the unsupervised
+    fast path byte-identical to earlier releases.
+
+    Supervised backends disable worker-to-worker staging
+    (``supports_staging``): staging segments are unlinked right after
+    their superstep, so a journal could not replay them — rebalancing
+    automatically takes the fetch-through-master route instead, which is
+    fully replayable.  Results are identical either way.
+
+    Attributes:
+        op_timeout_s: per-op deadline in seconds; a worker that exceeds it
+            is declared hung, killed and respawned (``None`` = no deadline,
+            only crash detection).
+        max_retries: attempts per op after the first failure; each retry
+            waits ``backoff_base * 2**attempt`` seconds.
+        backoff_base: first retry delay in seconds.
+        max_respawns: worker respawns tolerated per worker slot before the
+            degradation ladder ends (see ``degrade_to_serial``).
+        degrade_to_serial: after ``max_respawns``, demote the worker slot
+            to an in-process shard (journal-seeded) instead of failing the
+            phase; recorded in ``LifecycleCounters.degraded_workers`` and
+            announced by a single ``RuntimeWarning``.  ``False`` raises.
+        fault_plan: JSON fault-injection plan shipped to the workers (see
+            :class:`repro.parallel.faults.FaultPlan`); defaults to the
+            ``REPRO_FAULT_PLAN`` environment variable.  Production configs
+            leave this ``None`` — supervision without injection.
+    """
+
+    op_timeout_s: Optional[float] = 30.0
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    max_respawns: int = 2
+    degrade_to_serial: bool = True
+    fault_plan: Optional[str] = field(default_factory=_default_fault_plan)
+
+    def __post_init__(self) -> None:
+        if self.op_timeout_s is not None and self.op_timeout_s <= 0:
+            raise ValueError("op_timeout_s must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
 
 
 class CandidateBudgetExceeded(RuntimeError):
@@ -140,6 +219,11 @@ class DiscoveryConfig:
             the prefilter (``"hll"`` — the default — or ``"exact"``; compact
             alternatives like UltraLogLog register via
             :func:`~repro.core.sketch.register_sketch`).
+        fault: supervision policy of the multiprocess backend (timeouts,
+            retry/respawn budgets, the degradation ladder) — see
+            :class:`FaultConfig`.  ``None`` (the default) disables
+            supervision; setting ``REPRO_FAULT_PLAN`` enables it with an
+            injected chaos plan.
     """
 
     k: int = 3
@@ -171,6 +255,7 @@ class DiscoveryConfig:
     sketch_support_prefilter: bool = False
     sketch_precision: int = 12
     sketch_backend: str = "hll"
+    fault: Optional[FaultConfig] = field(default_factory=_default_fault)
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -258,6 +343,8 @@ class EnforcementConfig:
             huge violation sets; counts and node sets stay exact.
         sketch_backend: registered cardinality estimator used when
             ``sketch_cardinality`` is on (default ``"hll"``).
+        fault: supervision policy of the multiprocess backend (see
+            :class:`FaultConfig`); ``None`` disables supervision.
     """
 
     backend: str = field(default_factory=_default_backend)
@@ -271,6 +358,7 @@ class EnforcementConfig:
     sample_seed: int = 0
     sketch_cardinality: bool = False
     sketch_backend: str = "hll"
+    fault: Optional[FaultConfig] = field(default_factory=_default_fault)
 
     def __post_init__(self) -> None:
         if self.backend not in ("serial", "multiprocess"):

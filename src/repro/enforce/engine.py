@@ -393,6 +393,7 @@ class EnforcementEngine:
             index,
             self.plan.attributes(),
             use_shared_memory=self.config.shared_memory,
+            fault=self.config.fault,
         )
         self._backend_index = index
         return self._backend

@@ -21,6 +21,8 @@ from .balancer import (
 )
 from .cluster import ClusterMetrics, SimulatedCluster, WorkerMetrics
 from .costs import ChaseCostModel
+from .faults import FaultPlan
+from .janitor import live_segments, sweep_orphans
 from .parcover import parallel_cover, parallel_cover_ungrouped
 from .pardis import ParallelDiscovery, discover_parallel
 
@@ -33,6 +35,9 @@ __all__ = [
     "TransferLedger",
     "LifecycleCounters",
     "ChaseCostModel",
+    "FaultPlan",
+    "live_segments",
+    "sweep_orphans",
     "make_backend",
     "shared_memory_available",
     "SimulatedCluster",

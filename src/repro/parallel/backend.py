@@ -50,17 +50,22 @@ import pickle
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.config import FaultConfig, _default_fault
 from ..core.match_table import MatchTable
 from ..core.spawning import counts_from_statistics, extension_statistics
 from ..gfd.implication import ImplicationChecker, greedy_group_elimination
 from ..graph.graph import Graph
 from ..graph.index import GraphIndex
 from ..pattern.incremental import extend_matches
+from . import janitor
+from .faults import FaultPlan
 
 try:  # pragma: no cover - availability depends on the platform
     from multiprocessing import shared_memory as _shared_memory
@@ -185,6 +190,14 @@ class LifecycleCounters:
             rebuilding them.
         resets: worker-state wipes (an engine returning a borrowed backend).
         shutdowns: terminal releases (0 while the backend is live, 1 after).
+        timeouts: supervised ops that exceeded their ``op_timeout_s``
+            deadline (the worker was declared hung and killed).
+        retries: supervised op re-submissions after a worker failure.
+        respawns: worker processes replaced after a crash/hang, each
+            replaying its install log before the failed op was retried.
+        degraded_workers: worker slots demoted to in-process serial
+            execution after exhausting ``max_respawns`` (the graceful-
+            degradation ladder's last rung).
     """
 
     pools_started: int = 0
@@ -192,6 +205,10 @@ class LifecycleCounters:
     index_refreshes: int = 0
     resets: int = 0
     shutdowns: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    respawns: int = 0
+    degraded_workers: int = 0
 
 
 def _rows_in(matches: Any) -> int:
@@ -759,6 +776,9 @@ class ExecutionBackend:
     #: Resource-lifecycle events (pool starts, index attaches/refreshes);
     #: see :class:`LifecycleCounters` — what ``Session.metrics()`` reads.
     lifecycle: LifecycleCounters
+    #: Wall-clock seconds spent in worker recovery (respawn + install-log
+    #: replay); 0.0 on fault-free runs and on the serial backend.
+    recovery_seconds: float = 0.0
 
     def run_superstep(self, step, requests: Sequence[Request]) -> List[Any]:
         """Run one BSP round of requests; results align with the batch."""
@@ -900,9 +920,9 @@ class SharedIndexBuffers:
             layout[name] = (array.dtype.str, array.shape, offset)
             offset += array.nbytes
         self.layout = layout
-        self.segment = _shared_memory.SharedMemory(
-            create=True, size=max(1, offset)
-        )
+        # janitor-registered: a crash before close() leaves the segment to
+        # the atexit hook (this process) or the orphan sweep (a hard kill)
+        self.segment = janitor.create_segment(offset)
         for name, array in contiguous.items():
             if array.nbytes == 0:
                 continue
@@ -924,6 +944,7 @@ class SharedIndexBuffers:
         if self._closed:
             return
         self._closed = True
+        janitor.unregister(self.segment)
         self.segment.close()
         try:
             self.segment.unlink()
@@ -937,29 +958,9 @@ class SharedIndexBuffers:
             pass
 
 
-def _attach_segment(name: str):
-    """Attach a shared-memory segment without resource-tracker ownership.
-
-    The tracker must not adopt worker-side attachments: it would unlink the
-    master's segment when the first worker exits.  Python ≥ 3.13 exposes
-    ``track=False``; earlier versions need the documented unregister
-    workaround.
-    """
-    try:
-        return _shared_memory.SharedMemory(name=name, track=False)
-    except TypeError:
-        # Python < 3.13: attaching registers with the resource tracker,
-        # which would unlink the master's segment (spawn) or unbalance the
-        # shared tracker (fork).  Silence registration for this one call —
-        # we are in the worker process, so the patch cannot race the master.
-        from multiprocessing import resource_tracker
-
-        original = resource_tracker.register
-        resource_tracker.register = lambda *args, **kwargs: None
-        try:
-            return _shared_memory.SharedMemory(name=name)
-        finally:
-            resource_tracker.register = original
+#: Attach a shared-memory segment without resource-tracker ownership; the
+#: implementation lives with the rest of the segment lifecycle machinery.
+_attach_segment = janitor.attach_segment
 
 
 def _views_from_layout(
@@ -978,17 +979,26 @@ def _views_from_layout(
 # -- worker-process globals (one ShardWorker per process) ----------------
 _WORKER: Optional[ShardWorker] = None
 _SEGMENT = None
+_FAULTS: Optional[FaultPlan] = None
 
 
 def _mp_initialize(
-    spec_blob: bytes, segment_name: Optional[str], arrays_blob: Optional[bytes]
+    spec_blob: bytes,
+    segment_name: Optional[str],
+    arrays_blob: Optional[bytes],
+    worker_id: int = 0,
+    fault_blob: Optional[bytes] = None,
 ) -> None:
     """Pool initializer: attach the index buffers and build the worker.
 
     A spec without ``meta`` builds a graph-free worker (the cover phase
-    works on ``Σ`` alone and needs no index).
+    works on ``Σ`` alone and needs no index).  ``fault_blob`` arms a
+    pickled :class:`~repro.parallel.faults.FaultPlan` in this process —
+    the chaos hook; respawned workers normally receive ``None``.
     """
-    global _WORKER, _SEGMENT
+    global _WORKER, _SEGMENT, _FAULTS
+    plan = pickle.loads(fault_blob) if fault_blob is not None else None
+    _FAULTS = plan if plan is not None and plan.applies_to(worker_id) else None
     spec = pickle.loads(spec_blob)
     if spec.get("meta") is None:
         _WORKER = ShardWorker(None, None, spec["gamma"])
@@ -1029,6 +1039,10 @@ def _mp_attach_index(
 
 def _mp_execute(op: str, key: int, payload: Dict[str, Any]) -> Tuple[Any, float]:
     """Run one op in the worker process, returning (result, compute secs)."""
+    if _FAULTS is not None:
+        # injected faults fire *before* the op runs, so a chaos kill never
+        # half-applies worker state (replay + retry apply it exactly once)
+        _FAULTS.apply(op)
     started = time.perf_counter()
     result = _WORKER.execute(op, key, payload)
     return result, time.perf_counter() - started
@@ -1061,6 +1075,7 @@ class MultiprocessBackend(ExecutionBackend):
         index: Optional[GraphIndex],
         gamma: Sequence[str],
         use_shared_memory: bool = True,
+        fault: Optional[FaultConfig] = None,
     ) -> None:
         self.num_workers = num_workers
         # pin the snapshot: the token is id()-based, so the objects must
@@ -1071,10 +1086,18 @@ class MultiprocessBackend(ExecutionBackend):
         self._use_shared_memory = bool(
             use_shared_memory and shared_memory_available()
         )
+        self._fault = fault
+        self._plan = (
+            FaultPlan.from_json(fault.fault_plan) if fault is not None else None
+        )
         # staging honors the same opt-out as the index transport: with
         # shared memory disabled (or absent), rebalancing falls back to
-        # the fetch-through-master route instead of allocating segments
-        self.supports_staging = self._use_shared_memory
+        # the fetch-through-master route instead of allocating segments.
+        # Supervision disables it too: staging segments are unlinked right
+        # after their superstep, so an install-log replay could not
+        # reconstruct them — the fetch-through-master fallback is fully
+        # replayable and produces identical results.
+        self.supports_staging = self._use_shared_memory and fault is None
         self.transfers = TransferLedger()
         self.lifecycle = LifecycleCounters(
             pools_started=num_workers,
@@ -1083,18 +1106,26 @@ class MultiprocessBackend(ExecutionBackend):
         self.source_token = (
             (id(index.graph), id(index)) if index is not None else (None, None)
         )
+        # crashed earlier masters may have left segments behind — sweep
+        # before allocating new ones (cheap: one spool-directory scan)
+        janitor.sweep_orphans()
+        # supervision state: per-worker pool generation (a future from an
+        # older generation failed because its pool was already replaced),
+        # respawn budget, the install log, and demoted in-process shards
+        self._generation = [0] * num_workers
+        self._respawns = [0] * num_workers
+        self._journals: List[List[Tuple[str, int, Dict[str, Any]]]] = [
+            [] for _ in range(num_workers)
+        ]
+        self._local: Dict[int, ShardWorker] = {}
+        self._degrade_warned = False
+        self.recovery_seconds = 0.0
         self.buffers: Optional[SharedIndexBuffers] = None
-        initargs, self.buffers = self._index_initargs(index)
-        self._pools: List[ProcessPoolExecutor] = []
+        self._base_initargs, self.buffers = self._index_initargs(index)
+        self._pools: List[Optional[ProcessPoolExecutor]] = []
         try:
-            for _ in range(num_workers):
-                self._pools.append(
-                    ProcessPoolExecutor(
-                        max_workers=1,
-                        initializer=_mp_initialize,
-                        initargs=initargs,
-                    )
-                )
+            for worker in range(num_workers):
+                self._pools.append(self._spawn_pool(worker, respawn=False))
             for pool in self._pools:
                 if not pool.submit(_mp_ready).result():
                     raise RuntimeError("worker failed to initialize")
@@ -1102,6 +1133,23 @@ class MultiprocessBackend(ExecutionBackend):
             self.shutdown()
             raise
         self._down = False
+
+    def _spawn_pool(self, worker: int, respawn: bool) -> ProcessPoolExecutor:
+        """One single-process pool for ``worker``, armed with its plan.
+
+        A respawned worker only re-arms the fault plan when the plan says
+        ``persist`` — by default recovery converges because the fresh
+        process is fault-free.
+        """
+        plan = self._plan
+        if respawn and (plan is None or not plan.persist):
+            plan = None
+        fault_blob = pickle.dumps(plan) if plan is not None else None
+        return ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_mp_initialize,
+            initargs=(*self._base_initargs, worker, fault_blob),
+        )
 
     def _index_initargs(
         self, index: Optional[GraphIndex]
@@ -1144,7 +1192,8 @@ class MultiprocessBackend(ExecutionBackend):
         try:
             futures = [
                 pool.submit(_mp_attach_index, *initargs)
-                for pool in self._pools
+                for worker, pool in enumerate(self._pools)
+                if worker not in self._local
             ]
             for future in futures:
                 future.result()
@@ -1157,6 +1206,11 @@ class MultiprocessBackend(ExecutionBackend):
         if old is not None:
             old.close()
         self._index = index
+        # respawns must rebuild from the *current* snapshot, and demoted
+        # in-process shards follow the swap like serial workers do
+        self._base_initargs = initargs
+        for shard in self._local.values():
+            shard.index = index
         self.source_token = (id(index.graph), id(index))
         self.lifecycle.index_refreshes += 1
 
@@ -1164,54 +1218,293 @@ class MultiprocessBackend(ExecutionBackend):
         """A fresh staging segment for one worker-to-worker exchange."""
         if not self.supports_staging:  # pragma: no cover - platform dependent
             raise RuntimeError("shared memory is unavailable")
-        return _shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        return janitor.create_segment(nbytes)
 
     def release_stage(self, segment) -> None:
         """Unlink a staging segment once both sides of the exchange ran."""
+        janitor.unregister(segment)
         segment.close()
         try:
             segment.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone
             pass
 
+    # ------------------------------------------------------------------
+    # supervision: journal, submit/collect, recovery, degradation
+    # ------------------------------------------------------------------
+    #: State-mutating ops recorded in the per-worker install log.  Replay
+    #: of this journal (against the current index snapshot) reconstructs a
+    #: respawned worker's resident state exactly: every op is a
+    #: deterministic function of (index, installed state, payload).
+    #: Read-only ops (tally, join_groups, enforce, implication_batch,
+    #: cover_probe) and un-parked joins are never journaled; staging ops
+    #: cannot appear (supervised backends disable staging).
+    _JOURNALED_OPS = frozenset(
+        {
+            "install",
+            "join",
+            "fetch_join",
+            "scan",
+            "eval",
+            "probe",
+            "sigma",
+            "enforce_install",
+            "enforce_update",
+            "drop",
+            "drop_store",
+        }
+    )
+
+    def _journal(self, worker: int, op: str, key: int,
+                 payload: Dict[str, Any]) -> None:
+        """Append one *completed* op to the worker's install log.
+
+        Journal-on-success keeps replay + retry exactly-once for
+        non-idempotent ops (an op that died mid-flight was never recorded,
+        so its retry applies it once on the replayed state).  ``reset``
+        clears the log; released Σ/enforcement keys compact away.
+        """
+        journal = self._journals[worker]
+        if op == "reset":
+            journal.clear()
+            return
+        if op == "drop_sigma":
+            journal[:] = [
+                entry
+                for entry in journal
+                if not (entry[1] == key and entry[0] == "sigma")
+            ]
+            return
+        if op == "enforce_drop":
+            journal[:] = [
+                entry
+                for entry in journal
+                if not (entry[1] == key and entry[0].startswith("enforce"))
+            ]
+            return
+        if op == "join" and not payload.get("park"):
+            return  # nothing parked: the matches returned to the master
+        if op in self._JOURNALED_OPS:
+            journal.append((op, key, payload))
+
+    @staticmethod
+    def _is_transport_failure(error: BaseException) -> bool:
+        """Worker-death/hang failures (recoverable), vs real op errors."""
+        return isinstance(error, (BrokenProcessPool, _FuturesTimeout, OSError))
+
+    def _run_local(self, worker: int, op: str, key: int,
+                   payload: Dict[str, Any]) -> Tuple[Any, float]:
+        """Execute inline on a demoted worker slot (the degraded mode)."""
+        started = time.perf_counter()
+        result = self._local[worker].execute(op, key, payload)
+        return result, time.perf_counter() - started
+
+    def _submit(self, worker: int, op: str, key: int,
+                payload: Dict[str, Any]):
+        """Dispatch one supervised op; returns a handle for _collect.
+
+        Demoted slots execute inline immediately — every earlier op of a
+        demoted worker already ran inline, so in-order semantics hold.
+        """
+        if worker in self._local:
+            return ("local", self._run_local(worker, op, key, payload))
+        return (
+            self._generation[worker],
+            self._pools[worker].submit(_mp_execute, op, key, payload),
+        )
+
+    def _collect(self, worker: int, op: str, key: int,
+                 payload: Dict[str, Any], handle) -> Tuple[Any, float]:
+        """Await one supervised op, recovering and retrying on failure."""
+        tag, future = handle
+        if tag == "local":
+            return future
+        generation = tag
+        attempts = 0
+        while True:
+            try:
+                return future.result(timeout=self._fault.op_timeout_s)
+            except Exception as error:
+                if not self._is_transport_failure(error):
+                    raise  # a real op error: supervision must not mask bugs
+                if isinstance(error, _FuturesTimeout):
+                    self.lifecycle.timeouts += 1
+                if worker not in self._local and (
+                    generation == self._generation[worker]
+                ):
+                    # first failure of this pool generation: replace the
+                    # worker and replay its log.  A stale generation means
+                    # a sibling request already recovered this worker — the
+                    # retry below just re-submits to the healthy pool.
+                    self._recover(worker)
+                if worker in self._local:
+                    return self._run_local(worker, op, key, payload)
+                attempts += 1
+                if attempts > self._fault.max_retries:
+                    raise
+                self.lifecycle.retries += 1
+                time.sleep(self._fault.backoff_base * (2 ** (attempts - 1)))
+                generation = self._generation[worker]
+                future = self._pools[worker].submit(
+                    _mp_execute, op, key, payload
+                )
+
+    def _recover(self, worker: int) -> None:
+        """Respawn one worker and replay its install log (or degrade).
+
+        Loops because the replacement can die during replay (a persisted
+        chaos plan): each attempt burns one respawn from the budget until
+        replay completes or the slot degrades to in-process execution.
+        """
+        started = time.perf_counter()
+        try:
+            while True:
+                old = self._pools[worker]
+                if old is not None:
+                    # a hung (timed-out) worker won't exit on its own
+                    for process in getattr(old, "_processes", {}).values():
+                        try:
+                            process.kill()
+                        except Exception:  # pragma: no cover - already dead
+                            pass
+                    old.shutdown(wait=False)
+                    self._pools[worker] = None
+                self._respawns[worker] += 1
+                self.lifecycle.respawns += 1
+                if self._respawns[worker] > self._fault.max_respawns:
+                    self._degrade(worker)
+                    return
+                pool = self._spawn_pool(worker, respawn=True)
+                try:
+                    pool.submit(_mp_ready).result(
+                        timeout=self._fault.op_timeout_s
+                    )
+                    for op, key, payload in self._journals[worker]:
+                        pool.submit(_mp_execute, op, key, payload).result(
+                            timeout=self._fault.op_timeout_s
+                        )
+                except Exception as error:
+                    pool.shutdown(wait=False)
+                    if not self._is_transport_failure(error):
+                        raise
+                    continue  # died again mid-replay: next respawn attempt
+                self._pools[worker] = pool
+                self._generation[worker] += 1
+                return
+        finally:
+            self.recovery_seconds += time.perf_counter() - started
+
+    def _degrade(self, worker: int) -> None:
+        """Demote one slot to an in-process shard seeded from its log."""
+        if not self._fault.degrade_to_serial:
+            raise RuntimeError(
+                f"worker {worker} failed more than max_respawns="
+                f"{self._fault.max_respawns} times"
+            )
+        shard = ShardWorker(None, self._index, self._gamma)
+        for op, key, payload in self._journals[worker]:
+            shard.execute(op, key, payload)
+        self._local[worker] = shard
+        self._generation[worker] += 1
+        self.lifecycle.degraded_workers += 1
+        if not self._degrade_warned:
+            self._degrade_warned = True
+            warnings.warn(
+                "multiprocess worker(s) exhausted their respawn budget; "
+                "degrading the affected shard(s) to in-process serial "
+                "execution for the rest of this backend's lifetime",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    # ------------------------------------------------------------------
     def run_superstep(self, step, requests: Sequence[Request]) -> List[Any]:
-        futures = [
-            (worker, self._pools[worker].submit(_mp_execute, op, key, payload))
+        if self._fault is None:
+            futures = [
+                (
+                    worker,
+                    self._pools[worker].submit(_mp_execute, op, key, payload),
+                )
+                for worker, op, key, payload in requests
+            ]
+            results = []
+            for (worker, future), (_, op, _key, payload) in zip(
+                futures, requests
+            ):
+                result, seconds = future.result()
+                step.charge(worker, seconds)
+                _account(self, op, payload, result)
+                results.append(result)
+            return results
+        handles = [
+            (worker, op, key, payload, self._submit(worker, op, key, payload))
             for worker, op, key, payload in requests
         ]
+        before = self.recovery_seconds
         results = []
-        for (worker, future), (_, op, _key, payload) in zip(futures, requests):
-            result, seconds = future.result()
+        for worker, op, key, payload, handle in handles:
+            result, seconds = self._collect(worker, op, key, payload, handle)
             step.charge(worker, seconds)
             _account(self, op, payload, result)
+            self._journal(worker, op, key, payload)
             results.append(result)
+        if self.recovery_seconds > before:
+            step.recover(self.recovery_seconds - before)
         return results
 
     def run_unmetered(
         self, requests: Sequence[Request], wait: bool = True
     ) -> List[Any]:
-        futures = [
-            self._pools[worker].submit(_mp_execute, op, key, payload)
+        if self._fault is None:
+            futures = [
+                self._pools[worker].submit(_mp_execute, op, key, payload)
+                for worker, op, key, payload in requests
+            ]
+            if not wait:
+                return []
+            results = []
+            for future, (_, op, _key, payload) in zip(futures, requests):
+                result = future.result()[0]
+                _account(self, op, payload, result)
+                results.append(result)
+            return results
+        handles = [
+            (worker, op, key, payload, self._submit(worker, op, key, payload))
             for worker, op, key, payload in requests
         ]
         if not wait:
+            # fire-and-forget is only used for idempotent releases (drops);
+            # journaling at submit time is safe for those, and replay keeps
+            # the submit order, so a lost drop is re-applied on recovery
+            for worker, op, key, payload, _handle in handles:
+                self._journal(worker, op, key, payload)
             return []
         results = []
-        for future, (_, op, _key, payload) in zip(futures, requests):
-            result = future.result()[0]
+        for worker, op, key, payload, handle in handles:
+            result, _seconds = self._collect(worker, op, key, payload, handle)
             _account(self, op, payload, result)
+            self._journal(worker, op, key, payload)
             results.append(result)
         return results
 
     def shutdown(self) -> None:
+        """Release pools, journals and shared memory (fully idempotent).
+
+        Safe on a partially-constructed backend (the ``__init__`` failure
+        path) and on repeated calls — ``LifecycleCounters.shutdowns``
+        increments exactly once.
+        """
         if getattr(self, "_down", False):
             return
         self._down = True
         self.lifecycle.shutdowns += 1
-        for pool in self._pools:
-            pool.shutdown(wait=True)
+        for pool in getattr(self, "_pools", []):
+            if pool is not None:
+                pool.shutdown(wait=True)
         self._pools = []
-        if self.buffers is not None:
+        self._local = {}
+        self._journals = [[] for _ in range(self.num_workers)]
+        if getattr(self, "buffers", None) is not None:
             self.buffers.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
@@ -1228,18 +1521,32 @@ def make_backend(
     index: Optional[GraphIndex],
     gamma: Sequence[str],
     use_shared_memory: bool = True,
+    fault: Any = "auto",
 ) -> ExecutionBackend:
     """Instantiate a backend by config name (``serial`` | ``multiprocess``).
 
     ``graph``/``index`` may both be ``None`` for graph-free work (the cover
     phase); discovery and enforcement pass the frozen index so multiprocess
     workers can attach it via shared memory.
+
+    ``fault`` is the supervision policy (a :class:`~repro.core.config.
+    FaultConfig`, or ``None`` to disable).  The default ``"auto"`` follows
+    the environment: supervision turns on — with the injected plan — when
+    ``REPRO_FAULT_PLAN`` is set, so the chaos CI job covers call sites that
+    never mention faults.  The serial backend ignores it (in-process
+    execution cannot lose a worker).
     """
+    if fault == "auto":
+        fault = _default_fault()
     if name == "serial":
         return SerialBackend(num_workers, graph, index, gamma)
     if name == "multiprocess":
         return MultiprocessBackend(
-            num_workers, index, gamma, use_shared_memory=use_shared_memory
+            num_workers,
+            index,
+            gamma,
+            use_shared_memory=use_shared_memory,
+            fault=fault,
         )
     raise ValueError(
         f"unknown parallel backend {name!r} (expected one of {BACKEND_NAMES})"

@@ -1,0 +1,121 @@
+"""Deterministic fault injection for the multiprocess backend.
+
+A :class:`FaultPlan` describes *where* a worker process misbehaves, in terms
+of the op stream it executes — the only clock every backend shares — so a
+chaos run is reproducible: the same plan against the same workload kills
+the same worker at the same op.  Plans are JSON (the ``REPRO_FAULT_PLAN``
+environment variable, or ``FaultConfig.fault_plan``)::
+
+    {"kill_every": 40}                       # SIGKILL before every 40th op
+    {"kill_on": {"op": "eval", "nth": 2}}    # ... before the 2nd eval op
+    {"delay": {"every": 7, "seconds": 1.5}}  # stall every 7th op (deadline)
+    {"workers": [1], "kill_every": 5}        # only worker 1 misbehaves
+    {"kill_every": 3, "persist": true}       # respawned workers re-arm
+
+Faults fire **before** the op executes, so an injected crash never
+half-applies state — the supervision layer's replay + retry then applies
+the op exactly once.  By default a respawned worker receives *no* plan
+(recovery converges); ``persist`` re-arms respawns, which is how the
+degradation ladder (``max_respawns`` → serial demotion) is exercised.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["FAULT_PLAN_ENV", "FaultPlan"]
+
+#: Environment variable holding a JSON fault plan (the chaos-CI hook).
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of injected worker faults.
+
+    Attributes:
+        kill_every: ``SIGKILL`` this worker process immediately before
+            every Nth op it would execute.
+        kill_on: ``(op name, nth)`` — kill immediately before the nth
+            execution of that op (phase-targeted crashes).
+        delay_every: sleep :attr:`delay_seconds` before every Nth op
+            (drives ops past the supervision deadline).
+        delay_seconds: the injected stall length.
+        workers: worker ids the plan applies to (``None`` = all).
+        persist: re-arm the plan on respawned workers (default: a respawn
+            gets a clean process, so recovery converges).
+    """
+
+    kill_every: Optional[int] = None
+    kill_on: Optional[Tuple[str, int]] = None
+    delay_every: Optional[int] = None
+    delay_seconds: float = 0.0
+    workers: Optional[Tuple[int, ...]] = None
+    persist: bool = False
+    # worker-process-local op counters (never cross a pickle boundary with
+    # meaningful values — each process counts its own op stream)
+    _ops: int = field(default=0, repr=False, compare=False)
+    _per_op: Dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @classmethod
+    def from_json(cls, text: Optional[str]) -> Optional["FaultPlan"]:
+        """Parse a JSON plan; ``None``/empty/``{}`` mean no plan."""
+        if not text:
+            return None
+        data: Dict[str, Any] = json.loads(text)
+        if not data:
+            return None
+        kill_on = data.get("kill_on")
+        delay = data.get("delay") or {}
+        workers = data.get("workers")
+        return cls(
+            kill_every=data.get("kill_every"),
+            kill_on=(
+                (str(kill_on["op"]), int(kill_on.get("nth", 1)))
+                if kill_on
+                else None
+            ),
+            delay_every=delay.get("every"),
+            delay_seconds=float(delay.get("seconds", 0.0)),
+            workers=tuple(int(w) for w in workers) if workers else None,
+            persist=bool(data.get("persist", False)),
+        )
+
+    @classmethod
+    def from_env(cls) -> Optional["FaultPlan"]:
+        """The plan from ``REPRO_FAULT_PLAN`` (``None`` when unset)."""
+        return cls.from_json(os.environ.get(FAULT_PLAN_ENV))
+
+    def applies_to(self, worker: int) -> bool:
+        """Whether this plan targets the given worker id."""
+        return self.workers is None or worker in self.workers
+
+    def apply(self, op: str) -> None:
+        """Run the plan against the next op (called in the worker process).
+
+        May sleep (injected stall) or ``SIGKILL`` the calling process; a
+        kill happens *before* the op executes, so no state is half-applied.
+        """
+        self._ops += 1
+        self._per_op[op] = self._per_op.get(op, 0) + 1
+        if (
+            self.delay_every
+            and self._ops % self.delay_every == 0
+            and self.delay_seconds > 0
+        ):
+            time.sleep(self.delay_seconds)
+        if self.kill_every and self._ops % self.kill_every == 0:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if (
+            self.kill_on is not None
+            and op == self.kill_on[0]
+            and self._per_op[op] == self.kill_on[1]
+        ):
+            os.kill(os.getpid(), signal.SIGKILL)

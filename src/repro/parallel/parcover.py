@@ -33,7 +33,7 @@ differential harness asserts it.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..core.cover import CoverResult, _scan_order
 from ..gfd.gfd import GFD
@@ -113,6 +113,7 @@ class _CoverSession:
         num_workers: int,
         cluster: Optional[SimulatedCluster],
         backend: Union[None, str, ExecutionBackend],
+        fault: Any = "auto",
     ) -> None:
         if isinstance(backend, ExecutionBackend):
             self.backend = backend
@@ -125,7 +126,11 @@ class _CoverSession:
                     f"unknown parallel backend {name!r} "
                     f"(expected one of {BACKEND_NAMES})"
                 )
-            self.backend = make_backend(name, num_workers, None, None, [])
+            # graph-free cover workers are supervised like any others —
+            # the install log then holds just the Σ broadcast
+            self.backend = make_backend(
+                name, num_workers, None, None, [], fault=fault
+            )
             self.owns = True
         self.cluster = cluster or SimulatedCluster(num_workers)
         self.key = next_node_key()
@@ -169,6 +174,7 @@ def parallel_cover(
     cluster: Optional[SimulatedCluster] = None,
     backend: Union[None, str, ExecutionBackend] = None,
     cost_model: Optional[ChaseCostModel] = None,
+    fault: Any = "auto",
 ) -> Tuple[CoverResult, SimulatedCluster]:
     """Compute a cover of ``Σ`` with grouping + LPT balancing (``ParCover``).
 
@@ -187,6 +193,10 @@ def parallel_cover(
             this run are fed back into it afterwards.  ``None`` keeps the
             paper's static weights.  Weights only shift *which worker* runs
             a unit — the cover itself is weight-independent.
+        fault: supervision policy for an *owned* multiprocess backend (a
+            :class:`~repro.core.config.FaultConfig`, ``None`` to disable,
+            or the default ``"auto"`` = follow ``REPRO_FAULT_PLAN``); a
+            borrowed backend keeps whatever policy it was built with.
 
     Returns ``(cover result, metered cluster)``; the cover is identical
     across backends, worker counts and weight models.
@@ -200,7 +210,7 @@ def parallel_cover(
     warn_standalone_entry_point("parallel_cover", backend)
     started = time.perf_counter()
     sigma = list(sigma)
-    with _CoverSession(num_workers, cluster, backend) as session:
+    with _CoverSession(num_workers, cluster, backend, fault=fault) as session:
         cluster = session.cluster
         with cluster.master():
             groups = _group_sigma(sigma)

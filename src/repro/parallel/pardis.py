@@ -188,6 +188,7 @@ class ParallelDiscovery(SequentialDiscovery):
                 self.index,
                 self.gamma,
                 use_shared_memory=self.config.shared_memory,
+                fault=self.config.fault,
             )
         else:
             if self._backend.num_workers != self.num_workers:

@@ -104,6 +104,9 @@ class SessionMetrics:
     sigma_size: int = 0
     #: Cover-unit chase timings absorbed by the session's cost model.
     cover_cost_observations: int = 0
+    #: Wall-clock seconds the backend spent recovering failed workers
+    #: (respawn + install-log replay); 0.0 on fault-free runs.
+    recovery_seconds: float = 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         """A JSON-serializable rendering (CI artifacts, ``--metrics``)."""
@@ -118,6 +121,13 @@ class SessionMetrics:
                 "resets": self.lifecycle.resets,
                 "shutdowns": self.lifecycle.shutdowns,
             },
+            "faults": {
+                "timeouts": self.lifecycle.timeouts,
+                "retries": self.lifecycle.retries,
+                "respawns": self.lifecycle.respawns,
+                "degraded_workers": self.lifecycle.degraded_workers,
+                "recovery_seconds": self.recovery_seconds,
+            },
             "transfers": {
                 "rows_to_workers": self.transfers.rows_to_workers,
                 "rows_to_master": self.transfers.rows_to_master,
@@ -129,6 +139,7 @@ class SessionMetrics:
                 "parallel_seconds": self.cluster.parallel_seconds,
                 "master_seconds": self.cluster.master_seconds,
                 "total_work_seconds": self.cluster.total_work_seconds,
+                "recovery_seconds": self.cluster.recovery_seconds,
             },
             "phases": dict(self.phases),
             "sigma_size": self.sigma_size,
@@ -200,6 +211,7 @@ class Session:
             num_workers=num_workers,
             shared_memory=self.config.shared_memory,
             use_index=self.config.use_index,
+            fault=self.config.fault,
         )
         self._snapshot_version = graph.version
         self._index: Optional[GraphIndex] = (
@@ -277,6 +289,7 @@ class Session:
                 self._index,
                 self._gamma,
                 use_shared_memory=self.config.shared_memory,
+                fault=self.config.fault,
             )
             self._backend_starts += 1
         return self._backend
@@ -520,9 +533,11 @@ class Session:
         if self._backend is not None:
             lifecycle = replace(self._backend.lifecycle)
             transfers = self._backend.transfers.snapshot()
+            recovery = self._backend.recovery_seconds
         else:
             lifecycle = LifecycleCounters()
             transfers = TransferLedger()
+            recovery = 0.0
         return SessionMetrics(
             backend_name=self._backend_name,
             num_workers=self._num_workers,
@@ -533,6 +548,7 @@ class Session:
             phases=dict(self._phases),
             sigma_size=len(self._sigma),
             cover_cost_observations=self.cover_costs.observations,
+            recovery_seconds=recovery,
         )
 
     # ------------------------------------------------------------------

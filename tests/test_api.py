@@ -61,6 +61,7 @@ EXPECTED_TOP_LEVEL = {
     "MiningStats",
     "CoverResult",
     "CandidateBudgetExceeded",
+    "FaultConfig",
     "SequentialDiscovery",
     "discover",
     "sequential_cover",

@@ -1,0 +1,432 @@
+"""Fault tolerance: chaos differential tests, janitor, degradation ladder.
+
+The acceptance property of the robustness PR: ``SIGKILL`` of any single
+worker — mid-``ParDis`` superstep, mid-``ParCover`` batch, or mid-
+enforcement refresh — yields results *byte-identical* to a fault-free
+serial run, because the supervision layer respawns the worker and replays
+its install log before retrying the failed op.  Faults are injected
+deterministically via :class:`~repro.parallel.faults.FaultPlan` (the
+``REPRO_FAULT_PLAN`` chaos hook), so every test is reproducible.
+
+A module-wide leak-check fixture asserts no ``repro_shm_*`` segment
+survives any test — the janitor's contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro import DiscoveryConfig, FaultConfig, Session, discover
+from repro.core import gfd_identity, sequential_cover
+from repro.parallel import (
+    FaultPlan,
+    parallel_cover,
+    shared_memory_available,
+)
+from repro.parallel import janitor
+from repro.parallel.backend import make_backend, next_node_key
+
+needs_mp = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="multiprocessing.shared_memory unavailable",
+)
+
+
+@pytest.fixture(autouse=True)
+def isolated_fault_env(monkeypatch):
+    """This suite builds its own plans; the chaos-CI env must not leak in.
+
+    (The env-driven ``REPRO_FAULT_PLAN`` path is exercised by running the
+    *differential* suite under it — the chaos CI job — and by the explicit
+    env tests below.)
+    """
+    monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test must leave zero janitor-managed segments behind."""
+    yield
+    assert janitor.live_segments() == []
+    shm = Path("/dev/shm")
+    if shm.is_dir():
+        leaked = sorted(
+            entry.name
+            for entry in shm.iterdir()
+            if entry.name.startswith(janitor.SEGMENT_PREFIX)
+        )
+        assert leaked == [], f"leaked shared-memory segments: {leaked}"
+
+
+def _plan(**kwargs) -> str:
+    """A JSON fault plan literal."""
+    return json.dumps(kwargs)
+
+
+def _fingerprint(result):
+    """(gfd set, supports, cover) under canonical keys — the parity basis."""
+    keys = frozenset(gfd_identity(g) for g in result.gfds)
+    supports = {gfd_identity(g): result.supports[g] for g in result.gfds}
+    cover = frozenset(
+        gfd_identity(g) for g in sequential_cover(result.gfds).cover
+    )
+    return keys, supports, cover
+
+
+# ----------------------------------------------------------------------
+# the fault-plan DSL
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_empty_plans_parse_to_none(self):
+        assert FaultPlan.from_json(None) is None
+        assert FaultPlan.from_json("") is None
+        assert FaultPlan.from_json("{}") is None
+
+    def test_fields_round_trip(self):
+        plan = FaultPlan.from_json(
+            _plan(
+                kill_every=5,
+                kill_on={"op": "eval", "nth": 2},
+                delay={"every": 3, "seconds": 0.25},
+                workers=[1, 2],
+                persist=True,
+            )
+        )
+        assert plan.kill_every == 5
+        assert plan.kill_on == ("eval", 2)
+        assert plan.delay_every == 3
+        assert plan.delay_seconds == 0.25
+        assert plan.workers == (1, 2)
+        assert plan.persist is True
+
+    def test_kill_on_nth_defaults_to_one(self):
+        plan = FaultPlan.from_json(_plan(kill_on={"op": "install"}))
+        assert plan.kill_on == ("install", 1)
+
+    def test_applies_to(self):
+        assert FaultPlan.from_json(_plan(kill_every=1)).applies_to(7)
+        scoped = FaultPlan.from_json(_plan(kill_every=1, workers=[1]))
+        assert scoped.applies_to(1)
+        assert not scoped.applies_to(0)
+
+    def test_env_hook(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv("REPRO_FAULT_PLAN", _plan(kill_every=9))
+        assert FaultPlan.from_env().kill_every == 9
+
+    def test_config_follows_env(self, monkeypatch):
+        """``DiscoveryConfig.fault`` arms itself when the chaos env is set."""
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        assert DiscoveryConfig().fault is None
+        monkeypatch.setenv("REPRO_FAULT_PLAN", _plan(kill_every=9))
+        config = DiscoveryConfig()
+        assert config.fault is not None
+        assert config.fault.fault_plan == _plan(kill_every=9)
+
+    def test_fault_config_validates(self):
+        with pytest.raises(ValueError):
+            FaultConfig(op_timeout_s=0)
+        with pytest.raises(ValueError):
+            FaultConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            FaultConfig(max_respawns=-1)
+
+
+# ----------------------------------------------------------------------
+# the segment janitor
+# ----------------------------------------------------------------------
+@needs_mp
+class TestJanitor:
+    def test_create_registers_and_unregister_releases(self):
+        segment = janitor.create_segment(64)
+        name = segment.name.lstrip("/")
+        assert name.startswith(janitor.SEGMENT_PREFIX)
+        assert name in janitor.live_segments()
+        spool = janitor.spool_dir() / f"{os.getpid()}.json"
+        assert name in json.loads(spool.read_text())
+        janitor.unregister(segment)
+        segment.close()
+        segment.unlink()
+        assert name not in janitor.live_segments()
+
+    def test_sweep_orphans_unlinks_dead_pid_segments(self):
+        from multiprocessing import shared_memory
+
+        dead = max(os.getpid() + 100_000, 500_000)
+        while janitor._alive(dead):
+            dead += 1
+        orphan_name = f"{janitor.SEGMENT_PREFIX}{dead}_0"
+        orphan = shared_memory.SharedMemory(
+            create=True, size=16, name=orphan_name
+        )
+        orphan.close()
+        spool = janitor.spool_dir() / f"{dead}.json"
+        spool.write_text(json.dumps([orphan_name]), encoding="utf-8")
+        removed = janitor.sweep_orphans()
+        assert orphan_name in removed
+        assert not spool.exists()
+        with pytest.raises(FileNotFoundError):
+            janitor.attach_segment(orphan_name)
+
+    def test_sweep_never_touches_live_or_foreign_segments(self):
+        from multiprocessing import shared_memory
+
+        dead = max(os.getpid() + 100_000, 500_000)
+        while janitor._alive(dead):
+            dead += 1
+        foreign_name = f"not_ours_{os.getpid()}"
+        foreign = shared_memory.SharedMemory(
+            create=True, size=16, name=foreign_name
+        )
+        mine = janitor.create_segment(16)
+        try:
+            spool = janitor.spool_dir() / f"{dead}.json"
+            spool.write_text(
+                json.dumps([foreign_name, mine.name.lstrip("/")]),
+                encoding="utf-8",
+            )
+            removed = janitor.sweep_orphans()
+            # foreign prefix is never swept, and a live process's segment
+            # is never unlinked on a dead spool file's say-so (segment
+            # names embed their creating pid)
+            assert removed == []
+            janitor.attach_segment(foreign_name).close()  # still there
+            janitor.attach_segment(mine.name).close()  # still there
+        finally:
+            foreign.close()
+            foreign.unlink()
+            janitor.unregister(mine)
+            mine.close()
+            mine.unlink()
+
+
+# ----------------------------------------------------------------------
+# supervision plumbing (white-box regressions)
+# ----------------------------------------------------------------------
+@needs_mp
+class TestSupervisionPlumbing:
+    def test_shutdown_is_idempotent(self):
+        for fault in (None, FaultConfig()):
+            backend = make_backend(
+                "multiprocess", 2, None, None, [], fault=fault
+            )
+            backend.shutdown()
+            backend.shutdown()
+            assert backend.lifecycle.shutdowns == 1
+
+    def test_supervised_backend_disables_staging(self):
+        backend = make_backend(
+            "multiprocess", 2, None, None, [], fault=FaultConfig()
+        )
+        try:
+            assert backend.supports_staging is False
+        finally:
+            backend.shutdown()
+
+    def test_journal_compacts_released_sigma(self):
+        backend = make_backend(
+            "multiprocess", 1, None, None, [], fault=FaultConfig()
+        )
+        try:
+            key = next_node_key()
+            backend.run_unmetered([(0, "sigma", key, {"sigma": []})])
+            assert ("sigma", key, {"sigma": []}) in backend._journals[0]
+            backend.run_unmetered([(0, "drop_sigma", key, {})])
+            assert backend._journals[0] == []
+        finally:
+            backend.shutdown()
+
+
+# ----------------------------------------------------------------------
+# chaos differential: kill one worker in every phase
+# ----------------------------------------------------------------------
+@needs_mp
+class TestChaosDifferential:
+    """Seeded worker kills; results must equal the fault-free serial run."""
+
+    @pytest.mark.parametrize(
+        "op, worker",
+        [("install", 0), ("eval", 0), ("join", 1)],
+        ids=["kill-install-w0", "kill-eval-w0", "kill-join-w1"],
+    )
+    def test_kill_single_worker_mid_discovery(
+        self, film_graph, film_config, op, worker
+    ):
+        reference = _fingerprint(discover(film_graph, film_config))
+        fault = FaultConfig(
+            fault_plan=_plan(kill_on={"op": op, "nth": 1}, workers=[worker])
+        )
+        config = replace(film_config, fault=fault)
+        with Session(
+            film_graph, config, backend="multiprocess", num_workers=2
+        ) as session:
+            result = session.discover()
+            metrics = session.metrics()
+            assert metrics.lifecycle.respawns >= 1
+            assert metrics.recovery_seconds > 0.0
+        assert _fingerprint(result) == reference
+
+    def test_kill_survives_pickle_fallback(self, film_graph, film_config):
+        """The no-shared-memory path runs the same supervision code."""
+        reference = _fingerprint(discover(film_graph, film_config))
+        fault = FaultConfig(
+            fault_plan=_plan(kill_on={"op": "install", "nth": 1}, workers=[0])
+        )
+        config = replace(film_config, fault=fault, shared_memory=False)
+        with Session(
+            film_graph, config, backend="multiprocess", num_workers=2
+        ) as session:
+            result = session.discover()
+            assert session.metrics().lifecycle.respawns >= 1
+        assert _fingerprint(result) == reference
+
+    def test_kill_mid_parcover_batch(self, film_graph, film_config):
+        sigma = discover(film_graph, film_config).gfds
+        reference, _ = parallel_cover(sigma, num_workers=2, backend="serial")
+        fault = FaultConfig(
+            fault_plan=_plan(kill_on={"op": "sigma", "nth": 1}, workers=[1])
+        )
+        backend = make_backend("multiprocess", 2, None, None, [], fault=fault)
+        try:
+            result, _ = parallel_cover(sigma, backend=backend)
+            assert backend.lifecycle.respawns >= 1
+        finally:
+            backend.shutdown()
+        assert result.cover == reference.cover
+        assert result.removed == reference.removed
+
+    def test_kill_mid_enforcement_refresh(self, film_graph, film_config):
+        fault = FaultConfig(
+            fault_plan=_plan(
+                kill_on={"op": "enforce_update", "nth": 1}, workers=[0]
+            )
+        )
+        config = replace(film_config, fault=fault)
+        with Session(
+            film_graph, config, backend="multiprocess", num_workers=2
+        ) as session:
+            session.discover()
+            sigma = session.cover().cover
+            assert session.enforce().is_clean
+            film_graph.set_attr(0, "type", "gardener")
+            refreshed = session.refresh()
+            assert refreshed.mode == "incremental"
+            assert session.metrics().lifecycle.respawns >= 1
+        # the incremental result under faults must equal a fault-free
+        # serial from-scratch enforcement of the same Σ on the same graph
+        with Session(
+            film_graph, film_config, backend="serial", num_workers=2
+        ) as ref_session:
+            reference = ref_session.enforce(sigma)
+        assert refreshed.total_violations == reference.total_violations
+        assert refreshed.flagged_nodes() == reference.flagged_nodes()
+        assert {
+            gfd_identity(rule.gfd): rule.violation_count
+            for rule in refreshed.rules
+        } == {
+            gfd_identity(rule.gfd): rule.violation_count
+            for rule in reference.rules
+        }
+
+    def test_hung_worker_hits_deadline_and_recovers(
+        self, film_graph, film_config
+    ):
+        reference = _fingerprint(discover(film_graph, film_config))
+        fault = FaultConfig(
+            fault_plan=_plan(delay={"every": 1, "seconds": 30.0}, workers=[0]),
+            op_timeout_s=0.5,
+        )
+        config = replace(film_config, fault=fault)
+        with Session(
+            film_graph, config, backend="multiprocess", num_workers=2
+        ) as session:
+            result = session.discover()
+            metrics = session.metrics()
+            assert metrics.lifecycle.timeouts >= 1
+            assert metrics.lifecycle.respawns >= 1
+        assert _fingerprint(result) == reference
+
+    def test_degradation_ladder_demotes_to_serial(
+        self, film_graph, film_config
+    ):
+        """A persistently-crashing worker degrades; results still agree."""
+        reference = _fingerprint(discover(film_graph, film_config))
+        fault = FaultConfig(
+            fault_plan=_plan(kill_every=1, persist=True, workers=[0]),
+            max_respawns=1,
+        )
+        config = replace(film_config, fault=fault)
+        with pytest.warns(RuntimeWarning, match="respawn budget"):
+            with Session(
+                film_graph, config, backend="multiprocess", num_workers=2
+            ) as session:
+                result = session.discover()
+                metrics = session.metrics()
+                assert metrics.lifecycle.degraded_workers == 1
+                assert metrics.lifecycle.respawns >= 2
+        assert _fingerprint(result) == reference
+
+    def test_degradation_disabled_raises(self, film_graph, film_config):
+        fault = FaultConfig(
+            fault_plan=_plan(kill_every=1, persist=True, workers=[0]),
+            max_respawns=0,
+            degrade_to_serial=False,
+        )
+        config = replace(film_config, fault=fault)
+        with Session(
+            film_graph, config, backend="multiprocess", num_workers=2
+        ) as session:
+            with pytest.raises(RuntimeError, match="max_respawns"):
+                session.discover()
+
+    def test_fault_free_supervision_is_transparent(
+        self, film_graph, film_config
+    ):
+        """Supervision without injected faults: same results, zero events."""
+        reference = _fingerprint(discover(film_graph, film_config))
+        config = replace(film_config, fault=FaultConfig())
+        with Session(
+            film_graph, config, backend="multiprocess", num_workers=2
+        ) as session:
+            result = session.discover()
+            data = session.metrics().as_dict()
+        assert _fingerprint(result) == reference
+        assert data["faults"] == {
+            "timeouts": 0,
+            "retries": 0,
+            "respawns": 0,
+            "degraded_workers": 0,
+            "recovery_seconds": 0.0,
+        }
+
+    def test_transfer_ledger_identical_under_faults(
+        self, film_graph, film_config
+    ):
+        """Retries/replays never double-account master-boundary rows."""
+        with Session(
+            film_graph,
+            replace(film_config, fault=FaultConfig()),
+            backend="multiprocess",
+            num_workers=2,
+        ) as clean_session:
+            clean_session.discover()
+            clean = clean_session.metrics().as_dict()["transfers"]
+        fault = FaultConfig(
+            fault_plan=_plan(kill_on={"op": "eval", "nth": 1}, workers=[0])
+        )
+        with Session(
+            film_graph,
+            replace(film_config, fault=fault),
+            backend="multiprocess",
+            num_workers=2,
+        ) as chaos_session:
+            chaos_session.discover()
+            chaos = chaos_session.metrics().as_dict()["transfers"]
+            assert chaos_session.metrics().lifecycle.respawns >= 1
+        assert chaos == clean
