@@ -394,9 +394,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="ParDis workers (>1 selects the parallel engine; "
                            "unset with --backend multiprocess uses the "
                            "config default of 4)")
-    disc.add_argument("--backend", choices=["serial", "multiprocess"],
+    disc.add_argument("--backend",
+                      choices=["serial", "multiprocess", "auto"],
                       default=None,
-                      help="ParDis execution backend (default: serial, or "
+                      help="ParDis execution backend (auto: cost-based "
+                           "per-phase choice; default: serial, or "
                            "$REPRO_PARALLEL_BACKEND)")
     disc.add_argument("--no-shared-memory", action="store_true",
                       help="ship graph buffers to multiprocess workers by "
@@ -428,9 +430,11 @@ def build_parser() -> argparse.ArgumentParser:
     pipe.add_argument("--workers", type=int, default=None,
                       help="session workers (default: 1 serial / "
                            "4 multiprocess)")
-    pipe.add_argument("--backend", choices=["serial", "multiprocess"],
+    pipe.add_argument("--backend",
+                      choices=["serial", "multiprocess", "auto"],
                       default=None,
-                      help="session execution backend (default: serial, or "
+                      help="session execution backend (auto: cost-based "
+                           "per-phase choice; default: serial, or "
                            "$REPRO_PARALLEL_BACKEND)")
     pipe.add_argument("--no-shared-memory", action="store_true",
                       help="ship graph buffers to multiprocess workers by "

@@ -188,9 +188,12 @@ class DiscoveryConfig:
             runs the worker ops inline under the simulated cluster (exact
             historical semantics, no extra processes), ``"multiprocess"``
             runs them in real per-worker processes over shared-memory graph
-            buffers.  Results are identical by construction (the
-            differential harness asserts it).  Default ``"serial"``, or the
-            ``REPRO_PARALLEL_BACKEND`` environment variable.
+            buffers, and ``"auto"`` lets the
+            :class:`~repro.parallel.costs.PhaseCostPlanner` pick between
+            them per phase from measured latencies (never slower than
+            serial by construction).  Results are identical by construction
+            (the differential harness asserts it).  Default ``"serial"``,
+            or the ``REPRO_PARALLEL_BACKEND`` environment variable.
         num_workers: default worker count ``n`` for parallel runs when the
             engine call does not pass one (``None`` = the engine default, 4).
         shared_memory: ship the frozen index to multiprocess workers via
@@ -219,6 +222,20 @@ class DiscoveryConfig:
             the prefilter (``"hll"`` — the default — or ``"exact"``; compact
             alternatives like UltraLogLog register via
             :func:`~repro.core.sketch.register_sketch`).
+        fuse_ops: fuse the engines' per-pattern supersteps into per-level
+            batches (all parents tally in one round, all novel children
+            join and install in one round each, all verified patterns scan
+            / advance their LHS lattices / probe negatives jointly) and let
+            the backend ship each worker's whole batch as a single fused
+            submission — one pickle round trip per worker per superstep
+            instead of one per op.  Results are byte-identical with the
+            flag off (the differential harness pins fused ≡ unfused);
+            ``False`` restores the historical per-pattern rounds.
+        planner_mp_min_size: the ``"auto"`` planner's crossover floor —
+            with no multiprocess timings observed yet for a phase, inputs
+            below this many items stay serial (the round-trip constant
+            factor is known to dominate there); see
+            :class:`~repro.parallel.costs.PhaseCostPlanner`.
         fault: supervision policy of the multiprocess backend (timeouts,
             retry/respawn budgets, the degradation ladder) — see
             :class:`FaultConfig`.  ``None`` (the default) disables
@@ -255,6 +272,8 @@ class DiscoveryConfig:
     sketch_support_prefilter: bool = False
     sketch_precision: int = 12
     sketch_backend: str = "hll"
+    fuse_ops: bool = True
+    planner_mp_min_size: int = 50_000
     fault: Optional[FaultConfig] = field(default_factory=_default_fault)
 
     def __post_init__(self) -> None:
@@ -264,11 +283,13 @@ class DiscoveryConfig:
             raise ValueError("sigma must be >= 1")
         if self.max_lhs_size < 0:
             raise ValueError("max_lhs_size must be >= 0")
-        if self.parallel_backend not in ("serial", "multiprocess"):
+        if self.parallel_backend not in ("serial", "multiprocess", "auto"):
             raise ValueError(
-                "parallel_backend must be 'serial' or 'multiprocess', "
-                f"got {self.parallel_backend!r}"
+                "parallel_backend must be 'serial', 'multiprocess' or "
+                f"'auto', got {self.parallel_backend!r}"
             )
+        if self.planner_mp_min_size < 0:
+            raise ValueError("planner_mp_min_size must be >= 0")
         if self.num_workers is not None and self.num_workers < 1:
             raise ValueError("num_workers must be >= 1")
 

@@ -118,6 +118,17 @@ class SequentialDiscovery:
         """``HSpawn``: mine the dependencies of one verified pattern."""
         self._hspawn(node)
 
+    def _mine_nodes(self, nodes: Sequence[TreeNode]) -> None:
+        """``HSpawn`` over one level's verified patterns.
+
+        The sequential engine mines them one by one; the parallel engine
+        overrides this to validate all of a level's patterns in fused
+        supersteps (``config.fuse_ops``) — emissions land in ``_found`` in
+        the same per-node order either way.
+        """
+        for node in nodes:
+            self._mine_node(node)
+
     # ------------------------------------------------------------------
     def _drain_found(self) -> List[Tuple[GFD, int]]:
         """The ``(gfd, support)`` pairs emitted since the previous drain.
@@ -142,15 +153,13 @@ class SequentialDiscovery:
         completed level.  Backend lifecycle is the caller's concern.
         """
         self._seed_level(tree)
-        for node in tree.level(0):
-            self._mine_node(node)
+        self._mine_nodes(list(tree.level(0)))
         yield 0, self._drain_found()
         for level in range(1, self.config.edge_budget + 1):
             new_nodes = self._extend_level(tree, level)
             if not new_nodes:
                 return
-            for node in new_nodes:
-                self._mine_node(node)
+            self._mine_nodes(new_nodes)
             yield level, self._drain_found()
 
     def run(self) -> DiscoveryResult:

@@ -41,6 +41,18 @@ the workers across :meth:`~repro.enforce.engine.EnforcementEngine.refresh`
 calls.  The :class:`TransferLedger` on every backend counts exactly which
 match rows cross the master boundary, so tests and benchmarks can *prove*
 that only manifests and scalars travel.
+
+Round-trip amortization (the *op fusion* layer): with ``fuse_ops`` (the
+default) the multiprocess backend transparently groups a superstep's
+requests by worker and submits each worker's whole op sequence as **one**
+``_mp_execute_fused`` round trip — one pickle each way per worker instead
+of one per op — then charges, accounts and journals per fused *element*,
+so metering, the transfer ledger and crash recovery are byte-identical to
+per-op submission.  Large array payloads (install matches, enforcement
+balls/deltas) additionally route through a per-superstep shared-memory
+segment instead of the pickle channel.  Fusion is a pure transport
+optimization; the engines separately *batch* more work into each superstep
+(``DiscoveryConfig.fuse_ops``), which is what reduces the superstep count.
 """
 
 from __future__ import annotations
@@ -203,6 +215,10 @@ class LifecycleCounters:
     pools_started: int = 0
     index_attaches: int = 0
     index_refreshes: int = 0
+    #: Subset of ``index_refreshes`` that shipped only the *changed* arrays
+    #: (attribute columns / CSR deltas) instead of re-exporting the full
+    #: index — the delta-aware mutation path.
+    delta_refreshes: int = 0
     resets: int = 0
     shutdowns: int = 0
     timeouts: int = 0
@@ -767,6 +783,12 @@ class ExecutionBackend:
     #: Whether workers can exchange rows through a shared staging segment
     #: (worker-to-worker shipping without a master round-trip).
     supports_staging: bool = False
+    #: Whether a superstep's requests are fused into one submission per
+    #: worker (one pickle round trip carrying the worker's whole op
+    #: sequence).  Purely a transport optimization: results, metering and
+    #: ledger accounting are per-op either way.  In-process backends fuse
+    #: trivially (there is no transport), so the flag is structural there.
+    fuse_ops: bool = True
     #: Identity of the graph snapshot the workers were built around; an
     #: engine refuses to run on a backend holding a different snapshot.
     source_token: Tuple = ()
@@ -832,8 +854,10 @@ class SerialBackend(ExecutionBackend):
         graph: Optional[Graph],
         index: Optional[GraphIndex],
         gamma: Sequence[str],
+        fuse_ops: bool = True,
     ) -> None:
         self.num_workers = num_workers
+        self.fuse_ops = bool(fuse_ops)
         self.source_token = (id(graph), id(index))
         self.transfers = TransferLedger()
         self.lifecycle = LifecycleCounters(
@@ -892,21 +916,21 @@ def _align(offset: int) -> int:
     return (offset + 63) & ~63
 
 
-class SharedIndexBuffers:
-    """Master-side owner of a graph index's shared-memory copy.
+class _SharedArrayPack:
+    """Master-side owner of named arrays packed into one shared segment.
 
-    Packs the arrays of :meth:`GraphIndex.export_buffers` into one
-    ``SharedMemory`` segment (64-byte aligned) and records the layout
-    ``{name: (dtype, shape, offset)}`` workers need to rebuild zero-copy
-    views.  :meth:`close` unlinks the segment; the owner must outlive every
-    attached worker.
+    The generic half of the zero-copy protocol: arrays are copied into one
+    ``SharedMemory`` segment (64-byte aligned) and the layout
+    ``{name: (dtype, shape, offset)}`` lets any attaching process rebuild
+    views without pickling.  Used for the full index export
+    (:class:`SharedIndexBuffers`), for changed-array deltas on the
+    ``refresh_index`` mutation path, and for large op payloads routed
+    around the pickle channel.
     """
 
-    def __init__(self, index: GraphIndex) -> None:
+    def __init__(self, arrays: Dict[str, np.ndarray]) -> None:
         if _shared_memory is None:  # pragma: no cover - platform dependent
             raise RuntimeError("multiprocessing.shared_memory is unavailable")
-        meta, arrays = index.export_buffers()
-        self.meta = meta
         layout: Dict[str, Tuple[str, Tuple[int, ...], int]] = {}
         contiguous: Dict[str, np.ndarray] = {}
         offset = 0
@@ -940,7 +964,12 @@ class SharedIndexBuffers:
         return self.segment.name
 
     def close(self) -> None:
-        """Detach and unlink the segment (idempotent)."""
+        """Detach and unlink the segment (idempotent).
+
+        Unlinking frees the *name* only: processes that already attached
+        keep their mappings until they close them, so the owner may release
+        a segment as soon as every consumer has attached.
+        """
         if self._closed:
             return
         self._closed = True
@@ -956,6 +985,21 @@ class SharedIndexBuffers:
             self.close()
         except Exception:
             pass
+
+
+class SharedIndexBuffers(_SharedArrayPack):
+    """Master-side owner of a graph index's shared-memory copy.
+
+    Packs the arrays of :meth:`GraphIndex.export_buffers` into one
+    ``SharedMemory`` segment and keeps the picklable ``meta`` beside the
+    layout.  :meth:`close` unlinks the segment; the owner must outlive
+    every attached worker (or at least their attach calls).
+    """
+
+    def __init__(self, index: GraphIndex) -> None:
+        meta, arrays = index.export_buffers()
+        self.meta = meta
+        super().__init__(arrays)
 
 
 #: Attach a shared-memory segment without resource-tracker ownership; the
@@ -976,9 +1020,96 @@ def _views_from_layout(
     return arrays
 
 
+# ----------------------------------------------------------------------
+# shared-memory payload routing (master side)
+# ----------------------------------------------------------------------
+#: Large-array payload fields routed through a shared segment instead of
+#: the pickle channel, per op.  Everything else a payload carries is small
+#: (manifests, literals, scalars) and pickles fine.
+_SHM_PAYLOAD_KEYS = {
+    "install": ("matches",),
+    "enforce_install": ("matches",),
+    "enforce_update": ("ball", "fresh"),
+}
+
+#: Arrays below this size pickle faster than a segment round trip.
+_SHM_PAYLOAD_MIN_BYTES = 32 * 1024
+
+#: First element of a marker tuple substituted for a staged payload array.
+_SHM_MARKER = "__shm_payload__"
+
+
+def _stage_payloads(requests: Sequence[Request]):
+    """Move large array payloads of one batch into a shared segment.
+
+    Returns ``(submit requests, pack or None)``: payload dicts carrying a
+    staged array are shallow-copied with the array replaced by a marker
+    tuple ``(_SHM_MARKER, segment name, dtype, shape, offset)`` — the
+    *original* requests stay untouched, so ledger accounting and journaling
+    keep seeing the real arrays.  The caller must close the pack after the
+    batch completes (workers copy out of the segment on resolve).
+    """
+    staged_arrays: Dict[str, np.ndarray] = {}
+    slots: List[Tuple[int, str, str]] = []
+    for position, (worker, op, key, payload) in enumerate(requests):
+        for field in _SHM_PAYLOAD_KEYS.get(op, ()):
+            value = payload.get(field)
+            if (
+                isinstance(value, np.ndarray)
+                and value.nbytes >= _SHM_PAYLOAD_MIN_BYTES
+            ):
+                name = f"{position}:{field}"
+                staged_arrays[name] = value
+                slots.append((position, field, name))
+    if not slots:
+        return list(requests), None
+    pack = _SharedArrayPack(staged_arrays)
+    staged = list(requests)
+    for position, field, name in slots:
+        worker, op, key, payload = staged[position]
+        payload = dict(payload)
+        dtype_str, shape, offset = pack.layout[name]
+        payload[field] = (_SHM_MARKER, pack.name, dtype_str, shape, offset)
+        staged[position] = (worker, op, key, payload)
+    return staged, pack
+
+
+def _resolve_payload(payload: Dict[str, Any], cache: Dict[str, Any]):
+    """Replace shared-memory markers with materialized arrays (worker side).
+
+    Arrays are *copied* out of the segment: the master unlinks payload
+    segments right after the batch, and resident state (match tables,
+    enforcement rows) must not dangle into an unmapped buffer.  ``cache``
+    holds segment attachments across one batch; the caller closes them.
+    """
+    resolved = None
+    for field, value in payload.items():
+        if (
+            isinstance(value, tuple)
+            and len(value) == 5
+            and value[0] == _SHM_MARKER
+        ):
+            _, name, dtype_str, shape, offset = value
+            segment = cache.get(name)
+            if segment is None:
+                segment = cache[name] = _attach_segment(name)
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype_str),
+                buffer=segment.buf, offset=offset,
+            )
+            if resolved is None:
+                resolved = dict(payload)
+            resolved[field] = np.array(view, copy=True)
+    return payload if resolved is None else resolved
+
+
 # -- worker-process globals (one ShardWorker per process) ----------------
 _WORKER: Optional[ShardWorker] = None
-_SEGMENT = None
+#: Segment attachments backing the current index views: the full snapshot
+#: plus any delta segments merged since (views of *unchanged* arrays keep
+#: pointing into earlier segments, so the whole chain must stay mapped
+#: until a full re-attach replaces it).
+_SEGMENTS: List[Any] = []
 _FAULTS: Optional[FaultPlan] = None
 
 
@@ -996,7 +1127,7 @@ def _mp_initialize(
     pickled :class:`~repro.parallel.faults.FaultPlan` in this process —
     the chaos hook; respawned workers normally receive ``None``.
     """
-    global _WORKER, _SEGMENT, _FAULTS
+    global _WORKER, _SEGMENTS, _FAULTS
     plan = pickle.loads(fault_blob) if fault_blob is not None else None
     _FAULTS = plan if plan is not None and plan.applies_to(worker_id) else None
     spec = pickle.loads(spec_blob)
@@ -1004,8 +1135,9 @@ def _mp_initialize(
         _WORKER = ShardWorker(None, None, spec["gamma"])
         return
     if segment_name is not None:
-        _SEGMENT = _attach_segment(segment_name)
-        arrays = _views_from_layout(spec["layout"], _SEGMENT.buf)
+        segment = _attach_segment(segment_name)
+        _SEGMENTS = [segment]
+        arrays = _views_from_layout(spec["layout"], segment.buf)
     else:
         arrays = pickle.loads(arrays_blob)
     index = GraphIndex.from_buffers(spec["meta"], arrays)
@@ -1015,25 +1147,68 @@ def _mp_initialize(
 def _mp_attach_index(
     spec_blob: bytes, segment_name: Optional[str], arrays_blob: Optional[bytes]
 ) -> bool:
-    """Swap the worker process onto a new index snapshot.
+    """Swap the worker process onto a new full index snapshot.
 
     Builds the new detached :class:`GraphIndex` first, then closes the old
-    segment attachment — worker-resident state (parked joins, enforcement
-    rows and masks) survives untouched; only the index views are replaced.
+    segment chain — worker-resident state (parked joins, enforcement rows
+    and masks) survives untouched; only the index views are replaced.
     """
-    global _WORKER, _SEGMENT
+    global _WORKER, _SEGMENTS
     spec = pickle.loads(spec_blob)
     if segment_name is not None:
         segment = _attach_segment(segment_name)
+        chain = [segment]
         arrays = _views_from_layout(spec["layout"], segment.buf)
     else:
-        segment = None
+        chain = []
         arrays = pickle.loads(arrays_blob)
     _WORKER.index = GraphIndex.from_buffers(spec["meta"], arrays)
-    old = _SEGMENT
-    _SEGMENT = segment
-    if old is not None:
-        old.close()
+    old, _SEGMENTS = _SEGMENTS, chain
+    for segment in old:
+        segment.close()
+    return True
+
+
+def _index_arrays(index: GraphIndex) -> Dict[str, np.ndarray]:
+    """The current index's arrays under their export names (zero-copy).
+
+    Mirrors :meth:`GraphIndex.export_buffers` naming without its freshness
+    check — a detached worker index has no graph to be fresh against.
+    """
+    arrays = {
+        name: getattr(index, name) for name in GraphIndex._BUFFER_FIELDS
+    }
+    for attr, column in index._attr_codes.items():
+        arrays[f"attr:{attr}"] = column
+    return arrays
+
+
+def _mp_attach_delta(
+    spec_blob: bytes, segment_name: Optional[str], arrays_blob: Optional[bytes]
+) -> bool:
+    """Merge a changed-array delta into the worker's current index.
+
+    ``spec["names"]`` lists every array of the *new* snapshot; changed ones
+    arrive in the delta segment (or pickled), unchanged ones are taken from
+    the live index — byte-identical to what a full re-export would ship,
+    since unchanged means bytewise-equal under the new meta.  The delta
+    segment joins the attachment chain (its views live as long as the
+    index); dropped arrays simply stop being referenced.
+    """
+    global _WORKER, _SEGMENTS
+    spec = pickle.loads(spec_blob)
+    if segment_name is not None:
+        segment = _attach_segment(segment_name)
+        changed = _views_from_layout(spec["layout"], segment.buf)
+        _SEGMENTS.append(segment)
+    else:
+        changed = pickle.loads(arrays_blob)
+    current = _index_arrays(_WORKER.index)
+    merged = {
+        name: changed[name] if name in changed else current[name]
+        for name in spec["names"]
+    }
+    _WORKER.index = GraphIndex.from_buffers(spec["meta"], merged)
     return True
 
 
@@ -1043,9 +1218,43 @@ def _mp_execute(op: str, key: int, payload: Dict[str, Any]) -> Tuple[Any, float]
         # injected faults fire *before* the op runs, so a chaos kill never
         # half-applies worker state (replay + retry apply it exactly once)
         _FAULTS.apply(op)
-    started = time.perf_counter()
-    result = _WORKER.execute(op, key, payload)
-    return result, time.perf_counter() - started
+    cache: Dict[str, Any] = {}
+    try:
+        started = time.perf_counter()
+        result = _WORKER.execute(op, key, _resolve_payload(payload, cache))
+        return result, time.perf_counter() - started
+    finally:
+        for segment in cache.values():
+            segment.close()
+
+
+def _mp_execute_fused(
+    elements: Sequence[Tuple[str, int, Dict[str, Any]]]
+) -> List[Tuple[Any, float]]:
+    """Run one worker's whole superstep slice in a single round trip.
+
+    Elements execute in order, each producing the same ``(result, compute
+    seconds)`` pair :func:`_mp_execute` would — the master charges,
+    accounts and journals per element, so fused submission is invisible to
+    metering, the transfer ledger and crash recovery.  Injected faults
+    fire per element (the chaos counters see the same op sequence as
+    unfused execution).
+    """
+    outcomes: List[Tuple[Any, float]] = []
+    cache: Dict[str, Any] = {}
+    try:
+        for op, key, payload in elements:
+            if _FAULTS is not None:
+                _FAULTS.apply(op)
+            started = time.perf_counter()
+            result = _WORKER.execute(
+                op, key, _resolve_payload(payload, cache)
+            )
+            outcomes.append((result, time.perf_counter() - started))
+    finally:
+        for segment in cache.values():
+            segment.close()
+    return outcomes
 
 
 def _mp_ready() -> bool:
@@ -1076,8 +1285,10 @@ class MultiprocessBackend(ExecutionBackend):
         gamma: Sequence[str],
         use_shared_memory: bool = True,
         fault: Optional[FaultConfig] = None,
+        fuse_ops: bool = True,
     ) -> None:
         self.num_workers = num_workers
+        self.fuse_ops = bool(fuse_ops)
         # pin the snapshot: the token is id()-based, so the objects must
         # stay alive for the backend's lifetime or a recycled id could
         # falsely validate a different graph
@@ -1122,6 +1333,11 @@ class MultiprocessBackend(ExecutionBackend):
         self.recovery_seconds = 0.0
         self.buffers: Optional[SharedIndexBuffers] = None
         self._base_initargs, self.buffers = self._index_initargs(index)
+        # the previous snapshot's export (zero-copy array references into
+        # that index), diffed on refresh_index to ship only what changed
+        self._last_export = (
+            index.export_buffers() if index is not None else None
+        )
         self._pools: List[Optional[ProcessPoolExecutor]] = []
         try:
             for worker in range(num_workers):
@@ -1188,6 +1404,13 @@ class MultiprocessBackend(ExecutionBackend):
         """
         if index is None:
             raise ValueError("refresh_index requires a frozen graph index")
+        export = None
+        if self._fault is None and self._last_export is not None:
+            export = index.export_buffers()
+            changed = self._changed_arrays(export)
+            if changed is not None and self._refresh_delta(index, export,
+                                                           changed):
+                return
         initargs, new_buffers = self._index_initargs(index)
         try:
             futures = [
@@ -1212,7 +1435,89 @@ class MultiprocessBackend(ExecutionBackend):
         for shard in self._local.values():
             shard.index = index
         self.source_token = (id(index.graph), id(index))
+        self._last_export = (
+            export if export is not None else index.export_buffers()
+        )
         self.lifecycle.index_refreshes += 1
+
+    def _changed_arrays(self, export) -> Optional[Dict[str, np.ndarray]]:
+        """Arrays that differ from the previous export, or ``None``.
+
+        ``None`` means a full re-export is the better ship: more than half
+        the snapshot's bytes changed, so the delta machinery would cost as
+        much as the plain path while adding a segment to the chain.  An
+        unchanged array is *bytewise* equal — under the new snapshot's
+        meta tables it decodes to exactly what a full export would ship,
+        so reusing the worker's existing view is sound even when interned
+        code tables shifted (a shifted code changes the bytes).
+        """
+        meta, arrays = export
+        previous = self._last_export[1]
+        changed: Dict[str, np.ndarray] = {}
+        total = 0
+        changed_bytes = 0
+        for name, array in arrays.items():
+            total += array.nbytes
+            old = previous.get(name)
+            if (
+                old is None
+                or old.dtype != array.dtype
+                or old.shape != array.shape
+                or not np.array_equal(old, array)
+            ):
+                changed[name] = array
+                changed_bytes += array.nbytes
+        if total and changed_bytes * 2 > total:
+            return None
+        return changed
+
+    def _refresh_delta(
+        self, index: GraphIndex, export, changed: Dict[str, np.ndarray]
+    ) -> bool:
+        """Ship only the changed arrays; workers merge with their views.
+
+        The delta segment is released (unlinked) as soon as every worker
+        has attached — their mappings persist — and earlier segments stay
+        mapped worker-side through the attachment chain, so unchanged
+        views never dangle.  Gated on unsupervised backends: a respawn
+        rebuilds from ``_base_initargs``, which a delta chain could not
+        reconstruct.
+        """
+        meta, arrays = export
+        spec: Dict[str, Any] = {
+            "meta": meta,
+            "gamma": self._gamma,
+            "names": sorted(arrays),
+        }
+        pack: Optional[_SharedArrayPack] = None
+        if self._use_shared_memory:
+            pack = _SharedArrayPack(changed)
+            spec["layout"] = pack.layout
+            initargs = (pickle.dumps(spec), pack.name, None)
+        else:
+            initargs = (pickle.dumps(spec), None, pickle.dumps(changed))
+        try:
+            futures = [
+                pool.submit(_mp_attach_delta, *initargs)
+                for worker, pool in enumerate(self._pools)
+                if worker not in self._local
+            ]
+            for future in futures:
+                future.result()
+        except Exception:
+            if pack is not None:
+                pack.close()
+            raise
+        if pack is not None:
+            pack.close()
+        self._index = index
+        for shard in self._local.values():  # pragma: no cover - fault-only
+            shard.index = index
+        self.source_token = (id(index.graph), id(index))
+        self._last_export = export
+        self.lifecycle.index_refreshes += 1
+        self.lifecycle.delta_refreshes += 1
+        return True
 
     def create_stage(self, nbytes: int):
         """A fresh staging segment for one worker-to-worker exchange."""
@@ -1418,23 +1723,156 @@ class MultiprocessBackend(ExecutionBackend):
             )
 
     # ------------------------------------------------------------------
-    def run_superstep(self, step, requests: Sequence[Request]) -> List[Any]:
-        if self._fault is None:
-            futures = [
-                (
-                    worker,
-                    self._pools[worker].submit(_mp_execute, op, key, payload),
+    # fused submission: one round trip per worker per batch
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _worker_groups(requests: Sequence[Request]) -> Dict[int, List[int]]:
+        """Request positions grouped by worker, original order preserved."""
+        groups: Dict[int, List[int]] = {}
+        for position, request in enumerate(requests):
+            groups.setdefault(request[0], []).append(position)
+        return groups
+
+    def _submit_fused(self, worker: int,
+                      elements: List[Tuple[str, int, Dict[str, Any]]]):
+        """Dispatch one worker's fused element list (supervised path)."""
+        if worker in self._local:
+            return (
+                "local",
+                [
+                    self._run_local(worker, op, key, payload)
+                    for op, key, payload in elements
+                ],
+            )
+        return (
+            self._generation[worker],
+            self._pools[worker].submit(_mp_execute_fused, elements),
+        )
+
+    def _collect_fused(self, worker: int,
+                       elements: List[Tuple[str, int, Dict[str, Any]]],
+                       handle) -> List[Tuple[Any, float]]:
+        """Await one fused batch, recovering and retrying on failure.
+
+        The whole batch is the retry unit: a worker that died mid-batch
+        discarded every partial effect with its process, and nothing of the
+        batch was journaled yet, so respawn + log replay + full-batch retry
+        applies each element exactly once.  The deadline scales with the
+        element count (per-op deadlines, fused transport).
+        """
+        tag, future = handle
+        if tag == "local":
+            return future
+        generation = tag
+        deadline = self._fault.op_timeout_s * max(1, len(elements))
+        attempts = 0
+        while True:
+            try:
+                return future.result(timeout=deadline)
+            except Exception as error:
+                if not self._is_transport_failure(error):
+                    raise  # a real op error: supervision must not mask bugs
+                if isinstance(error, _FuturesTimeout):
+                    self.lifecycle.timeouts += 1
+                if worker not in self._local and (
+                    generation == self._generation[worker]
+                ):
+                    self._recover(worker)
+                if worker in self._local:
+                    return [
+                        self._run_local(worker, op, key, payload)
+                        for op, key, payload in elements
+                    ]
+                attempts += 1
+                if attempts > self._fault.max_retries:
+                    raise
+                self.lifecycle.retries += 1
+                time.sleep(self._fault.backoff_base * (2 ** (attempts - 1)))
+                generation = self._generation[worker]
+                future = self._pools[worker].submit(
+                    _mp_execute_fused, elements
                 )
-                for worker, op, key, payload in requests
-            ]
-            results = []
-            for (worker, future), (_, op, _key, payload) in zip(
-                futures, requests
-            ):
-                result, seconds = future.result()
-                step.charge(worker, seconds)
-                _account(self, op, payload, result)
-                results.append(result)
+
+    def _stage(self, requests: Sequence[Request]):
+        """Payload staging when the segment transport is usable."""
+        if self._use_shared_memory and self._fault is None:
+            # supervised backends skip it: a journal replay could not
+            # reconstruct an unlinked payload segment (same rationale as
+            # staging); pickled payloads are fully replayable
+            return _stage_payloads(requests)
+        return list(requests), None
+
+    # ------------------------------------------------------------------
+    def run_superstep(self, step, requests: Sequence[Request]) -> List[Any]:
+        requests = list(requests)
+        if self._fault is None:
+            staged, pack = self._stage(requests)
+            try:
+                if self.fuse_ops and len(requests) > 1:
+                    groups = self._worker_groups(requests)
+                    futures = {
+                        worker: self._pools[worker].submit(
+                            _mp_execute_fused,
+                            [staged[p][1:] for p in positions],
+                        )
+                        for worker, positions in groups.items()
+                    }
+                    results: List[Any] = [None] * len(requests)
+                    for worker, positions in groups.items():
+                        outcomes = futures[worker].result()
+                        for position, (result, seconds) in zip(
+                            positions, outcomes
+                        ):
+                            _, op, _key, payload = requests[position]
+                            step.charge(worker, seconds)
+                            _account(self, op, payload, result)
+                            results[position] = result
+                    return results
+                futures = [
+                    (
+                        worker,
+                        self._pools[worker].submit(
+                            _mp_execute, op, key, payload
+                        ),
+                    )
+                    for worker, op, key, payload in staged
+                ]
+                results = []
+                for (worker, future), (_, op, _key, payload) in zip(
+                    futures, requests
+                ):
+                    result, seconds = future.result()
+                    step.charge(worker, seconds)
+                    _account(self, op, payload, result)
+                    results.append(result)
+                return results
+            finally:
+                if pack is not None:
+                    pack.close()
+        if self.fuse_ops and len(requests) > 1:
+            groups = self._worker_groups(requests)
+            elements = {
+                worker: [requests[p][1:] for p in positions]
+                for worker, positions in groups.items()
+            }
+            handles = {
+                worker: self._submit_fused(worker, elements[worker])
+                for worker in groups
+            }
+            before = self.recovery_seconds
+            results = [None] * len(requests)
+            for worker, positions in groups.items():
+                outcomes = self._collect_fused(
+                    worker, elements[worker], handles[worker]
+                )
+                for position, (result, seconds) in zip(positions, outcomes):
+                    _, op, key, payload = requests[position]
+                    step.charge(worker, seconds)
+                    _account(self, op, payload, result)
+                    self._journal(worker, op, key, payload)
+                    results[position] = result
+            if self.recovery_seconds > before:
+                step.recover(self.recovery_seconds - before)
             return results
         handles = [
             (worker, op, key, payload, self._submit(worker, op, key, payload))
@@ -1455,18 +1893,76 @@ class MultiprocessBackend(ExecutionBackend):
     def run_unmetered(
         self, requests: Sequence[Request], wait: bool = True
     ) -> List[Any]:
+        requests = list(requests)
         if self._fault is None:
-            futures = [
-                self._pools[worker].submit(_mp_execute, op, key, payload)
-                for worker, op, key, payload in requests
-            ]
+            # fire-and-forget batches (drops) carry no arrays — stage only
+            # when the master will wait, so a payload segment is never
+            # released while a worker might still be resolving it
+            staged, pack = self._stage(requests) if wait else (requests, None)
+            try:
+                if self.fuse_ops and len(requests) > 1:
+                    groups = self._worker_groups(requests)
+                    futures = {
+                        worker: self._pools[worker].submit(
+                            _mp_execute_fused,
+                            [staged[p][1:] for p in positions],
+                        )
+                        for worker, positions in groups.items()
+                    }
+                    if not wait:
+                        return []
+                    results: List[Any] = [None] * len(requests)
+                    for worker, positions in groups.items():
+                        outcomes = futures[worker].result()
+                        for position, (result, _seconds) in zip(
+                            positions, outcomes
+                        ):
+                            _, op, _key, payload = requests[position]
+                            _account(self, op, payload, result)
+                            results[position] = result
+                    return results
+                futures = [
+                    self._pools[worker].submit(_mp_execute, op, key, payload)
+                    for worker, op, key, payload in staged
+                ]
+                if not wait:
+                    return []
+                results = []
+                for future, (_, op, _key, payload) in zip(futures, requests):
+                    result = future.result()[0]
+                    _account(self, op, payload, result)
+                    results.append(result)
+                return results
+            finally:
+                if pack is not None:
+                    pack.close()
+        if self.fuse_ops and len(requests) > 1:
+            groups = self._worker_groups(requests)
+            elements = {
+                worker: [requests[p][1:] for p in positions]
+                for worker, positions in groups.items()
+            }
+            handles = {
+                worker: self._submit_fused(worker, elements[worker])
+                for worker in groups
+            }
             if not wait:
+                # fire-and-forget is only used for idempotent releases
+                # (drops); journaling at submit time is safe for those, and
+                # replay keeps the submit order
+                for worker, op, key, payload in requests:
+                    self._journal(worker, op, key, payload)
                 return []
-            results = []
-            for future, (_, op, _key, payload) in zip(futures, requests):
-                result = future.result()[0]
-                _account(self, op, payload, result)
-                results.append(result)
+            results = [None] * len(requests)
+            for worker, positions in groups.items():
+                outcomes = self._collect_fused(
+                    worker, elements[worker], handles[worker]
+                )
+                for position, (result, _seconds) in zip(positions, outcomes):
+                    _, op, key, payload = requests[position]
+                    _account(self, op, payload, result)
+                    self._journal(worker, op, key, payload)
+                    results[position] = result
             return results
         handles = [
             (worker, op, key, payload, self._submit(worker, op, key, payload))
@@ -1522,6 +2018,7 @@ def make_backend(
     gamma: Sequence[str],
     use_shared_memory: bool = True,
     fault: Any = "auto",
+    fuse_ops: bool = True,
 ) -> ExecutionBackend:
     """Instantiate a backend by config name (``serial`` | ``multiprocess``).
 
@@ -1535,11 +2032,17 @@ def make_backend(
     ``REPRO_FAULT_PLAN`` is set, so the chaos CI job covers call sites that
     never mention faults.  The serial backend ignores it (in-process
     execution cannot lose a worker).
+
+    ``fuse_ops`` enables the fused transport: one submission per worker
+    per batch instead of one per op (see the module docstring).  Results
+    are identical either way; ``False`` restores per-op submission (the
+    differential suites pin the equivalence).
     """
     if fault == "auto":
         fault = _default_fault()
     if name == "serial":
-        return SerialBackend(num_workers, graph, index, gamma)
+        return SerialBackend(num_workers, graph, index, gamma,
+                             fuse_ops=fuse_ops)
     if name == "multiprocess":
         return MultiprocessBackend(
             num_workers,
@@ -1547,6 +2050,7 @@ def make_backend(
             gamma,
             use_shared_memory=use_shared_memory,
             fault=fault,
+            fuse_ops=fuse_ops,
         )
     raise ValueError(
         f"unknown parallel backend {name!r} (expected one of {BACKEND_NAMES})"

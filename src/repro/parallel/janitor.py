@@ -72,12 +72,42 @@ def _spool_file(pid: Optional[int] = None) -> Path:
     return spool_dir() / f"{pid if pid is not None else os.getpid()}.json"
 
 
+def _process_token(pid: int) -> Optional[str]:
+    """A pid-reuse-proof identity token: the kernel process start time.
+
+    Field 22 of ``/proc/<pid>/stat`` (``starttime``, in clock ticks since
+    boot) is fixed for the life of a process and differs between any two
+    processes that recycled the same pid.  Returns ``None`` where procfs is
+    unavailable (non-Linux) — callers must then fall back to pid liveness
+    alone.
+    """
+    try:
+        stat = Path(f"/proc/{pid}/stat").read_text(encoding="ascii")
+    except (OSError, UnicodeDecodeError):
+        return None
+    # the comm field (2) may contain spaces and parentheses; everything
+    # after the *last* ')' is whitespace-separated fields 3..52
+    _, _, rest = stat.rpartition(")")
+    fields = rest.split()
+    if len(fields) < 20:  # pragma: no cover - malformed stat line
+        return None
+    return f"starttime:{fields[19]}"
+
+
 def _write_spool() -> None:
     path = _spool_file()
     if not _registry:
         path.unlink(missing_ok=True)
         return
-    path.write_text(json.dumps(sorted(_registry)), encoding="utf-8")
+    payload = {
+        "token": _process_token(os.getpid()),
+        "segments": sorted(_registry),
+    }
+    # temp-then-replace: a crash mid-write must never leave truncated JSON
+    # where a later process's sweep_orphans() would trip over it
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_text(json.dumps(payload), encoding="utf-8")
+    os.replace(temp, path)
 
 
 def _signal_cleanup(signum, frame):  # pragma: no cover - signal path
@@ -191,13 +221,35 @@ def _alive(pid: int) -> bool:
     return True
 
 
+def _read_spool(file: Path):
+    """Parse one spool file → ``(token, segment names)``.
+
+    Accepts both formats: the current ``{"token": ..., "segments": [...]}``
+    object and the legacy bare list (no identity token).  Raises
+    ``ValueError`` on corrupt content so the caller can quarantine it.
+    """
+    data = json.loads(file.read_text(encoding="utf-8") or "[]")
+    if isinstance(data, list):
+        return None, data
+    if isinstance(data, dict):
+        segments = data.get("segments", [])
+        if not isinstance(segments, list):
+            raise ValueError("spool 'segments' is not a list")
+        return data.get("token"), segments
+    raise ValueError("spool file is neither a list nor an object")
+
+
 def sweep_orphans() -> List[str]:
     """Unlink segments abandoned by dead processes; returns their names.
 
-    Scans the spool directory: a file whose owning pid no longer exists
-    belongs to a crashed (or ``SIGKILL``-ed) master — its listed segments
-    are unlinked and the file removed.  Live processes (this one included)
-    are never touched, and only :data:`SEGMENT_PREFIX` names are swept.
+    Scans the spool directory: a file whose owning pid no longer exists —
+    or whose recorded start-time token proves the pid was *recycled* by an
+    unrelated process — belongs to a crashed (``SIGKILL``-ed, OOM-killed)
+    master, so its listed segments are unlinked and the file removed.
+    Live owners (this process included) are never touched, only
+    :data:`SEGMENT_PREFIX` names are swept, and unparseable spool files
+    from dead owners are quarantined (renamed ``*.corrupt``) rather than
+    retried forever or allowed to abort the sweep.
     """
     if _shared_memory is None:  # pragma: no cover - platform dependent
         return []
@@ -207,12 +259,29 @@ def sweep_orphans() -> List[str]:
             pid = int(file.stem)
         except ValueError:
             continue
-        if pid == os.getpid() or _alive(pid):
+        if pid == os.getpid():
             continue
         try:
-            names = json.loads(file.read_text(encoding="utf-8") or "[]")
-        except (OSError, ValueError):
-            names = []
+            token, names = _read_spool(file)
+        except OSError:
+            continue  # raced away or unreadable; retry next sweep
+        except ValueError:
+            # truncated/garbled JSON: tolerate it, and once the owner is
+            # gone move it aside so later sweeps stop re-parsing it
+            if not _alive(pid):
+                try:
+                    file.replace(file.with_suffix(".json.corrupt"))
+                except OSError:  # pragma: no cover - raced away
+                    pass
+            continue
+        if _alive(pid):
+            current = _process_token(pid)
+            if token is None or current is None or token == current:
+                # same process still running (or identity unprovable on
+                # this platform — then liveness is the best we have)
+                continue
+            # the pid is alive but belongs to a *different* process: the
+            # spool's owner died and the pid was recycled — sweep it
         for name in names:
             # a spool file only ever lists segments its owning pid created
             # (names embed the creator), so anything else is corrupt or

@@ -151,6 +151,31 @@ class _CoverSession:
                 ],
             )
 
+    def run_with_sigma(self, sigma: Sequence[GFD], requests: List) -> List:
+        """Ship ``Σ`` and run the cover work units.
+
+        On a fusing backend the Σ broadcast rides the same superstep (and,
+        per worker, the same fused submission) as the work ops — one BSP
+        round and one pickle round trip per worker instead of two.  Op
+        order per worker is preserved (Σ lands before the unit batch), and
+        the per-element ledger accounting (``sigma_rules``) is unchanged.
+        A non-fusing backend keeps the historical two supersteps.
+        """
+        if getattr(self.backend, "fuse_ops", False):
+            sigma_requests = [
+                (worker, "sigma", self.key, {"sigma": list(sigma)})
+                for worker in range(self.num_workers)
+            ]
+            with self.cluster.superstep() as step:
+                step.broadcast(len(sigma))
+                results = self.backend.run_superstep(
+                    step, sigma_requests + requests
+                )
+            return results[len(sigma_requests):]
+        self.broadcast_sigma(sigma)
+        with self.cluster.superstep() as step:
+            return self.backend.run_superstep(step, requests)
+
     def __enter__(self) -> "_CoverSession":
         return self
 
@@ -234,18 +259,16 @@ def parallel_cover(
             assignment = assign_units_lpt(weights, cluster.num_workers)
         removed_indices: Set[int] = set()
         if sigma:
-            session.broadcast_sigma(sigma)
-            with cluster.superstep() as step:
-                requests = [
-                    (
-                        worker,
-                        "implication_batch",
-                        session.key,
-                        {"units": [units[unit_id] for unit_id in unit_ids]},
-                    )
-                    for worker, unit_ids in enumerate(assignment)
-                ]
-                parts = session.backend.run_superstep(step, requests)
+            requests = [
+                (
+                    worker,
+                    "implication_batch",
+                    session.key,
+                    {"units": [units[unit_id] for unit_id in unit_ids]},
+                )
+                for worker, unit_ids in enumerate(assignment)
+            ]
+            parts = session.run_with_sigma(sigma, requests)
             for unit_ids, (removed_part, unit_seconds) in zip(
                 assignment, parts
             ):
@@ -301,20 +324,18 @@ def parallel_cover_ungrouped(
         # (cheap — implication verdicts are reused, only chains re-check).
         verdicts: Dict[int, bool] = {}
         if sigma:
-            session.broadcast_sigma(sigma)
-            with cluster.superstep() as step:
-                assignments: List[List[int]] = [
-                    [] for _ in range(cluster.num_workers)
-                ]
-                for position, index in enumerate(order):
-                    assignments[position % cluster.num_workers].append(index)
-                requests = [
-                    (worker, "cover_probe", session.key, {"indices": indices})
-                    for worker, indices in enumerate(assignments)
-                ]
-                for part in session.backend.run_superstep(step, requests):
-                    for index, verdict in part:
-                        verdicts[index] = verdict
+            assignments: List[List[int]] = [
+                [] for _ in range(cluster.num_workers)
+            ]
+            for position, index in enumerate(order):
+                assignments[position % cluster.num_workers].append(index)
+            requests = [
+                (worker, "cover_probe", session.key, {"indices": indices})
+                for worker, indices in enumerate(assignments)
+            ]
+            for part in session.run_with_sigma(sigma, requests):
+                for index, verdict in part:
+                    verdicts[index] = verdict
             cluster.ship_to_master(len(sigma))
 
         removed_indices: Set[int] = set()

@@ -96,6 +96,41 @@ class _Task:
         self._next_frontier: List[Tuple[FrozenSet[Literal], int, int]] = []
 
 
+class _NodeMining:
+    """Master-side ``HSpawn`` state for one pattern mined in a fused batch.
+
+    Emissions are *buffered* (``emits``) instead of landing in ``_found``
+    directly: a fused batch advances several patterns' lattices jointly, so
+    live emission would interleave them — replaying the buffers in node
+    order afterwards restores the exact per-node insertion order the
+    unfused path produces.
+    """
+
+    __slots__ = (
+        "node", "key", "literals", "lattice_literals", "literal_count",
+        "total_rows", "indexed", "tasks", "next_mask_id", "pending_drops",
+        "nh_bases", "emits", "done",
+    )
+
+    def __init__(self, node: TreeNode, key: int, literals: List[Literal]) -> None:
+        self.node = node
+        self.key = key
+        self.literals = literals
+        self.lattice_literals: List[Literal] = []
+        self.literal_count: Dict[Literal, int] = {}
+        self.total_rows = 0
+        self.indexed: List[Tuple[int, Literal]] = []
+        self.tasks: List[_Task] = []
+        self.next_mask_id = 1
+        #: mask ids retired last level, pruned lazily with the next round
+        self.pending_drops: List[int] = []
+        #: NHSpawn bases: (lhs, rhs, rows mask id, base support)
+        self.nh_bases: List[Tuple[FrozenSet[Literal], Literal, int, int]] = []
+        #: buffered ``(gfd, support)`` emissions, replayed in node order
+        self.emits: List[Tuple[GFD, int]] = []
+        self.done = False
+
+
 class ParallelDiscovery(SequentialDiscovery):
     """``ParDis``: the parallel variant of :class:`SequentialDiscovery`.
 
@@ -189,6 +224,7 @@ class ParallelDiscovery(SequentialDiscovery):
                 self.gamma,
                 use_shared_memory=self.config.shared_memory,
                 fault=self.config.fault,
+                fuse_ops=self.config.fuse_ops,
             )
         else:
             if self._backend.num_workers != self.num_workers:
@@ -227,10 +263,20 @@ class ParallelDiscovery(SequentialDiscovery):
         self._seed_parallel(tree)
 
     def _extend_level(self, tree: GenerationTree, level: int) -> List[TreeNode]:
+        if self.config.fuse_ops:
+            return self._vspawn_parallel_fused(tree, level)
         return self._vspawn_parallel(tree, level)
 
     def _mine_node(self, node: TreeNode) -> None:
-        self._hspawn_parallel(node)
+        self._mine_nodes_batch([node])
+
+    def _mine_nodes(self, nodes) -> None:
+        """``HSpawn`` one level: jointly when fused, node-by-node otherwise."""
+        if self.config.fuse_ops:
+            self._mine_nodes_batch(list(nodes))
+        else:
+            for node in nodes:
+                self._mine_node(node)
 
     # ------------------------------------------------------------------
     # seeding and vertical spawning
@@ -297,59 +343,78 @@ class ParallelDiscovery(SequentialDiscovery):
         truncated: bool = False,
         adopt: Optional[Tuple[int, int]] = None,
     ) -> None:
+        """Install one pattern's shards in its own superstep (unfused path)."""
+        self._install_shards_many([(node, shards, truncated, adopt)])
+
+    def _install_shards_many(
+        self,
+        batch: List[Tuple[TreeNode, Optional[List], bool, Optional[Tuple[int, int]]]],
+    ) -> None:
         """Install per-worker match tables + column statistics in one superstep.
 
-        The column statistics feed the master's alphabet generation, saving
-        a dedicated round per pattern.  ``shards`` carries the per-worker
-        matches; on a remote backend ``adopt`` instead names the join slot
-        the matches were parked in worker-side, so no rows cross the
-        process boundary.  Truncated patterns are leaves: no worker state
-        is installed, so they are skipped by both spawning directions
-        (matching the sequential engine's refusal to certify anything from
-        a capped table).
+        ``batch`` holds ``(node, shards, truncated, adopt)`` entries — the
+        fused ``VSpawn`` installs a whole level's children in one round,
+        the unfused path one child at a time.  The column statistics feed
+        the master's alphabet generation, saving a dedicated round per
+        pattern.  ``shards`` carries the per-worker matches; on a remote
+        backend ``adopt`` instead names the join slot the matches were
+        parked in worker-side, so no rows cross the process boundary.
+        Truncated patterns are leaves: no worker state is installed, so
+        they are skipped by both spawning directions (matching the
+        sequential engine's refusal to certify anything from a capped
+        table).
         """
-        if truncated:
-            self.stats.truncated_patterns += 1
-            if not self._backend.remote:
-                node.table = self._union_table(node, shards, truncated=True)
+        pending: List[Tuple[TreeNode, int, bool, Optional[List], Optional[Tuple[int, int]]]] = []
+        for node, shards, truncated, adopt in batch:
+            if truncated:
+                self.stats.truncated_patterns += 1
+                if not self._backend.remote:
+                    node.table = self._union_table(node, shards, truncated=True)
+                continue
+            key = next_node_key()
+            self._keys[id(node)] = key
+            mined = not self.config.prune or node.support >= self.config.sigma
+            pending.append((node, key, mined, shards, adopt))
+        if not pending:
             return
-        key = next_node_key()
-        self._keys[id(node)] = key
-        want_variable = (
-            self.config.variable_literals and node.pattern.num_nodes > 1
-        )
-        mined = not self.config.prune or node.support >= self.config.sigma
-        base_payload = {
-            "pattern": node.pattern,
-            "mined": mined,
-            "want_variable": want_variable,
-            "same_attr_only": self.config.variable_literals_same_attr_only,
-            # this run's Γ travels with the install: a session-shared
-            # backend may have been constructed for an older snapshot
-            # whose top attributes differ
-            "gamma": self.gamma,
-        }
         requests = []
-        for worker in range(self.num_workers):
-            payload = dict(base_payload)
-            if adopt is not None:
-                payload["adopt"] = adopt
-            else:
-                payload["matches"] = shards[worker]
-            requests.append((worker, "install", key, payload))
-        with self.cluster.superstep() as step:
-            parts = self._backend.run_superstep(step, requests)
-        self._shard_rows[key] = [part[0] for part in parts]
-        if mined:
-            self._column_stats[key] = (
-                [part[1] for part in parts],
-                [part[2] for part in parts],
+        for node, key, mined, shards, adopt in pending:
+            want_variable = (
+                self.config.variable_literals and node.pattern.num_nodes > 1
             )
-        if not self._backend.remote:
-            # keep a union view for code that only reads matches (workers
-            # hold the authoritative shards; skipped on real processes
-            # where it would double the master's memory)
-            node.table = self._union_table(node, shards)
+            base_payload = {
+                "pattern": node.pattern,
+                "mined": mined,
+                "want_variable": want_variable,
+                "same_attr_only": self.config.variable_literals_same_attr_only,
+                # this run's Γ travels with the install: a session-shared
+                # backend may have been constructed for an older snapshot
+                # whose top attributes differ
+                "gamma": self.gamma,
+            }
+            for worker in range(self.num_workers):
+                payload = dict(base_payload)
+                if adopt is not None:
+                    payload["adopt"] = adopt
+                else:
+                    payload["matches"] = shards[worker]
+                requests.append((worker, "install", key, payload))
+        with self.cluster.superstep() as step:
+            parts_all = self._backend.run_superstep(step, requests)
+        n = self.num_workers
+        for index, (node, key, mined, shards, adopt) in enumerate(pending):
+            parts = parts_all[index * n:(index + 1) * n]
+            self._shard_rows[key] = [part[0] for part in parts]
+            if mined:
+                self._column_stats[key] = (
+                    [part[1] for part in parts],
+                    [part[2] for part in parts],
+                )
+            if not self._backend.remote:
+                # keep a union view for code that only reads matches (workers
+                # hold the authoritative shards; skipped on real processes
+                # where it would double the master's memory)
+                node.table = self._union_table(node, shards)
 
     def _drop_parent(self, parent: TreeNode, parent_key: int) -> None:
         """Free a finished pattern's worker-side state and master bookkeeping."""
@@ -379,6 +444,12 @@ class ParallelDiscovery(SequentialDiscovery):
         ]
         with self.cluster.superstep() as step:
             parts = self._backend.run_superstep(step, requests)
+        return self._extensions_from_tallies(parent, parts)
+
+    def _extensions_from_tallies(
+        self, parent: TreeNode, parts: List
+    ) -> List[Extension]:
+        """Master-side extension generation from one parent's merged tallies."""
         with self.cluster.master():
             merged = merge_extension_counts(parts)
             self.cluster.ship_to_master(
@@ -655,6 +726,209 @@ class ParallelDiscovery(SequentialDiscovery):
                 return created_nodes
         return created_nodes
 
+    def _vspawn_parallel_fused(
+        self, tree: GenerationTree, level: int
+    ) -> List[TreeNode]:
+        """``VSpawn(level)`` with per-level fused supersteps.
+
+        Three rounds for the whole level instead of roughly three per
+        parent/child: every surviving parent tallies in one superstep,
+        every novel child joins in one superstep, every non-truncated
+        child installs in one superstep (rare skew rebalances keep their
+        own rounds in between).  Master-side dedup, support aggregation
+        and the zero-support negative emissions run in exactly the
+        per-parent, per-child order of :meth:`_vspawn_parallel`, so the
+        discovered set and the transfer ledger are byte-identical — the
+        differential suite pins fused ≡ unfused.  One deliberate
+        read-only difference: parents past a binding
+        ``max_patterns_per_level`` cap are still tallied (the joint round
+        was already submitted) but never extended, joined or dropped —
+        tallies ship no ledger-visible rows.
+        """
+        created_nodes: List[TreeNode] = []
+        parents = list(tree.level(level - 1))
+        edge_label_counts = self.graph_stats.edge_label_counts
+        total_edges = self.graph.num_edges
+        n = self.num_workers
+        cap = self.config.max_matches_per_pattern
+        level_cap = self.config.max_patterns_per_level
+        remote = self._backend.remote
+
+        eligible: List[Tuple[TreeNode, int]] = []
+        for parent in parents:
+            parent_key = self._keys.get(id(parent))
+            if parent_key is None:
+                continue  # never installed (e.g. truncated leaf)
+            if (
+                self.config.prune and parent.support < self.config.sigma
+            ) or parent.support == 0:
+                # a leaf (infrequent or zero-support): its HSpawn already
+                # ran last level, so its worker-side shards are dead weight
+                self._drop_parent(parent, parent_key)
+                continue
+            eligible.append((parent, parent_key))
+        if not eligible:
+            return created_nodes
+
+        # round 1 — every parent's distributed tally in one superstep
+        requests = [
+            (
+                worker,
+                "tally",
+                parent_key,
+                {"can_add": parent.pattern.num_nodes < self.config.k},
+            )
+            for parent, parent_key in eligible
+            for worker in range(n)
+        ]
+        with self.cluster.superstep() as step:
+            parts_all = self._backend.run_superstep(step, requests)
+
+        # master-side extension generation + dedup, in parent order (the
+        # dedup against earlier parents' children is order-sensitive)
+        novel_by_parent: List[Tuple[TreeNode, int, List[Tuple[TreeNode, Extension]]]] = []
+        spawned = 0
+        for index, (parent, parent_key) in enumerate(eligible):
+            parts = parts_all[index * n:(index + 1) * n]
+            extensions = self._extensions_from_tallies(parent, parts)
+            novel: List[Tuple[TreeNode, Extension]] = []
+            with self.cluster.master():
+                for extension in extensions:
+                    pattern = apply_extension(parent.pattern, extension)
+                    if pattern.num_nodes > self.config.k:
+                        continue
+                    node, created = tree.add(pattern, level, parent)
+                    if not created:
+                        continue
+                    self.stats.patterns_spawned += 1
+                    novel.append((node, extension))
+                    if (
+                        level_cap is not None
+                        and spawned + len(novel) >= level_cap
+                    ):
+                        break
+            novel_by_parent.append((parent, parent_key, novel))
+            spawned += len(novel)
+            if level_cap is not None and spawned >= level_cap:
+                break
+
+        # round 2 — every parent's incremental joins in one superstep
+        join_parents = [entry for entry in novel_by_parent if entry[2]]
+        joined_all: List = []
+        if join_parents:
+            requests = [
+                (
+                    worker,
+                    "join",
+                    parent_key,
+                    {
+                        "extensions": [
+                            (extension, node.pattern.pivot)
+                            for node, extension in novel
+                        ],
+                        "cap": cap,
+                        "park": remote,
+                    },
+                )
+                for parent, parent_key, novel in join_parents
+                for worker in range(n)
+            ]
+            with self.cluster.superstep() as step:
+                for parent, parent_key, novel in join_parents:
+                    for worker in range(n):
+                        for _, extension in novel:
+                            label = extension.edge_label
+                            label_edges = (
+                                total_edges
+                                if label == WILDCARD
+                                else edge_label_counts.get(label, 0)
+                            )
+                            step.ship(worker, label_edges - label_edges // n)
+                joined_all = self._backend.run_superstep(step, requests)
+
+        # per-child support aggregation and (rare) skew rebalancing, in
+        # (parent, position) order; installs collect into one batch
+        install_batch: List[Tuple[TreeNode, Optional[List], bool, Optional[Tuple[int, int]]]] = []
+        child_meta: List[Tuple[TreeNode, TreeNode]] = []
+        for offset, (parent, parent_key, novel) in enumerate(join_parents):
+            joined = joined_all[offset * n:(offset + 1) * n]
+            for position, (node, extension) in enumerate(novel):
+                per_worker = [joined[worker][position] for worker in range(n)]
+                new_shards = [part[0] for part in per_worker]
+                sizes = [part[2] for part in per_worker]
+                truncated = cap is not None and (
+                    any(part[3] for part in per_worker)
+                    or sum(sizes) >= cap
+                )
+                with self.cluster.master():
+                    # pivot-disjoint shards: global support is a plain sum
+                    node.support = sum(part[1] for part in per_worker)
+                    self.cluster.ship_to_master(n)
+                adopt: Optional[Tuple[int, int]] = (
+                    (parent_key, position) if remote else None
+                )
+                if not truncated and self.balance and is_skewed(sizes):
+                    staged = (
+                        remote
+                        and self.config.direct_shipping
+                        and self._backend.supports_staging
+                    )
+                    if staged:
+                        self._rebalance_direct(parent_key, position, node)
+                    elif remote:
+                        fetch = [
+                            (
+                                worker,
+                                "fetch_join",
+                                parent_key,
+                                {"position": position},
+                            )
+                            for worker in range(n)
+                        ]
+                        with self.cluster.superstep() as step:
+                            new_shards = self._backend.run_superstep(
+                                step, fetch
+                            )
+                        adopt = None
+                    if not staged:
+                        if self.index is not None:
+                            new_shards, moved = rebalance_pivot_group_arrays(
+                                new_shards, node.pattern.pivot
+                            )
+                        else:
+                            new_shards, moved = rebalance_pivot_groups(
+                                new_shards, node.pattern.pivot
+                            )
+                        with self.cluster.superstep() as step:
+                            for worker, received in moved.items():
+                                step.ship(
+                                    worker, received * node.pattern.num_nodes
+                                )
+                install_batch.append((node, new_shards, truncated, adopt))
+                child_meta.append((parent, node))
+
+        # round 3 — every child's install in one superstep
+        self._install_shards_many(install_batch)
+
+        for parent, node in child_meta:
+            if node.support >= self.config.sigma:
+                self.stats.patterns_frequent += 1
+            if node.support == 0:
+                self.stats.patterns_zero_support += 1
+                if (
+                    self.config.mine_negative
+                    and parent.support >= self.config.sigma
+                ):
+                    negative = GFD(node.pattern, frozenset(), FALSE)
+                    self._emit(negative, parent.support)
+            created_nodes.append(node)
+
+        # every processed parent's children are joined (installs adopted
+        # the parked rows above): free the worker-side state
+        for parent, parent_key, novel in novel_by_parent:
+            self._drop_parent(parent, parent_key)
+        return created_nodes
+
     # ------------------------------------------------------------------
     # horizontal spawning (parallel validation)
     # ------------------------------------------------------------------
@@ -691,205 +965,278 @@ class ParallelDiscovery(SequentialDiscovery):
                 )
         return literals
 
-    def _hspawn_parallel(self, node: TreeNode) -> None:
-        """``HSpawn`` with per-level batched validation (the ``ΣC_{ij}`` rounds)."""
-        key = self._keys.get(id(node))
-        if key is None:
-            return  # truncated leaf or never installed
-        if node.support < self.config.sigma and self.config.prune:
-            return
-        literals = self._literal_alphabet_parallel(node)
-        if not literals:
-            return
+    def _mine_nodes_batch(self, nodes: List[TreeNode]) -> None:
+        """``HSpawn`` for a batch of verified patterns in fused supersteps.
+
+        One ``scan`` superstep opens every pattern's mask store; the LHS
+        lattices then advance *jointly* — one ``eval`` superstep per
+        lattice depth carries every still-active pattern's candidate batch
+        (the ``ΣC_{ij}`` rounds of Figure 3, now summed over patterns too)
+        — and one ``probe`` superstep resolves all NHSpawn bases.  With a
+        single-node batch this is superstep-for-superstep the historical
+        per-pattern path, which is exactly how ``config.fuse_ops=False``
+        runs it.
+
+        Emissions are buffered per node and replayed in node order at the
+        end, so ``_found``'s insertion order — which downstream cover
+        ordering observes — is identical whether a level is mined jointly
+        or node by node.  (Only the abort *point* of a binding
+        ``max_candidates`` budget can shift: candidates are charged in
+        lattice-depth-major order across the batch instead of node-major;
+        the totals agree.)
+        """
         n = self.num_workers
-        total_rows = sum(self._shard_rows[key])
+        miners: List[_NodeMining] = []
+        for node in nodes:
+            key = self._keys.get(id(node))
+            if key is None:
+                continue  # truncated leaf or never installed
+            if node.support < self.config.sigma and self.config.prune:
+                continue
+            literals = self._literal_alphabet_parallel(node)
+            if not literals:
+                continue
+            miners.append(_NodeMining(node, key, literals))
+        if not miners:
+            return
 
         # batch 0 — one superstep: per-literal counts and *local* distinct
-        # pivot counts on every shard (warms the workers' mask caches and
-        # opens the mask stores); pivot-disjoint sharding makes the global
-        # support a plain sum.
+        # pivot counts on every shard of every pattern (warms the workers'
+        # mask caches and opens the mask stores); pivot-disjoint sharding
+        # makes the global support a plain sum.
         requests = [
-            (worker, "scan", key, {"literals": literals})
+            (worker, "scan", miner.key, {"literals": miner.literals})
+            for miner in miners
             for worker in range(n)
         ]
         with self.cluster.superstep() as step:
-            parts = self._backend.run_superstep(step, requests)
-        count_parts = [part[0] for part in parts]
-        support_parts = [part[1] for part in parts]
-        self.cluster.ship_to_master(2 * len(literals) * n)
-        literal_count: Dict[Literal, int] = {}
-        literal_support: Dict[Literal, int] = {}
-        for position, literal in enumerate(literals):
-            literal_count[literal] = sum(part[position] for part in count_parts)
-            literal_support[literal] = sum(
-                part[position] for part in support_parts
-            )
+            parts_all = self._backend.run_superstep(step, requests)
 
-        if self.config.prune:
-            lattice_literals = [
-                literal
-                for literal in literals
-                if literal_support[literal] >= self.config.sigma
-            ]
-        else:
-            lattice_literals = literals
-
-        next_mask_id = 1
         empty: FrozenSet[Literal] = frozenset()
-        indexed = list(enumerate(lattice_literals))
-        #: mask ids the master retired last level (pruned lazily with the
-        #: next worker round instead of a dedicated superstep)
-        pending_drops: List[int] = []
-
-        # NHSpawn bases: (lhs, rhs, rows mask id, base support)
-        nh_bases: List[Tuple[FrozenSet[Literal], Literal, int, int]] = []
-
-        tasks: List[_Task] = []
-        with self.cluster.master():
-            for position, rhs in enumerate(lattice_literals):
-                count_rhs = literal_count[rhs]
-                support_rhs = literal_support[rhs]
-                if self.config.prune and support_rhs < self.config.sigma:
-                    continue
-                self._charge_candidate()
-                if (empty, rhs) in node.covered:
-                    continue
-                if count_rhs == total_rows and total_rows:
-                    node.valid_pairs.add((empty, rhs))
-                    if support_rhs >= self.config.sigma:
-                        self._emit(GFD(node.pattern, empty, rhs), support_rhs)
-                        nh_bases.append((empty, rhs, 0, support_rhs))
-                    continue
-                tasks.append(_Task(rhs, position))
-
-        for _ in range(self.config.max_lhs_size):
-            specs: List[Tuple[int, Literal, Literal, int]] = []
-            meta: List[Tuple[_Task, FrozenSet[Literal], int, int]] = []
+        for index, miner in enumerate(miners):
+            parts = parts_all[index * n:(index + 1) * n]
+            count_parts = [part[0] for part in parts]
+            support_parts = [part[1] for part in parts]
+            self.cluster.ship_to_master(2 * len(miner.literals) * n)
+            literal_support: Dict[Literal, int] = {}
+            for position, literal in enumerate(miner.literals):
+                miner.literal_count[literal] = sum(
+                    part[position] for part in count_parts
+                )
+                literal_support[literal] = sum(
+                    part[position] for part in support_parts
+                )
+            if self.config.prune:
+                miner.lattice_literals = [
+                    literal
+                    for literal in miner.literals
+                    if literal_support[literal] >= self.config.sigma
+                ]
+            else:
+                miner.lattice_literals = miner.literals
+            miner.indexed = list(enumerate(miner.lattice_literals))
+            miner.total_rows = sum(self._shard_rows[miner.key])
+            node = miner.node
             with self.cluster.master():
-                for task in tasks:
-                    for lhs, max_index, rows_id in task.frontier:
-                        for index, literal in indexed:
-                            if index <= max_index or literal == task.rhs:
-                                continue
-                            extended = lhs | {literal}
-                            if any(v <= extended for v in task.valid_sets):
-                                continue
-                            if self._is_trivial(extended, task.rhs):
-                                continue
-                            self._charge_candidate()
-                            mask_id = next_mask_id
-                            next_mask_id += 1
-                            specs.append((rows_id, literal, task.rhs, mask_id))
-                            meta.append((task, extended, index, mask_id))
-            if not specs:
+                for position, rhs in enumerate(miner.lattice_literals):
+                    count_rhs = miner.literal_count[rhs]
+                    support_rhs = literal_support[rhs]
+                    if self.config.prune and support_rhs < self.config.sigma:
+                        continue
+                    self._charge_candidate()
+                    if (empty, rhs) in node.covered:
+                        continue
+                    if count_rhs == miner.total_rows and miner.total_rows:
+                        node.valid_pairs.add((empty, rhs))
+                        if support_rhs >= self.config.sigma:
+                            miner.emits.append(
+                                (GFD(node.pattern, empty, rhs), support_rhs)
+                            )
+                            miner.nh_bases.append((empty, rhs, 0, support_rhs))
+                        continue
+                    miner.tasks.append(_Task(rhs, position))
+
+        # the joint lattice: one superstep per depth carries every still-
+        # active pattern's candidate batch; workers stack candidates
+        # sharing a parent mask into one numpy op, per pattern
+        for _ in range(self.config.max_lhs_size):
+            round_specs: List[Tuple[_NodeMining, List, List]] = []
+            for miner in miners:
+                if miner.done:
+                    continue
+                specs: List[Tuple[int, Literal, Literal, int]] = []
+                meta: List[Tuple[_Task, FrozenSet[Literal], int, int]] = []
+                with self.cluster.master():
+                    for task in miner.tasks:
+                        for lhs, max_index, rows_id in task.frontier:
+                            for index, literal in miner.indexed:
+                                if index <= max_index or literal == task.rhs:
+                                    continue
+                                extended = lhs | {literal}
+                                if any(v <= extended for v in task.valid_sets):
+                                    continue
+                                if self._is_trivial(extended, task.rhs):
+                                    continue
+                                self._charge_candidate()
+                                mask_id = miner.next_mask_id
+                                miner.next_mask_id += 1
+                                specs.append(
+                                    (rows_id, literal, task.rhs, mask_id)
+                                )
+                                meta.append((task, extended, index, mask_id))
+                if not specs:
+                    miner.done = True
+                    continue
+                round_specs.append((miner, specs, meta))
+            if not round_specs:
                 break
-            # one superstep: the whole level's candidate batch; workers
-            # stack candidates sharing a parent mask into one numpy op
             requests = [
-                (worker, "eval", key, {"specs": specs, "drop": pending_drops})
+                (
+                    worker,
+                    "eval",
+                    miner.key,
+                    {"specs": specs, "drop": miner.pending_drops},
+                )
+                for miner, specs, meta in round_specs
                 for worker in range(n)
             ]
             with self.cluster.superstep() as step:
-                results = self._backend.run_superstep(step, requests)
-            pending_drops = []
-            total_lhs = np.zeros(len(specs), dtype=np.int64)
-            total_both = np.zeros(len(specs), dtype=np.int64)
-            total_supp = np.zeros(len(specs), dtype=np.int64)
-            for lhs_arr, both_arr, supp_arr in results:
-                total_lhs += lhs_arr
-                total_both += both_arr
-                total_supp += supp_arr
-            self.cluster.ship_to_master(3 * len(specs) * n)
-            with self.cluster.master():
-                for position, (task, extended, index, mask_id) in enumerate(meta):
-                    count_lhs = int(total_lhs[position])
-                    count_both = int(total_both[position])
-                    supp = int(total_supp[position])
-                    keep = False
-                    if not (
-                        self.config.prune and supp < self.config.sigma
-                    ):
-                        if count_lhs and count_both == count_lhs:
-                            task.valid_sets.append(extended)
-                            node.valid_pairs.add((extended, task.rhs))
-                            if (extended, task.rhs) not in node.covered:
-                                if supp >= self.config.sigma:
-                                    self._emit(
-                                        GFD(node.pattern, extended, task.rhs),
-                                        supp,
-                                    )
-                                    nh_bases.append(
-                                        (extended, task.rhs, mask_id, supp)
-                                    )
-                                    keep = True
-                        else:
-                            task._next_frontier.append((extended, index, mask_id))
-                            keep = True
-                    if not keep:
-                        pending_drops.append(mask_id)
-            for task in tasks:
-                task.frontier = task._next_frontier
-                task._next_frontier = []
-            tasks = [task for task in tasks if task.frontier]
-            if not tasks and not nh_bases:
-                break
+                results_all = self._backend.run_superstep(step, requests)
+            cursor = 0
+            for miner, specs, meta in round_specs:
+                miner.pending_drops = []
+                results = results_all[cursor:cursor + n]
+                cursor += n
+                total_lhs = np.zeros(len(specs), dtype=np.int64)
+                total_both = np.zeros(len(specs), dtype=np.int64)
+                total_supp = np.zeros(len(specs), dtype=np.int64)
+                for lhs_arr, both_arr, supp_arr in results:
+                    total_lhs += lhs_arr
+                    total_both += both_arr
+                    total_supp += supp_arr
+                self.cluster.ship_to_master(3 * len(specs) * n)
+                node = miner.node
+                with self.cluster.master():
+                    for position, (task, extended, index, mask_id) in enumerate(meta):
+                        count_lhs = int(total_lhs[position])
+                        count_both = int(total_both[position])
+                        supp = int(total_supp[position])
+                        keep = False
+                        if not (
+                            self.config.prune and supp < self.config.sigma
+                        ):
+                            if count_lhs and count_both == count_lhs:
+                                task.valid_sets.append(extended)
+                                node.valid_pairs.add((extended, task.rhs))
+                                if (extended, task.rhs) not in node.covered:
+                                    if supp >= self.config.sigma:
+                                        miner.emits.append(
+                                            (
+                                                GFD(
+                                                    node.pattern,
+                                                    extended,
+                                                    task.rhs,
+                                                ),
+                                                supp,
+                                            )
+                                        )
+                                        miner.nh_bases.append(
+                                            (extended, task.rhs, mask_id, supp)
+                                        )
+                                        keep = True
+                            else:
+                                task._next_frontier.append(
+                                    (extended, index, mask_id)
+                                )
+                                keep = True
+                        if not keep:
+                            miner.pending_drops.append(mask_id)
+                for task in miner.tasks:
+                    task.frontier = task._next_frontier
+                    task._next_frontier = []
+                miner.tasks = [task for task in miner.tasks if task.frontier]
+                if not miner.tasks and not miner.nh_bases:
+                    miner.done = True
 
-        self._nhspawn_batched(
-            node, key, literals, literal_count, nh_bases, pending_drops
-        )
-        # the lattice is exhausted: free the workers' mask stores
+        self._nhspawn_joint(miners)
+        # every lattice is exhausted: free the workers' mask stores
         self._backend.run_unmetered(
-            [(worker, "drop_store", key, {}) for worker in range(n)],
+            [
+                (worker, "drop_store", miner.key, {})
+                for miner in miners
+                for worker in range(n)
+            ],
             wait=False,
         )
+        # replay the buffered emissions in node order — byte-identical to
+        # mining the nodes one at a time
+        for miner in miners:
+            for gfd, support in miner.emits:
+                self._emit(gfd, support)
 
-    def _nhspawn_batched(
-        self,
-        node: TreeNode,
-        key: int,
-        literals: List[Literal],
-        literal_count: Dict[Literal, int],
-        nh_bases: List[Tuple[FrozenSet[Literal], Literal, int, int]],
-        pending_drops: List[int],
-    ) -> None:
-        """``NHSpawn`` for all bases of a pattern in one superstep."""
-        if not self.config.mine_negative or not nh_bases:
+    def _nhspawn_joint(self, miners: List[_NodeMining]) -> None:
+        """``NHSpawn`` for every base of every batched pattern in one superstep."""
+        if not self.config.mine_negative:
             return
         threshold = self.config.negative_literal_min_rows
         if threshold is None:
             threshold = self.config.sigma
-        specs: List[Tuple[int, Literal]] = []
-        meta: List[Tuple[int, FrozenSet[Literal], Literal, int]] = []
-        with self.cluster.master():
-            for base_index, (lhs, rhs, rows_id, base_support) in enumerate(nh_bases):
-                for literal in literals:
-                    if literal == rhs or literal in lhs:
-                        continue
-                    if self._lhs_unsatisfiable(lhs | {literal}):
-                        continue
-                    if literal_count.get(literal, 0) < threshold:
-                        continue
-                    specs.append((rows_id, literal))
-                    meta.append((base_index, lhs, literal, base_support))
-        if not specs:
+        probing: List[Tuple[_NodeMining, List, List]] = []
+        for miner in miners:
+            if not miner.nh_bases:
+                continue
+            specs: List[Tuple[int, Literal]] = []
+            meta: List[Tuple[int, FrozenSet[Literal], Literal, int]] = []
+            with self.cluster.master():
+                for base_index, (lhs, rhs, rows_id, base_support) in enumerate(
+                    miner.nh_bases
+                ):
+                    for literal in miner.literals:
+                        if literal == rhs or literal in lhs:
+                            continue
+                        if self._lhs_unsatisfiable(lhs | {literal}):
+                            continue
+                        if miner.literal_count.get(literal, 0) < threshold:
+                            continue
+                        specs.append((rows_id, literal))
+                        meta.append((base_index, lhs, literal, base_support))
+            if specs:
+                probing.append((miner, specs, meta))
+        if not probing:
             return
+        n = self.num_workers
         requests = [
-            (worker, "probe", key, {"specs": specs, "drop": pending_drops})
-            for worker in range(self.num_workers)
+            (
+                worker,
+                "probe",
+                miner.key,
+                {"specs": specs, "drop": miner.pending_drops},
+            )
+            for miner, specs, meta in probing
+            for worker in range(n)
         ]
         with self.cluster.superstep() as step:
-            overlap_parts = self._backend.run_superstep(step, requests)
-        self.cluster.ship_to_master(len(specs) * self.num_workers)
-        with self.cluster.master():
-            emitted_per_base: Dict[int, int] = {}
-            for position, (base_index, lhs, literal, base_support) in enumerate(meta):
-                if any(part[position] for part in overlap_parts):
-                    continue  # some match satisfies X ∪ {l''}
-                emitted = emitted_per_base.get(base_index, 0)
-                if emitted >= self.config.max_negatives_per_pattern:
-                    continue
-                self._emit(GFD(node.pattern, lhs | {literal}, FALSE), base_support)
-                emitted_per_base[base_index] = emitted + 1
+            parts_all = self._backend.run_superstep(step, requests)
+        cursor = 0
+        for miner, specs, meta in probing:
+            overlap_parts = parts_all[cursor:cursor + n]
+            cursor += n
+            self.cluster.ship_to_master(len(specs) * n)
+            node = miner.node
+            with self.cluster.master():
+                emitted_per_base: Dict[int, int] = {}
+                for position, (base_index, lhs, literal, base_support) in enumerate(
+                    meta
+                ):
+                    if any(part[position] for part in overlap_parts):
+                        continue  # some match satisfies X ∪ {l''}
+                    emitted = emitted_per_base.get(base_index, 0)
+                    if emitted >= self.config.max_negatives_per_pattern:
+                        continue
+                    miner.emits.append(
+                        (GFD(node.pattern, lhs | {literal}, FALSE), base_support)
+                    )
+                    emitted_per_base[base_index] = emitted + 1
 
 
 def discover_parallel(

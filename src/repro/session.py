@@ -47,7 +47,8 @@ Session path (``tests/test_api.py``); new code should hold a session.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import time
+from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -69,7 +70,7 @@ from .parallel.backend import (
     make_backend,
 )
 from .parallel.cluster import ClusterMetrics, SimulatedCluster
-from .parallel.costs import ChaseCostModel
+from .parallel.costs import ChaseCostModel, PhaseCostPlanner
 from .parallel.parcover import parallel_cover
 from .parallel.pardis import ParallelDiscovery
 
@@ -107,6 +108,12 @@ class SessionMetrics:
     #: Wall-clock seconds the backend spent recovering failed workers
     #: (respawn + install-log replay); 0.0 on fault-free runs.
     recovery_seconds: float = 0.0
+    #: Observed seconds-per-item rates of the ``"auto"`` planner, per
+    #: phase and backend (empty until phases have run).
+    planner: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: The concrete backend the planner resolved per phase on its most
+    #: recent run (equals ``backend_name`` on non-``"auto"`` sessions).
+    phase_backends: Dict[str, str] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         """A JSON-serializable rendering (CI artifacts, ``--metrics``)."""
@@ -118,6 +125,7 @@ class SessionMetrics:
                 "pools_started": self.lifecycle.pools_started,
                 "index_attaches": self.lifecycle.index_attaches,
                 "index_refreshes": self.lifecycle.index_refreshes,
+                "delta_refreshes": self.lifecycle.delta_refreshes,
                 "resets": self.lifecycle.resets,
                 "shutdowns": self.lifecycle.shutdowns,
             },
@@ -144,6 +152,10 @@ class SessionMetrics:
             "phases": dict(self.phases),
             "sigma_size": self.sigma_size,
             "cover_cost_observations": self.cover_cost_observations,
+            "planner": {
+                phase: dict(rates) for phase, rates in self.planner.items()
+            },
+            "phase_backends": dict(self.phase_backends),
         }
 
 
@@ -168,7 +180,13 @@ class Session:
             default: ``config.num_workers``, else 1 for the serial backend
             and 4 for multiprocess).
         backend: backend name overriding ``config.parallel_backend``
-            (``"serial"`` or ``"multiprocess"``).
+            (``"serial"``, ``"multiprocess"`` or ``"auto"``).  With
+            ``"auto"`` each phase picks serial or multiprocess through a
+            :class:`~repro.parallel.costs.PhaseCostPlanner`: serial until
+            a phase's input is large enough (``config.
+            planner_mp_min_size``) or multiprocess has measured faster on
+            that phase — multiprocess must *never lose to serial* by more
+            than the planner's margin.
 
     Single-threaded, like the engines.  Use as a context manager, or call
     :meth:`close` — worker processes and shared-memory segments outlive no
@@ -186,10 +204,10 @@ class Session:
         self.graph = graph
         self.config = config if config is not None else DiscoveryConfig()
         self._backend_name = backend or self.config.parallel_backend
-        if self._backend_name not in BACKEND_NAMES:
+        if self._backend_name not in BACKEND_NAMES + ("auto",):
             raise ValueError(
                 f"unknown parallel backend {self._backend_name!r} "
-                f"(expected one of {BACKEND_NAMES})"
+                f"(expected one of {BACKEND_NAMES + ('auto',)})"
             )
         if self._backend_name == "multiprocess" and not self.config.use_index:
             raise ValueError(
@@ -202,12 +220,24 @@ class Session:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self._num_workers = num_workers
+        #: Per-phase serial-vs-multiprocess planner; only consulted when
+        #: the session backend is ``"auto"``, but always fed observations
+        #: so :meth:`metrics` can report measured phase rates.
+        self.planner = PhaseCostPlanner(
+            mp_min_size=self.config.planner_mp_min_size
+        )
+        #: The concrete backend each phase last resolved to.
+        self._phase_backends: Dict[str, str] = {}
         base = enforcement if enforcement is not None else EnforcementConfig()
         #: The enforcement config actually used: session-owned execution
-        #: knobs, caller-owned policies.
+        #: knobs, caller-owned policies.  An ``"auto"`` session pins the
+        #: name per engine build (:meth:`_ensure_engine`).
         self.enforcement = replace(
             base,
-            backend=self._backend_name,
+            backend=(
+                "serial" if self._backend_name == "auto"
+                else self._backend_name
+            ),
             num_workers=num_workers,
             shared_memory=self.config.shared_memory,
             use_index=self.config.use_index,
@@ -233,8 +263,13 @@ class Session:
         self._delta = DeltaLog()
         graph.attach_delta_log(self._delta)
         self._backend: Optional[ExecutionBackend] = None
+        #: Every backend the session has started, keyed by name.  Concrete
+        #: sessions hold at most one; an ``"auto"`` session may hold both
+        #: when the planner's per-phase choices differ.
+        self._backends: Dict[str, ExecutionBackend] = {}
         self._backend_starts = 0
         self._engine: Optional[EnforcementEngine] = None
+        self._engine_backend: Optional[str] = None
         self._sigma: List[GFD] = []
         self._supports: Dict[GFD, int] = {}
         self._phases: Dict[str, int] = {}
@@ -274,25 +309,63 @@ class Session:
         """Per-rule supports of the current Σ (a copy)."""
         return dict(self._supports)
 
-    def backend(self) -> ExecutionBackend:
-        """The session's execution backend, started on first use.
+    def _resolve(self, phase: str, size: int) -> str:
+        """The concrete backend name *phase* runs on for *size* items.
 
-        Every phase runs on this one instance; :meth:`metrics` proves the
-        single lifecycle (``backend_starts``, ``lifecycle.pools_started``).
+        Concrete sessions always answer their configured name.  An
+        ``"auto"`` session asks the :class:`~repro.parallel.costs.
+        PhaseCostPlanner` — serial until the phase is large enough or
+        multiprocess has measured faster — except that without the frozen
+        index (``use_index=False``) multiprocess cannot run at all, so
+        serial is forced.
+        """
+        if self._backend_name != "auto":
+            return self._backend_name
+        if not self.config.use_index:
+            return "serial"
+        return self.planner.choose(phase, size)
+
+    def _backend_for(self, name: str) -> ExecutionBackend:
+        """The session's backend *name*, started on first use and cached.
+
+        Also records it as the session's current backend (what
+        :meth:`backend` answers between phases).
         """
         self._check_open()
-        if self._backend is None:
-            self._backend = make_backend(
-                self._backend_name,
+        backend = self._backends.get(name)
+        if backend is None:
+            backend = make_backend(
+                name,
                 self._num_workers,
                 self.graph,
                 self._index,
                 self._gamma,
                 use_shared_memory=self.config.shared_memory,
                 fault=self.config.fault,
+                fuse_ops=self.config.fuse_ops,
             )
+            self._backends[name] = backend
             self._backend_starts += 1
-        return self._backend
+        self._backend = backend
+        return backend
+
+    def backend(self) -> ExecutionBackend:
+        """The session's execution backend, started on first use.
+
+        Every phase runs on this one instance (concrete sessions) and
+        :meth:`metrics` proves the single lifecycle (``backend_starts``,
+        ``lifecycle.pools_started``).  On an ``"auto"`` session this is
+        the most recently used backend (resolved for discovery when no
+        phase has run yet); individual phases may resolve differently.
+        """
+        self._check_open()
+        if self._backend_name != "auto":
+            return self._backend_for(self._backend_name)
+        if self._backend is not None:
+            return self._backend
+        return self._backend_for(
+            self._resolve("discover", self.graph.num_nodes)
+        )
 
     def _check_open(self) -> None:
         if self._closed:
@@ -323,8 +396,9 @@ class Session:
             self._gamma = self._stats.top_attributes(
                 self.config.max_active_attributes
             )
-        if self.config.use_index and self._backend is not None:
-            self._backend.refresh_index(self._index)
+        if self.config.use_index:
+            for backend in self._backends.values():
+                backend.refresh_index(self._index)
 
     def _count(self, phase: str) -> None:
         self._phases[phase] = self._phases.get(phase, 0) + 1
@@ -348,14 +422,14 @@ class Session:
     # ------------------------------------------------------------------
     # pipeline phases
     # ------------------------------------------------------------------
-    def _discovery_engine(self) -> ParallelDiscovery:
+    def _discovery_engine(self, backend_name: str) -> ParallelDiscovery:
         return ParallelDiscovery(
             self.graph,
             self.config,
             cluster=self.cluster,
             stats=self._stats,
             index=self._index,
-            backend=self.backend(),
+            backend=self._backend_for(backend_name),
         )
 
     def _after_discovery(self) -> None:
@@ -373,11 +447,18 @@ class Session:
         self._check_open()
         self._refresh_snapshot()
         self._count("discover")
-        engine = self._discovery_engine()
+        size = self.graph.num_nodes
+        name = self._resolve("discover", size)
+        self._phase_backends["discover"] = name
+        engine = self._discovery_engine(name)
+        start = time.perf_counter()
         try:
             result = engine.run()
         finally:
             self._after_discovery()
+        self.planner.observe(
+            "discover", name, size, time.perf_counter() - start
+        )
         self._set_sigma(result.gfds, result.supports)
         return result
 
@@ -401,9 +482,13 @@ class Session:
         self._check_open()
         self._refresh_snapshot()
         self._count("discover_iter")
-        engine = self._discovery_engine()
+        size = self.graph.num_nodes
+        name = self._resolve("discover", size)
+        self._phase_backends["discover"] = name
+        engine = self._discovery_engine(name)
         emitted: List[Tuple[GFD, int]] = []
         budget_hit = False
+        start = time.perf_counter()
         levels = engine.run_iter()
         try:
             for level, batch in levels:
@@ -420,6 +505,9 @@ class Session:
         finally:
             levels.close()  # releases the engine's hold on the backend
             self._after_discovery()
+            self.planner.observe(
+                "discover", name, size, time.perf_counter() - start
+            )
             self._set_sigma(
                 [gfd for gfd, _ in emitted],
                 {gfd: support for gfd, support in emitted},
@@ -437,11 +525,17 @@ class Session:
         self._check_open()
         self._count("cover")
         rules = list(sigma) if sigma is not None else list(self._sigma)
+        name = self._resolve("cover", len(rules))
+        self._phase_backends["cover"] = name
+        start = time.perf_counter()
         result, _ = parallel_cover(
             rules,
             cluster=self.cluster,
-            backend=self.backend(),
+            backend=self._backend_for(name),
             cost_model=self.cover_costs,
+        )
+        self.planner.observe(
+            "cover", name, len(rules), time.perf_counter() - start
         )
         self._set_sigma(result.cover, self._supports)
         return result
@@ -452,11 +546,15 @@ class Session:
         if self._engine is not None:
             self._engine.close()
             self._engine = None
+        # The engine pins its backend: resident shard tables live in that
+        # backend's workers, so refresh() must keep hitting the same one.
+        name = self._resolve("enforce", self.graph.num_nodes)
+        self._engine_backend = name
         self._engine = EnforcementEngine(
             self.graph,
             rules,
-            self.enforcement,
-            backend=self.backend(),
+            replace(self.enforcement, backend=name),
+            backend=self._backend_for(name),
             delta=self._delta,
         )
         return self._engine
@@ -476,7 +574,15 @@ class Session:
         self._refresh_snapshot()
         self._count("enforce")
         rules = list(sigma) if sigma is not None else list(self._sigma)
-        return self._ensure_engine(rules).validate()
+        size = self.graph.num_nodes
+        start = time.perf_counter()
+        report = self._ensure_engine(rules).validate()
+        name = self._engine_backend or self._backend_name
+        self._phase_backends["enforce"] = name
+        self.planner.observe(
+            "enforce", name, size, time.perf_counter() - start
+        )
+        return report
 
     def refresh(self) -> EnforcementReport:
         """Incremental revalidation after graph mutations.
@@ -490,12 +596,21 @@ class Session:
         self._check_open()
         self._refresh_snapshot()
         self._count("refresh")
+        size = self.graph.num_nodes
+        start = time.perf_counter()
         if self._engine is not None:
             # continue whatever Σ the engine is serving (an enforce(sigma)
             # override included) — its resident tables are the state the
             # delta splices into
-            return self._engine.refresh()
-        return self._ensure_engine(list(self._sigma)).refresh()
+            report = self._engine.refresh()
+        else:
+            report = self._ensure_engine(list(self._sigma)).refresh()
+        name = self._engine_backend or self._backend_name
+        self._phase_backends["refresh"] = name
+        self.planner.observe(
+            "refresh", name, size, time.perf_counter() - start
+        )
+        return report
 
     # ------------------------------------------------------------------
     # Σ persistence
@@ -530,14 +645,27 @@ class Session:
         Every field is a snapshot — two calls can be diffed for
         before/after deltas without aliasing the live counters.
         """
-        if self._backend is not None:
-            lifecycle = replace(self._backend.lifecycle)
-            transfers = self._backend.transfers.snapshot()
-            recovery = self._backend.recovery_seconds
-        else:
-            lifecycle = LifecycleCounters()
-            transfers = TransferLedger()
-            recovery = 0.0
+        lifecycle = LifecycleCounters()
+        transfers = TransferLedger()
+        recovery = 0.0
+        # Sum over every backend the session started — 1 for concrete
+        # sessions, possibly 2 for "auto" (each field is an event count).
+        for backend in self._backends.values():
+            for spec in fields(LifecycleCounters):
+                setattr(
+                    lifecycle,
+                    spec.name,
+                    getattr(lifecycle, spec.name)
+                    + getattr(backend.lifecycle, spec.name),
+                )
+            snap = backend.transfers.snapshot()
+            for spec in fields(TransferLedger):
+                setattr(
+                    transfers,
+                    spec.name,
+                    getattr(transfers, spec.name) + getattr(snap, spec.name),
+                )
+            recovery += backend.recovery_seconds
         return SessionMetrics(
             backend_name=self._backend_name,
             num_workers=self._num_workers,
@@ -549,6 +677,8 @@ class Session:
             sigma_size=len(self._sigma),
             cover_cost_observations=self.cover_costs.observations,
             recovery_seconds=recovery,
+            planner=self.planner.as_dict(),
+            phase_backends=dict(self._phase_backends),
         )
 
     # ------------------------------------------------------------------
@@ -567,11 +697,11 @@ class Session:
         if self._engine is not None:
             self._engine.close()
             self._engine = None
-        if self._backend is not None:
-            # shut down but keep the reference: metrics() stays readable
-            # (shutdowns == 1 is part of the lifecycle story) and
-            # _check_open prevents any reuse
-            self._backend.shutdown()
+        for backend in self._backends.values():
+            # shut down but keep the references: metrics() stays readable
+            # (shutdowns == 1 per backend is part of the lifecycle story)
+            # and _check_open prevents any reuse
+            backend.shutdown()
         self.graph.detach_delta_log(self._delta)
 
     def __enter__(self) -> "Session":

@@ -149,7 +149,9 @@ class TestJanitor:
         assert name.startswith(janitor.SEGMENT_PREFIX)
         assert name in janitor.live_segments()
         spool = janitor.spool_dir() / f"{os.getpid()}.json"
-        assert name in json.loads(spool.read_text())
+        payload = json.loads(spool.read_text())
+        assert name in payload["segments"]
+        assert payload["token"] == janitor._process_token(os.getpid())
         janitor.unregister(segment)
         segment.close()
         segment.unlink()
@@ -173,6 +175,115 @@ class TestJanitor:
         assert not spool.exists()
         with pytest.raises(FileNotFoundError):
             janitor.attach_segment(orphan_name)
+
+    def test_spool_writes_are_atomic(self):
+        """Registration never leaves a temp file or unparseable spool."""
+        segments = [janitor.create_segment(16) for _ in range(3)]
+        try:
+            spool = janitor.spool_dir() / f"{os.getpid()}.json"
+            assert not list(janitor.spool_dir().glob("*.tmp")), (
+                "temp-then-replace must not leave .tmp files behind"
+            )
+            payload = json.loads(spool.read_text())  # always whole JSON
+            assert sorted(payload["segments"]) == payload["segments"]
+        finally:
+            for segment in segments:
+                janitor.unregister(segment)
+                segment.close()
+                segment.unlink()
+
+    def test_sweep_quarantines_corrupt_dead_spool(self):
+        dead = max(os.getpid() + 100_000, 500_000)
+        while janitor._alive(dead):
+            dead += 1
+        spool = janitor.spool_dir() / f"{dead}.json"
+        spool.write_text('{"token": "starttime:1", "segm', encoding="utf-8")
+        corrupt = spool.with_suffix(".json.corrupt")
+        try:
+            removed = janitor.sweep_orphans()
+            assert removed == []
+            # the truncated file was moved aside, not retried forever
+            assert not spool.exists()
+            assert corrupt.exists()
+            # a second sweep no longer sees it at all
+            assert janitor.sweep_orphans() == []
+        finally:
+            corrupt.unlink(missing_ok=True)
+            spool.unlink(missing_ok=True)
+
+    def test_corrupt_spool_of_live_owner_is_left_alone(self):
+        spool = janitor.spool_dir() / f"{os.getpid()}.json"
+        had_spool = spool.exists()
+        original = spool.read_text() if had_spool else None
+        spool.write_text("not json at all", encoding="utf-8")
+        try:
+            janitor.sweep_orphans()
+            # own pid: skipped before parsing; file untouched either way
+            assert spool.read_text() == "not json at all"
+        finally:
+            if had_spool:
+                spool.write_text(original, encoding="utf-8")
+            else:
+                spool.unlink(missing_ok=True)
+
+    def test_pid_reuse_token_sweeps_recycled_owner(self):
+        """A live pid with a *mismatched* start-time token is a recycled
+        pid: the spool's real owner is dead and its segments are orphans."""
+        from multiprocessing import shared_memory
+
+        owner = 1  # init: alive for the whole test, never ours
+        if janitor._process_token(owner) is None:
+            pytest.skip("procfs start-time tokens unavailable")
+        orphan_name = f"{janitor.SEGMENT_PREFIX}{owner}_0"
+        orphan = shared_memory.SharedMemory(
+            create=True, size=16, name=orphan_name
+        )
+        orphan.close()
+        spool = janitor.spool_dir() / f"{owner}.json"
+        spool.write_text(
+            json.dumps(
+                {"token": "starttime:0-recycled", "segments": [orphan_name]}
+            ),
+            encoding="utf-8",
+        )
+        try:
+            removed = janitor.sweep_orphans()
+            assert orphan_name in removed
+            assert not spool.exists()
+            with pytest.raises(FileNotFoundError):
+                janitor.attach_segment(orphan_name)
+        finally:
+            spool.unlink(missing_ok=True)
+            try:
+                leftover = janitor.attach_segment(orphan_name)
+                leftover.close()
+                leftover.unlink()
+            except FileNotFoundError:
+                pass
+
+    def test_matching_token_of_live_owner_is_never_swept(self):
+        from multiprocessing import shared_memory
+
+        owner = 1
+        token = janitor._process_token(owner)
+        if token is None:
+            pytest.skip("procfs start-time tokens unavailable")
+        name = f"{janitor.SEGMENT_PREFIX}{owner}_0"
+        segment = shared_memory.SharedMemory(create=True, size=16, name=name)
+        spool = janitor.spool_dir() / f"{owner}.json"
+        spool.write_text(
+            json.dumps({"token": token, "segments": [name]}),
+            encoding="utf-8",
+        )
+        try:
+            removed = janitor.sweep_orphans()
+            assert name not in removed
+            assert spool.exists()  # live owner: file stays
+            janitor.attach_segment(name).close()  # segment stays
+        finally:
+            spool.unlink(missing_ok=True)
+            segment.close()
+            segment.unlink()
 
     def test_sweep_never_touches_live_or_foreign_segments(self):
         from multiprocessing import shared_memory
@@ -270,6 +381,22 @@ class TestChaosDifferential:
             metrics = session.metrics()
             assert metrics.lifecycle.respawns >= 1
             assert metrics.recovery_seconds > 0.0
+        assert _fingerprint(result) == reference
+
+    def test_kill_mid_discovery_unfused(self, film_graph, film_config):
+        """The historical one-op-per-request protocol stays supervised:
+        a worker kill under ``fuse_ops=False`` recovers to byte-identical
+        results too (the fused default is covered by the tests above)."""
+        reference = _fingerprint(discover(film_graph, film_config))
+        fault = FaultConfig(
+            fault_plan=_plan(kill_on={"op": "eval", "nth": 1}, workers=[0])
+        )
+        config = replace(film_config, fault=fault, fuse_ops=False)
+        with Session(
+            film_graph, config, backend="multiprocess", num_workers=2
+        ) as session:
+            result = session.discover()
+            assert session.metrics().lifecycle.respawns >= 1
         assert _fingerprint(result) == reference
 
     def test_kill_survives_pickle_fallback(self, film_graph, film_config):

@@ -1,0 +1,159 @@
+"""The cost-based backend planner: multiprocess must never lose to serial.
+
+Unit tests for :class:`repro.parallel.costs.PhaseCostPlanner` — the
+decision core of ``Session(backend="auto")`` — and the zero-weight
+regression in :class:`repro.parallel.costs.ChaseCostModel`.  The planner's
+contract is asymmetric by design: serial is the safe default, multiprocess
+has to *earn* its pick either by input size (the crossover floor) or by a
+measured win, and a measured multiprocess loss immediately flips the next
+choice back to serial.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import ChaseCostModel, PhaseCostPlanner
+
+
+class TestPlannerUnmeasured:
+    """Decisions before any timing has been observed."""
+
+    def test_small_input_stays_serial(self):
+        planner = PhaseCostPlanner(mp_min_size=1_000)
+        assert planner.choose("discover", 999) == "serial"
+        assert planner.choose("cover", 0) == "serial"
+
+    def test_large_input_gambles_on_multiprocess(self):
+        planner = PhaseCostPlanner(mp_min_size=1_000)
+        assert planner.choose("discover", 1_000) == "multiprocess"
+        assert planner.choose("enforce", 50_000) == "multiprocess"
+
+    def test_zero_floor_always_gambles(self):
+        planner = PhaseCostPlanner(mp_min_size=0)
+        assert planner.choose("discover", 1) == "multiprocess"
+
+    def test_estimate_is_none_without_observations(self):
+        planner = PhaseCostPlanner()
+        assert planner.estimate("discover", "serial", 100) is None
+        assert planner.as_dict() == {}
+
+
+class TestPlannerMeasured:
+    """Decisions once phases have been timed."""
+
+    def test_measured_mp_loss_flips_back_to_serial(self):
+        """The bugfix property: a multiprocess run slower than serial on
+        the same phase/size means the next choice is serial — multiprocess
+        never keeps losing."""
+        planner = PhaseCostPlanner(mp_min_size=0)
+        size = 500
+        planner.observe("discover", "serial", size, 9.0)
+        planner.observe("discover", "multiprocess", size, 15.0)
+        assert planner.choose("discover", size) == "serial"
+
+    def test_measured_mp_win_is_chosen(self):
+        planner = PhaseCostPlanner(mp_min_size=10**9)  # floor can't help it
+        size = 500
+        planner.observe("discover", "serial", size, 15.0)
+        planner.observe("discover", "multiprocess", size, 9.0)
+        assert planner.choose("discover", size) == "multiprocess"
+
+    def test_ties_break_serial(self):
+        planner = PhaseCostPlanner(mp_min_size=0)
+        planner.observe("cover", "serial", 100, 1.0)
+        planner.observe("cover", "multiprocess", 100, 1.0)
+        assert planner.choose("cover", 100) == "serial"
+
+    def test_crossover_scales_with_size(self):
+        """Rates are per-item: a backend that wins at one size wins at
+        every size under the linear model, but per-phase rates are
+        independent — one phase's crossover never leaks into another."""
+        planner = PhaseCostPlanner(mp_min_size=10**9)
+        planner.observe("discover", "serial", 1_000, 1.0)       # 1 ms/item
+        planner.observe("discover", "multiprocess", 1_000, 0.5)  # 0.5 ms/item
+        assert planner.choose("discover", 10) == "multiprocess"
+        assert planner.choose("discover", 100_000) == "multiprocess"
+        # the cover phase has no multiprocess measurement and a huge floor
+        planner.observe("cover", "serial", 1_000, 1.0)
+        assert planner.choose("cover", 100_000) == "serial"
+
+    def test_measured_serial_small_input_keeps_serial(self):
+        """A serial timing alone never promotes an unmeasured multiprocess
+        below the floor."""
+        planner = PhaseCostPlanner(mp_min_size=1_000)
+        planner.observe("discover", "serial", 100, 60.0)  # slow, but known
+        assert planner.choose("discover", 100) == "serial"
+        # past the floor the unmeasured backend is worth the gamble even
+        # though serial has a measurement
+        assert planner.choose("discover", 5_000) == "multiprocess"
+
+    def test_ewma_forgets_stale_timings(self):
+        planner = PhaseCostPlanner(alpha=0.5, mp_min_size=0)
+        planner.observe("discover", "multiprocess", 100, 100.0)  # cold start
+        planner.observe("discover", "serial", 100, 10.0)
+        assert planner.choose("discover", 100) == "serial"
+        for _ in range(6):  # warm pools: mp now measures fast
+            planner.observe("discover", "multiprocess", 100, 1.0)
+        assert planner.choose("discover", 100) == "multiprocess"
+
+    def test_as_dict_reports_rates_per_phase_and_backend(self):
+        planner = PhaseCostPlanner()
+        planner.observe("discover", "serial", 200, 2.0)
+        planner.observe("cover", "multiprocess", 10, 1.0)
+        report = planner.as_dict()
+        assert report["discover"]["serial"] == pytest.approx(0.01)
+        assert report["cover"]["multiprocess"] == pytest.approx(0.1)
+
+
+class TestPlannerValidation:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            PhaseCostPlanner(alpha=0.0)
+        with pytest.raises(ValueError):
+            PhaseCostPlanner(alpha=1.5)
+
+    def test_rejects_negative_floor(self):
+        with pytest.raises(ValueError):
+            PhaseCostPlanner(mp_min_size=-1)
+
+    def test_rejects_bad_margin(self):
+        with pytest.raises(ValueError):
+            PhaseCostPlanner(margin=0.0)
+
+    def test_observation_counter(self):
+        planner = PhaseCostPlanner()
+        planner.observe("discover", "serial", 10, 0.1)
+        planner.observe("discover", "serial", 10, 0.2)
+        assert planner.observations == 2
+
+
+class TestChaseCostModelZeroWeight:
+    """Regression: an empty leave-out group must not crash the feedback."""
+
+    def test_zero_static_weight_observation_does_not_raise(self):
+        model = ChaseCostModel()
+        model.observe("empty-class", group_size=0, embedded_size=4,
+                      seconds=0.05)
+        assert model.observations == 1
+        # the per-class EWMA still absorbed the timing
+        assert model.weight("empty-class", 0, 4) == pytest.approx(0.05)
+
+    def test_zero_weight_never_calibrates_the_global_rate(self):
+        model = ChaseCostModel()
+        model.observe("empty-class", group_size=0, embedded_size=4,
+                      seconds=123.0)
+        # an unseen class falls back to the *static* weight — the garbage
+        # timing above must not have poisoned the seconds-per-weight rate
+        assert model.weight("unseen", 3, 2) == ChaseCostModel.static_weight(
+            3, 2
+        )
+
+    def test_mixed_observations_keep_rate_from_real_weights(self):
+        model = ChaseCostModel(alpha=1.0)
+        model.observe("real", group_size=2, embedded_size=5, seconds=1.0)
+        model.observe("empty", group_size=0, embedded_size=9, seconds=50.0)
+        # rate == 1.0 s / (2*5) from the real unit only
+        assert model.weight("unseen", 4, 5) == pytest.approx(
+            ChaseCostModel.static_weight(4, 5) * 0.1
+        )

@@ -423,3 +423,141 @@ class TestDetectorSessionReuse:
             assert session.metrics().backend_starts == 1
         key = lambda vs: [(str(v.gfd), v.match) for v in vs]  # noqa: E731
         assert key(scoped) == key(reused) == key(again)
+
+
+class TestAutoBackendPlanner:
+    """``backend="auto"``: the cost planner picks serial or multiprocess
+    per phase, so multiprocess is never chosen where it would lose."""
+
+    def test_small_graph_resolves_every_phase_serial(
+        self, film_graph, film_config
+    ):
+        with Session(
+            film_graph, film_config, backend="auto", num_workers=2
+        ) as session:
+            session.discover()
+            session.cover()
+            session.enforce()
+            film_graph.set_attr(0, "type", "gardener")
+            session.refresh()
+            metrics = session.metrics()
+        # well below the crossover floor: serial everywhere, one backend
+        assert metrics.backend_name == "auto"
+        assert metrics.phase_backends == {
+            "discover": "serial",
+            "cover": "serial",
+            "enforce": "serial",
+            "refresh": "serial",
+        }
+        assert metrics.backend_starts == 1
+        # every phase fed the planner a measured rate
+        assert set(metrics.planner) == {
+            "discover", "cover", "enforce", "refresh"
+        }
+        assert all(
+            "serial" in rates for rates in metrics.planner.values()
+        )
+
+    @pytest.mark.skipif(
+        not shared_memory_available(),
+        reason="multiprocessing.shared_memory unavailable",
+    )
+    def test_zero_floor_resolves_multiprocess(self, film_graph, film_config):
+        from dataclasses import replace
+
+        config = replace(film_config, planner_mp_min_size=0)
+        reference = discover(film_graph, film_config)
+        with Session(
+            film_graph, config, backend="auto", num_workers=2
+        ) as session:
+            result = session.discover()
+            metrics = session.metrics()
+            assert metrics.phase_backends["discover"] == "multiprocess"
+            assert "multiprocess" in metrics.planner["discover"]
+        assert {gfd_identity(g) for g in result.gfds} == {
+            gfd_identity(g) for g in reference.gfds
+        }
+
+    def test_without_index_auto_forces_serial(self, film_graph, film_config):
+        from dataclasses import replace
+
+        config = replace(
+            film_config, use_index=False, planner_mp_min_size=0
+        )
+        with Session(
+            film_graph, config, backend="auto", num_workers=2
+        ) as session:
+            session.discover()
+            assert session.metrics().phase_backends["discover"] == "serial"
+
+    def test_unknown_backend_still_rejected(self, film_graph, film_config):
+        with pytest.raises(ValueError, match="unknown parallel backend"):
+            Session(film_graph, film_config, backend="bogus")
+
+    def test_engine_backend_is_pinned_for_refresh(
+        self, film_graph, film_config
+    ):
+        """Resident enforcement tables live in one backend's workers;
+        refresh must keep hitting it even as planner rates evolve."""
+        with Session(
+            film_graph, film_config, backend="auto", num_workers=2
+        ) as session:
+            session.discover()
+            session.enforce()
+            film_graph.set_attr(0, "type", "gardener")
+            refreshed = session.refresh()
+            assert refreshed.mode == "incremental"
+            metrics = session.metrics()
+            assert (
+                metrics.phase_backends["refresh"]
+                == metrics.phase_backends["enforce"]
+            )
+
+
+class TestFusedSession:
+    """``fuse_ops`` at the session level: fewer supersteps, same bytes."""
+
+    def test_fusion_reduces_pipeline_supersteps(self, film_graph, film_config):
+        from dataclasses import replace
+
+        steps = {}
+        sigmas = {}
+        for fuse in (False, True):
+            config = replace(film_config, fuse_ops=fuse)
+            with Session(
+                film_graph, config, backend="serial", num_workers=2
+            ) as session:
+                result = session.discover()
+                cover = session.cover()
+                steps[fuse] = session.metrics().cluster.supersteps
+                sigmas[fuse] = (
+                    [str(g) for g in result.gfds],
+                    [str(g) for g in cover.cover],
+                )
+        assert sigmas[True] == sigmas[False]
+        # at least halved even on this tiny graph; the bench gate
+        # (benchmarks/bench_session.py --check) pins the ≥ 5× reduction
+        # at scale, where sibling patterns amortize the per-level rounds
+        assert steps[True] * 2 <= steps[False], (
+            f"fused {steps[True]} vs unfused {steps[False]} supersteps"
+        )
+
+    @pytest.mark.skipif(
+        not shared_memory_available(),
+        reason="multiprocessing.shared_memory unavailable",
+    )
+    def test_mutation_ships_a_delta_refresh(self, film_graph, film_config):
+        """A small post-mutation snapshot goes through the delta path:
+        only the changed arrays cross into shared memory, counted by
+        ``lifecycle.delta_refreshes``."""
+        with Session(
+            film_graph, film_config, backend="multiprocess", num_workers=2
+        ) as session:
+            session.discover()
+            before = session.metrics().lifecycle
+            assert before.delta_refreshes == 0
+            film_graph.set_attr(0, "type", "gardener")
+            session.enforce()
+            after = session.metrics().lifecycle
+            assert after.index_refreshes == before.index_refreshes + 1
+            assert after.delta_refreshes == 1
