@@ -14,12 +14,18 @@ crossovers) are the reproduction target, not absolute times — see DESIGN.md.
 from __future__ import annotations
 
 import functools
+import json
 import os
+import platform
 from pathlib import Path
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Sequence, Tuple
 
+from repro import __version__
 from repro.core import DiscoveryConfig
 from repro.datasets import KB_ATTRIBUTES, dbpedia_like, imdb_like, yago2_like
+
+#: Version of the ``BENCH_*.json`` envelope written by :func:`write_bench`.
+BENCH_SCHEMA_VERSION = 1
 
 #: Worker counts of Figures 5(a)-(c) and 5(i)-(k).
 WORKER_COUNTS = [4, 8, 12, 16, 20]
@@ -72,6 +78,40 @@ def record(name: str, lines: Sequence[str]) -> None:
     text = "\n".join(lines)
     print(f"\n=== {name} ===\n{text}")
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def host_info() -> Dict[str, Any]:
+    """The host facts stamped into every ``BENCH_*.json`` artifact."""
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cores = os.cpu_count() or 1
+    return {
+        "cores": cores,
+        "platform": platform.system().lower(),
+        "python": platform.python_version(),
+    }
+
+
+def write_bench(name: str, metrics: Mapping[str, Any]) -> Path:
+    """Write ``benchmarks/results/BENCH_<name>.json`` in the standard shape.
+
+    Every benchmark artifact gets the same envelope — ``schema_version``,
+    ``repro_version``, ``bench``, ``host`` (usable cores, platform, python
+    version) and the benchmark's own ``metrics`` — serialized with sorted
+    keys so artifacts from different benches and runs diff cleanly.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "repro_version": __version__,
+        "bench": name,
+        "host": host_info(),
+        "metrics": dict(metrics),
+    }
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def series_table(header: str, rows: Dict) -> List[str]:

@@ -30,7 +30,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import random
 import sys
 import time
@@ -39,7 +38,12 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from _harness import RESULTS_DIR, dataset, discovery_config, record  # noqa: E402
+from _harness import (  # noqa: E402
+    dataset,
+    discovery_config,
+    record,
+    write_bench,
+)
 
 from repro.core import discover  # noqa: E402
 from repro.core.config import EnforcementConfig  # noqa: E402
@@ -152,10 +156,7 @@ def run(check: bool = False, max_rules: int = None, workers: int = 2):
         f" groups revalidated, {DELTA_NODES} nodes touched)",
         f"full_after_delta\t{full_after_s:.4f}",
     ]
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_enforce.json").write_text(
-        json.dumps(metrics, indent=2) + "\n"
-    )
+    write_bench("enforce", metrics)
     return lines, metrics
 
 

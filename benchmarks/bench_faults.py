@@ -34,7 +34,12 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from _harness import RESULTS_DIR, dataset, discovery_config, record  # noqa: E402
+from _harness import (  # noqa: E402
+    dataset,
+    discovery_config,
+    record,
+    write_bench,
+)
 
 from repro import FaultConfig, Session  # noqa: E402
 from repro.core import discover, gfd_identity  # noqa: E402
@@ -144,10 +149,7 @@ def run(check: bool = False, max_rules: int = None):
         )
         assert janitor.live_segments() == [], "leaked shared-memory segments"
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_faults.json").write_text(
-        json.dumps(metrics, indent=2) + "\n"
-    )
+    write_bench("faults", metrics)
     return lines, metrics
 
 

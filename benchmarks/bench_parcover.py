@@ -29,7 +29,6 @@ trajectory.  Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import random
 import sys
 import time
@@ -38,7 +37,12 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from _harness import RESULTS_DIR, dataset, discovery_config, record  # noqa: E402
+from _harness import (  # noqa: E402
+    dataset,
+    discovery_config,
+    record,
+    write_bench,
+)
 
 from repro.core import discover, sequential_cover  # noqa: E402
 from repro.core.config import EnforcementConfig  # noqa: E402
@@ -200,10 +204,7 @@ def run(check: bool = False, max_rules: int = None):
             "persistent tables must ship fewer rows than re-installing"
         )
 
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_parcover.json").write_text(
-        json.dumps(metrics, indent=2) + "\n"
-    )
+    write_bench("parcover", metrics)
     return lines, metrics
 
 

@@ -24,9 +24,19 @@ backend:
    fused pipeline must issue ≥ 5× fewer supersteps than the historical
    per-op protocol (``fuse_ops=False``).
 
-``--check`` asserts all four; numbers land in
+5. **Tracing is free when off, cheap when on** — the same pipeline run
+   with a live :class:`repro.Tracer` must produce byte-identical results,
+   cost ≤ 5% wall-clock over the untraced run (plus a small absolute
+   slack), and the *disabled* path — the no-op hooks every untraced run
+   executes — must account for ≤ 2% of the untraced elapsed (measured as
+   the enabled run's span+event count times the micro-benchmarked cost of
+   one null hook).
+
+``--check`` asserts all five; numbers land in
 ``benchmarks/results/BENCH_session.json``, the full metrics view in
-``benchmarks/results/session_metrics_bench.json``, and the serial-vs-
+``benchmarks/results/session_metrics_bench.json``, a Chrome-trace
+timeline of the traced pipeline in
+``benchmarks/results/session_trace.json``, and the serial-vs-
 multiprocess crossover curve (node-count sweep) in
 ``benchmarks/results/backend_crossover.json``.  Usage::
 
@@ -48,12 +58,19 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from _harness import RESULTS_DIR, dataset, discovery_config, record  # noqa: E402
+from _harness import (  # noqa: E402
+    RESULTS_DIR,
+    dataset,
+    discovery_config,
+    record,
+    write_bench,
+)
 
-from repro import Session  # noqa: E402
+from repro import Session, Tracer, write_chrome_trace  # noqa: E402
 from repro.core import discover, gfd_identity  # noqa: E402
 from repro.core.config import EnforcementConfig  # noqa: E402
 from repro.enforce import EnforcementEngine  # noqa: E402
+from repro.obs.tracer import NULL_TRACER  # noqa: E402
 from repro.parallel import parallel_cover, shared_memory_available  # noqa: E402
 
 #: Session worker count for both backends.
@@ -73,14 +90,52 @@ MP_DEGRADED_RATIO = 3.0
 #: The fused protocol must cut supersteps by at least this factor.
 FUSION_MIN_REDUCTION = 5.0
 
+#: Live tracing may cost at most this factor over the untraced pipeline.
+TRACE_MAX_RATIO = 1.05
+
+#: Absolute slack (seconds) added to the live-tracing gate — sub-second
+#: pipelines make a 5% window smaller than timer noise.
+TRACE_ABS_SLACK_S = 0.25
+
+#: The disabled (null-tracer) path may account for at most this percent
+#: of the untraced pipeline's wall clock.
+NULL_OVERHEAD_PCT = 2.0
+
 #: yago2 scale factors for the serial-vs-multiprocess crossover sweep.
 CROSSOVER_SCALES = (0.4, 0.8, 1.6)
 
 
-def _pipeline(graph, config, backend):
+def _null_hook_cost_s(iterations: int = 50_000) -> float:
+    """Micro-benchmark one disabled-path hook: guard + null span."""
+    started = time.perf_counter()
+    for _ in range(iterations):
+        if NULL_TRACER.enabled:
+            NULL_TRACER.event("bench")
+        with NULL_TRACER.span("bench", "op"):
+            pass
+    return (time.perf_counter() - started) / iterations
+
+
+def _identity_view(outcome):
+    """The result bytes of a pipeline run, for traced-vs-untraced diffs."""
+    return (
+        [gfd_identity(g) for g in outcome["result"].gfds],
+        [str(g) for g in outcome["cover1"].cover],
+        [str(g) for g in outcome["cover2"].cover],
+        [
+            (r.violation_count, sorted(r.nodes), r.sample)
+            for r in outcome["report"].rules
+        ],
+        outcome["refreshed"].mode,
+    )
+
+
+def _pipeline(graph, config, backend, tracer=None):
     """One full pipeline on a fresh session; returns everything measured."""
     started = time.perf_counter()
-    with Session(graph, config, backend=backend, num_workers=WORKERS) as session:
+    with Session(
+        graph, config, backend=backend, num_workers=WORKERS, tracer=tracer
+    ) as session:
         result = session.discover()
         cover1 = session.cover(result.gfds)
         cover2 = session.cover(result.gfds)  # measured-cost LPT this time
@@ -187,11 +242,13 @@ def run(check: bool = False, max_rules: int = None):
             assert same_report, "Session enforcement must equal the engine"
             assert outcome["refreshed"].mode == "incremental"
 
+        # the same documented schema v2 the CLI's --metrics writes: the
+        # "backend" key is already the run's concrete backend name
         full_view = RESULTS_DIR / "session_metrics_bench.json"
         RESULTS_DIR.mkdir(exist_ok=True)
-        payload = view.as_dict()
-        payload["backend"] = backend
-        full_view.write_text(json.dumps(payload, indent=2) + "\n")
+        full_view.write_text(
+            json.dumps(view.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
 
     # the historical per-op protocol, serial, as the superstep baseline
     unfused = _pipeline(
@@ -211,6 +268,75 @@ def run(check: bool = False, max_rules: int = None):
             f"fused supersteps reduced only {reduction:.1f}x "
             f"(need >= {FUSION_MIN_REDUCTION}x): {fused_steps} vs "
             f"{unfused_steps}"
+        )
+
+    # -- 5: tracing overhead + byte-identity ---------------------------
+    # run-to-run drift on a warm host dwarfs any real tracing cost, so
+    # compare min-of-2 with a symmetric order (t,u,u,t) — each variant
+    # gets one early and one late slot
+    traced_runs, plain_runs = [], []
+    tracer = None
+    for variant in ("traced", "untraced", "untraced", "traced"):
+        if variant == "traced":
+            tracer = Tracer()
+            traced_runs.append(
+                _pipeline(dataset("yago2").copy(), config, "serial", tracer)
+            )
+        else:
+            plain_runs.append(
+                _pipeline(dataset("yago2").copy(), config, "serial")
+            )
+    untraced = min(plain_runs, key=lambda o: o["elapsed_s"])
+    traced = min(traced_runs, key=lambda o: o["elapsed_s"])
+    identical = all(
+        _identity_view(t) == _identity_view(untraced)
+        for t in traced_runs
+    )
+    # gate on the best *paired* ratio: a real tracing cost shows up in
+    # every pair, while a host-contention spike only poisons one
+    trace_ratio = min(
+        t["elapsed_s"] / u["elapsed_s"]
+        for t, u in zip(traced_runs, plain_runs)
+    )
+    hook_cost = _null_hook_cost_s()
+    hooks = tracer.spans_opened + len(tracer.events)
+    null_overhead_pct = (
+        hooks * hook_cost / untraced["elapsed_s"] * 100.0
+    )
+    metrics["tracing"] = {
+        "untraced_s": round(untraced["elapsed_s"], 3),
+        "traced_s": round(traced["elapsed_s"], 3),
+        "traced_vs_untraced_ratio": round(trace_ratio, 3),
+        "spans": tracer.spans_opened,
+        "events": len(tracer.events),
+        "null_hook_ns": round(hook_cost * 1e9, 1),
+        "null_overhead_pct": round(null_overhead_pct, 4),
+        "results_identical": identical,
+    }
+    lines.append(
+        f"tracing: {tracer.spans_opened} spans + {len(tracer.events)} "
+        f"events, traced {traced['elapsed_s']:.2f}s vs untraced "
+        f"{untraced['elapsed_s']:.2f}s ({trace_ratio:.2f}x), null hook "
+        f"{hook_cost * 1e9:.0f}ns -> disabled path {null_overhead_pct:.3f}% "
+        f"of untraced, identical {identical}"
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_chrome_trace(tracer, RESULTS_DIR / "session_trace.json")
+    if check:
+        assert identical, "traced results diverged from untraced"
+        assert tracer.spans_opened == tracer.spans_closed, (
+            "the traced pipeline left spans open"
+        )
+        assert null_overhead_pct <= NULL_OVERHEAD_PCT, (
+            f"disabled-tracer hooks cost {null_overhead_pct:.3f}% of the "
+            f"untraced pipeline (gate {NULL_OVERHEAD_PCT}%)"
+        )
+        assert (
+            traced["elapsed_s"] - untraced["elapsed_s"] <= TRACE_ABS_SLACK_S
+            or trace_ratio <= TRACE_MAX_RATIO
+        ), (
+            f"live tracing cost {trace_ratio:.2f}x over untraced "
+            f"(gate {TRACE_MAX_RATIO}x + {TRACE_ABS_SLACK_S}s slack)"
         )
 
     if "multiprocess" in metrics:
@@ -242,9 +368,7 @@ def run(check: bool = False, max_rules: int = None):
                 f"{metrics['serial']['elapsed_s']:.2f}s"
             )
 
-    (RESULTS_DIR / "BENCH_session.json").write_text(
-        json.dumps(metrics, indent=2) + "\n"
-    )
+    write_bench("session", metrics)
     return lines, metrics
 
 
@@ -299,7 +423,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--check",
         action="store_true",
-        help="assert the one-lifecycle and shim-identity gates",
+        help="assert the one-lifecycle, shim-identity and tracing-"
+             "overhead gates",
     )
     parser.add_argument(
         "--max-rules",

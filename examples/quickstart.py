@@ -103,7 +103,12 @@ def main() -> None:
         assert metrics.lifecycle.index_attaches == 1
         RESULTS.mkdir(parents=True, exist_ok=True)
         out = RESULTS / "session_metrics.json"
-        out.write_text(json.dumps(metrics.as_dict(), indent=2) + "\n")
+        # the same documented schema v2 (sorted keys) bench_session.py
+        # writes to session_metrics_bench.json — the two artifacts diff
+        # cleanly, modulo the "timings" key
+        out.write_text(
+            json.dumps(metrics.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
         print(f"session metrics written to {out}")
 
 

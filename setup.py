@@ -4,8 +4,31 @@ The execution environment has setuptools but no ``wheel`` package, so
 PEP-517 editable installs fail with ``invalid command 'bdist_wheel'``.
 Having a ``setup.py`` lets ``pip install -e . --no-build-isolation
 --no-use-pep517`` fall back to the classic develop install.
+
+The version has a single source: ``__version__`` in
+``src/repro/__init__.py`` (read textually here so building metadata never
+imports the package).
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    text = (
+        Path(__file__).parent / "src" / "repro" / "__init__.py"
+    ).read_text(encoding="utf-8")
+    match = re.search(r'^__version__ = "([^"]+)"', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("__version__ not found in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro",
+    version=_version(),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -22,7 +22,10 @@ The package implements the paper end to end:
   validation with incremental delta maintenance;
 * :mod:`repro.session` — the resource-owning :class:`~repro.session.
   Session` facade: one backend and index snapshot shared across the whole
-  discover → cover → enforce → refresh pipeline.
+  discover → cover → enforce → refresh pipeline;
+* :mod:`repro.obs` — unified telemetry: hierarchical span tracing with
+  per-worker lanes, a metrics registry, and Chrome-trace / JSONL /
+  Prometheus exports.
 
 Quickstart::
 
@@ -65,6 +68,14 @@ from .gfd import (
     validate_set,
 )
 from .graph import Graph, GraphBuilder
+from .obs import (
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    write_chrome_trace,
+    write_event_log,
+    write_prometheus,
+)
 from .parallel import (
     ChaseCostModel,
     ParallelDiscovery,
@@ -75,7 +86,9 @@ from .parallel import (
 from .pattern import WILDCARD, Pattern, find_matches, pivot_image
 from .session import Session, SessionMetrics
 
-__version__ = "1.1.0"
+#: The single source of the package version — ``setup.py`` reads it from
+#: this file, and every telemetry/bench artifact stamps it.
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -125,4 +138,11 @@ __all__ = [
     # session facade
     "Session",
     "SessionMetrics",
+    # observability
+    "Tracer",
+    "NullTracer",
+    "MetricsRegistry",
+    "write_chrome_trace",
+    "write_event_log",
+    "write_prometheus",
 ]

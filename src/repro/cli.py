@@ -161,6 +161,36 @@ def _write_metrics(session: Session, path: Optional[str]) -> None:
         )
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="record a run timeline: .json writes Chrome trace-event "
+             "format (open in Perfetto / chrome://tracing, one lane per "
+             "worker), .jsonl writes the structured event log; results "
+             "are identical with tracing on or off")
+
+
+def _make_tracer(args: argparse.Namespace):
+    """A live tracer when ``--trace`` was given, else ``None``."""
+    if getattr(args, "trace", None):
+        from .obs import Tracer
+
+        return Tracer()
+    return None
+
+
+def _write_trace(tracer, path: Optional[str]) -> None:
+    """Export the finished trace by extension (.jsonl = event log)."""
+    if tracer is None or not path:
+        return
+    from .obs import write_chrome_trace, write_event_log
+
+    if path.endswith(".jsonl"):
+        write_event_log(tracer, path)
+    else:
+        write_chrome_trace(tracer, path)
+
+
 def _cmd_discover(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     config = DiscoveryConfig(
@@ -176,7 +206,10 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     if args.backend is not None:
         config.parallel_backend = args.backend
     parallel = (args.workers or 0) > 1 or config.parallel_backend == "multiprocess"
-    with Session(graph, config, num_workers=args.workers) as session:
+    tracer = _make_tracer(args)
+    with Session(
+        graph, config, num_workers=args.workers, tracer=tracer
+    ) as session:
         result = session.discover()
         if parallel:
             print(
@@ -204,6 +237,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         if args.output:
             save_rules(result_gfds, args.output, supports=result.supports)
         _write_metrics(session, args.metrics)
+    _write_trace(tracer, args.trace)
     return 0
 
 
@@ -232,15 +266,18 @@ def _cmd_enforce(args: argparse.Namespace) -> int:
     fault = _fault_from_args(args)
     if fault != "auto":
         base.fault = fault
+    tracer = _make_tracer(args)
     with Session(
         graph,
         base,
         enforcement=config,
         num_workers=args.workers,
         backend=args.backend,
+        tracer=tracer,
     ) as session:
         report = session.enforce(rules)
         _write_metrics(session, args.metrics)
+    _write_trace(tracer, args.trace)
     for rule in report.rules:
         print(
             f"{rule.violation_count}\t{rule.distinct_pivots}\t"
@@ -297,7 +334,10 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         config.fault = fault
     if args.backend is not None:
         config.parallel_backend = args.backend
-    with Session(graph, config, num_workers=args.workers) as session:
+    tracer = _make_tracer(args)
+    with Session(
+        graph, config, num_workers=args.workers, tracer=tracer
+    ) as session:
         result = session.discover()
         cover = session.cover()
         report = session.enforce()
@@ -321,23 +361,32 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         if args.output:
             save_rules(cover.cover, args.output, supports=result.supports)
         _write_metrics(session, args.metrics)
+    _write_trace(tracer, args.trace)
     return 0 if report.is_clean else 1
 
 
 def _cmd_cover(args: argparse.Namespace) -> int:
     rules = load_rules(args.rules)
+    tracer = _make_tracer(args)
     if (args.workers or 0) > 1 or args.backend is not None:
         import warnings
 
-        from .parallel import parallel_cover
+        from .parallel import SimulatedCluster, parallel_cover
 
+        # the cover verb has no graph, so there is no session to open: a
+        # tracer rides in on a pre-built cluster instead
+        metered = (
+            SimulatedCluster(args.workers or 4, tracer=tracer)
+            if tracer is not None
+            else None
+        )
         with warnings.catch_warnings():
-            # the cover verb has no graph, so there is no session to open:
             # the standalone parallel_cover call IS the supported path here
             warnings.simplefilter("ignore", DeprecationWarning)
             result, cluster = parallel_cover(
                 rules,
                 num_workers=args.workers or 4,
+                cluster=metered,
                 backend=args.backend,
                 fault=_fault_from_args(args),
             )
@@ -347,6 +396,9 @@ def _cmd_cover(args: argparse.Namespace) -> int:
             f"modeled parallel time {cluster.metrics.elapsed_parallel:.3f}s",
             file=sys.stderr,
         )
+    elif tracer is not None:
+        with tracer.span("cover", "phase", size=len(rules)):
+            result = sequential_cover(rules)
     else:
         result = sequential_cover(rules)
     for gfd in result.cover:
@@ -358,6 +410,7 @@ def _cmd_cover(args: argparse.Namespace) -> int:
     )
     if args.output:
         save_rules(result.cover, args.output)
+    _write_trace(tracer, args.trace)
     return 0
 
 
@@ -412,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
     disc.add_argument("--metrics", help="write session metrics (backend "
                                         "lifecycle, transfers, supersteps) "
                                         "as JSON to this file")
+    _add_trace_argument(disc)
     disc.set_defaults(func=_cmd_discover)
 
     pipe = commands.add_parser(
@@ -446,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_arguments(pipe)
     pipe.add_argument("--metrics", help="write session metrics as JSON to "
                                         "this file")
+    _add_trace_argument(pipe)
     pipe.set_defaults(func=_cmd_pipeline)
 
     enf = commands.add_parser(
@@ -483,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_arguments(enf)
     enf.add_argument("--metrics", help="write session metrics as JSON to "
                                        "this file")
+    _add_trace_argument(enf)
     enf.set_defaults(func=_cmd_enforce)
 
     val = commands.add_parser("validate", help="check rules against a graph")
@@ -506,6 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="cover execution backend (default: serial)")
     _add_fault_arguments(cov)
     cov.add_argument("--output", help="also write the cover to this file")
+    _add_trace_argument(cov)
     cov.set_defaults(func=_cmd_cover)
     return parser
 

@@ -47,6 +47,7 @@ from ..gfd.gfd import GFD
 from ..gfd.satisfaction import Violation
 from ..graph.graph import Graph
 from ..graph.index import GraphIndex
+from ..obs.tracer import NULL_TRACER
 from ..parallel.backend import ExecutionBackend, make_backend, next_node_key
 from ..pattern.matcher import Match, find_matches
 from ..pattern.pattern import Pattern
@@ -180,9 +181,15 @@ class EnforcementEngine:
         config: Optional[EnforcementConfig] = None,
         backend: Optional[ExecutionBackend] = None,
         delta: Optional[DeltaLog] = None,
+        tracer: Any = NULL_TRACER,
     ) -> None:
         self.graph = graph
         self.sigma = list(sigma)
+        #: The session tracer (``NULL_TRACER`` by default): validation
+        #: passes open ``validate``/``refresh`` stage spans and report an
+        #: ``enforce_pass`` typed event; worker-lane op spans come from the
+        #: (shared) backend's own instrumentation.
+        self.tracer = tracer
         self.config = config if config is not None else EnforcementConfig()
         self.plan: EnforcementPlan = compile_plan(self.sigma)
         self._owns_delta = delta is None
@@ -274,12 +281,17 @@ class EnforcementEngine:
     # ------------------------------------------------------------------
     def validate(self) -> EnforcementReport:
         """Full validation of ``Σ`` against the current graph state."""
-        started = time.perf_counter()
-        self.delta.clear()
-        index = self.graph.index() if self.config.use_index else None
-        for position, group in enumerate(self.plan.groups):
-            self._arrays[position] = self._match_array(group.pattern, index)
-        return self._finish(index, "full", started)
+        with self.tracer.span(
+            "validate", "stage", groups=len(self.plan.groups)
+        ):
+            started = time.perf_counter()
+            self.delta.clear()
+            index = self.graph.index() if self.config.use_index else None
+            for position, group in enumerate(self.plan.groups):
+                self._arrays[position] = self._match_array(
+                    group.pattern, index
+                )
+            return self._finish(index, "full", started)
 
     def refresh(self) -> EnforcementReport:
         """Revalidate, reusing stored matches outside the delta's reach.
@@ -298,38 +310,45 @@ class EnforcementEngine:
             # version moved without touched nodes (cannot happen while the
             # log is attached) or the delta is too wide to localize
             return self.validate()
-        started = time.perf_counter()
-        index = self.graph.index() if self.config.use_index else None
-        balls: Dict[int, np.ndarray] = {}
-        dirty: List[int] = []
-        updates: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
-        for position, group in enumerate(self.plan.groups):
-            radius = group.radius
-            ball = balls.get(radius)
-            if ball is None:
-                ball = affected_nodes(self.graph, touched, radius, index=index)
-                balls[radius] = ball
-            stored = self._arrays[position]
-            dropped = 0
-            kept = stored
-            if stored.shape[0]:
-                in_ball = np.isin(stored[:, 0], ball)
-                dropped = int(np.count_nonzero(in_ball))
-                if dropped:
-                    kept = stored[~in_ball]
-            fresh = self._match_array(group.pattern, index, seeds=ball)
-            if dropped or fresh.shape[0]:
-                # only these groups can have gained, lost, or re-judged
-                # matches: every affected match has its pivot in the ball
-                dirty.append(position)
-                updates[position] = (ball, fresh)
-                self._arrays[position] = (
-                    np.concatenate([kept, fresh]) if fresh.shape[0] else kept
-                )
-        self.delta.clear()
-        return self._finish(
-            index, "incremental", started, positions=dirty, updates=updates
-        )
+        with self.tracer.span(
+            "refresh", "stage", touched_nodes=len(touched)
+        ):
+            started = time.perf_counter()
+            index = self.graph.index() if self.config.use_index else None
+            balls: Dict[int, np.ndarray] = {}
+            dirty: List[int] = []
+            updates: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+            for position, group in enumerate(self.plan.groups):
+                radius = group.radius
+                ball = balls.get(radius)
+                if ball is None:
+                    ball = affected_nodes(
+                        self.graph, touched, radius, index=index
+                    )
+                    balls[radius] = ball
+                stored = self._arrays[position]
+                dropped = 0
+                kept = stored
+                if stored.shape[0]:
+                    in_ball = np.isin(stored[:, 0], ball)
+                    dropped = int(np.count_nonzero(in_ball))
+                    if dropped:
+                        kept = stored[~in_ball]
+                fresh = self._match_array(group.pattern, index, seeds=ball)
+                if dropped or fresh.shape[0]:
+                    # only these groups can have gained, lost, or re-judged
+                    # matches: every affected match has its pivot in the ball
+                    dirty.append(position)
+                    updates[position] = (ball, fresh)
+                    self._arrays[position] = (
+                        np.concatenate([kept, fresh])
+                        if fresh.shape[0]
+                        else kept
+                    )
+            self.delta.clear()
+            return self._finish(
+                index, "incremental", started, positions=dirty, updates=updates
+            )
 
     # ------------------------------------------------------------------
     # internals
@@ -394,6 +413,7 @@ class EnforcementEngine:
             self.plan.attributes(),
             use_shared_memory=self.config.shared_memory,
             fault=self.config.fault,
+            tracer=self.tracer,
         )
         self._backend_index = index
         return self._backend
@@ -530,6 +550,14 @@ class EnforcementEngine:
         )
         self._report = report
         self._validated_version = self.graph.version
+        if self.tracer.enabled:
+            self.tracer.event(
+                "enforce_pass",
+                mode=mode,
+                backend=backend_name,
+                groups_revalidated=len(evaluate),
+                graph_version=self.graph.version,
+            )
         return report
 
     def _rule_report(

@@ -1,0 +1,44 @@
+"""Unified telemetry: span tracing, metrics registry, and exporters.
+
+See ``docs/ARCHITECTURE.md`` ("Observability") for the span model, the
+event taxonomy, and the export formats.  This package is deliberately
+dependency-free within ``repro`` so every other subpackage can import it.
+"""
+
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry_from_metrics,
+)
+from .export import (
+    chrome_trace_document,
+    write_chrome_trace,
+    write_event_log,
+    write_prometheus,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TRACE_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry_from_metrics",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "write_event_log",
+    "write_prometheus",
+]

@@ -1,0 +1,170 @@
+"""Trace and metrics exporters.
+
+Three formats, all stamped with ``repro.__version__`` and
+:data:`~repro.obs.tracer.TRACE_SCHEMA_VERSION`:
+
+* :func:`write_chrome_trace` — Chrome trace-event JSON (the ``"X"``
+  complete-event flavour), viewable in Perfetto / ``chrome://tracing``.
+  The master gets thread lane 0 and each worker ``w`` gets lane ``w + 1``;
+  typed events appear as instants on the master lane.
+* :func:`write_event_log` — one JSON object per line: a header record
+  followed by the typed events in emit order.
+* :func:`write_prometheus` — the registry's text exposition
+  (:meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .metrics import MetricsRegistry
+from .tracer import TRACE_SCHEMA_VERSION, Tracer
+
+__all__ = [
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "write_event_log",
+    "write_prometheus",
+]
+
+
+def _repro_version() -> str:
+    # Imported lazily: ``repro/__init__`` imports this package, and the
+    # version is only needed at export time.
+    from repro import __version__
+
+    return __version__
+
+
+def _microseconds(seconds: float) -> float:
+    return round(seconds * 1e6, 3)
+
+
+def chrome_trace_document(tracer: Tracer) -> Dict[str, Any]:
+    """Build the Chrome trace-event document for ``tracer`` (in memory)."""
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "master"},
+        },
+    ]
+    for worker in tracer.workers():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": worker + 1,
+                "args": {"name": f"worker {worker}"},
+            }
+        )
+    spans = list(tracer.spans)
+    # Spans abandoned open (e.g. an export mid-session) are clamped to the
+    # latest known timestamp so the timeline stays well-formed.
+    horizon = max(
+        [span.t1 for span in spans if span.t1 is not None]
+        + [event["ts"] for event in tracer.events]
+        + [span.t0 for span in tracer.open_spans],
+        default=0.0,
+    )
+    for span in tracer.open_spans:
+        clamped = type(span)(
+            span.id, span.parent_id, span.name, span.kind, span.t0,
+            worker=span.worker, args=span.args,
+        )
+        clamped.t1 = max(horizon, span.t0)
+        spans.append(clamped)
+    for span in sorted(spans, key=lambda s: (s.t0, s.id)):
+        end = span.t1 if span.t1 is not None else span.t0
+        record: Dict[str, Any] = {
+            "name": span.name,
+            "cat": span.kind,
+            "ph": "X",
+            "pid": 0,
+            "tid": 0 if span.worker is None else span.worker + 1,
+            "ts": _microseconds(span.t0),
+            "dur": _microseconds(max(0.0, end - span.t0)),
+        }
+        if span.args:
+            record["args"] = dict(span.args)
+        events.append(record)
+    for event in tracer.events:
+        events.append(
+            {
+                "name": event["type"],
+                "cat": "event",
+                "ph": "i",
+                "pid": 0,
+                "tid": 0,
+                "ts": _microseconds(event["ts"]),
+                "s": "t",
+                "args": {
+                    key: value
+                    for key, value in event.items()
+                    if key not in ("type", "ts")
+                },
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "repro_version": _repro_version(),
+            "origin_wall_unix": tracer.origin_wall,
+            "spans": len(tracer.spans),
+            "events": len(tracer.events),
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: Union[str, Path]) -> Path:
+    """Write the Chrome trace-event JSON for ``tracer`` to ``path``."""
+    path = Path(path)
+    document = chrome_trace_document(tracer)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def write_event_log(tracer: Tracer, path: Union[str, Path]) -> Path:
+    """Write the typed-event JSONL log: one header line, one line per event."""
+    path = Path(path)
+    header = {
+        "record": "header",
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "repro_version": _repro_version(),
+        "origin_wall_unix": tracer.origin_wall,
+        "events": len(tracer.events),
+    }
+    lines = [json.dumps(header, sort_keys=True)]
+    for event in tracer.events:
+        lines.append(json.dumps(event, sort_keys=True))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def write_prometheus(
+    registry: MetricsRegistry, path: Union[str, Path]
+) -> Path:
+    """Write the registry's Prometheus text exposition to ``path``."""
+    path = Path(path)
+    body = registry.to_prometheus()
+    stamp = (
+        f'# HELP repro_build_info build metadata\n'
+        f'# TYPE repro_build_info gauge\n'
+        f'repro_build_info{{version="{_repro_version()}"}} 1\n'
+    )
+    path.write_text(stamp + body)
+    return path

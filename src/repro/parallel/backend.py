@@ -75,6 +75,7 @@ from ..core.spawning import counts_from_statistics, extension_statistics
 from ..gfd.implication import ImplicationChecker, greedy_group_elimination
 from ..graph.graph import Graph
 from ..graph.index import GraphIndex
+from ..obs.tracer import NULL_TRACER
 from ..pattern.incremental import extend_matches
 from . import janitor
 from .faults import FaultPlan
@@ -801,6 +802,12 @@ class ExecutionBackend:
     #: Wall-clock seconds spent in worker recovery (respawn + install-log
     #: replay); 0.0 on fault-free runs and on the serial backend.
     recovery_seconds: float = 0.0
+    #: The session tracer (``NULL_TRACER`` unless a traced session wired
+    #: one in).  Backends emit typed events (timeouts, retries, respawns,
+    #: degradations, index refreshes, janitor sweeps) and worker-lane op
+    #: spans for unmetered batches; metered op spans flow through
+    #: ``step.charge`` instead.  Hot paths guard on ``tracer.enabled``.
+    tracer: Any = NULL_TRACER
 
     def run_superstep(self, step, requests: Sequence[Request]) -> List[Any]:
         """Run one BSP round of requests; results align with the batch."""
@@ -855,9 +862,11 @@ class SerialBackend(ExecutionBackend):
         index: Optional[GraphIndex],
         gamma: Sequence[str],
         fuse_ops: bool = True,
+        tracer: Any = NULL_TRACER,
     ) -> None:
         self.num_workers = num_workers
         self.fuse_ops = bool(fuse_ops)
+        self.tracer = tracer
         self.source_token = (id(graph), id(index))
         self.transfers = TransferLedger()
         self.lifecycle = LifecycleCounters(
@@ -877,6 +886,7 @@ class SerialBackend(ExecutionBackend):
                 lambda shard=shard, op=op, key=key, payload=payload: (
                     shard.execute(op, key, payload)
                 ),
+                op,
             )
             _account(self, op, payload, result)
             results.append(result)
@@ -885,9 +895,15 @@ class SerialBackend(ExecutionBackend):
     def run_unmetered(
         self, requests: Sequence[Request], wait: bool = True
     ) -> List[Any]:
+        tracer = self.tracer
         results = []
         for worker, op, key, payload in requests:
-            result = self.workers[worker].execute(op, key, payload)
+            if tracer.enabled:
+                started = time.perf_counter()
+                result = self.workers[worker].execute(op, key, payload)
+                tracer.worker_op(worker, op, time.perf_counter() - started)
+            else:
+                result = self.workers[worker].execute(op, key, payload)
             _account(self, op, payload, result)
             results.append(result)
         return results
@@ -1286,9 +1302,11 @@ class MultiprocessBackend(ExecutionBackend):
         use_shared_memory: bool = True,
         fault: Optional[FaultConfig] = None,
         fuse_ops: bool = True,
+        tracer: Any = NULL_TRACER,
     ) -> None:
         self.num_workers = num_workers
         self.fuse_ops = bool(fuse_ops)
+        self.tracer = tracer
         # pin the snapshot: the token is id()-based, so the objects must
         # stay alive for the backend's lifetime or a recycled id could
         # falsely validate a different graph
@@ -1319,7 +1337,9 @@ class MultiprocessBackend(ExecutionBackend):
         )
         # crashed earlier masters may have left segments behind — sweep
         # before allocating new ones (cheap: one spool-directory scan)
-        janitor.sweep_orphans()
+        janitor.sweep_orphans(tracer)
+        if tracer.enabled and self._plan is not None:
+            tracer.event("fault_plan_armed", plan=self._plan.as_dict())
         # supervision state: per-worker pool generation (a future from an
         # older generation failed because its pool was already replaced),
         # respawn budget, the install log, and demoted in-process shards
@@ -1439,6 +1459,8 @@ class MultiprocessBackend(ExecutionBackend):
             export if export is not None else index.export_buffers()
         )
         self.lifecycle.index_refreshes += 1
+        if self.tracer.enabled:
+            self.tracer.event("index_refresh", mode="full")
 
     def _changed_arrays(self, export) -> Optional[Dict[str, np.ndarray]]:
         """Arrays that differ from the previous export, or ``None``.
@@ -1517,6 +1539,10 @@ class MultiprocessBackend(ExecutionBackend):
         self._last_export = export
         self.lifecycle.index_refreshes += 1
         self.lifecycle.delta_refreshes += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "index_refresh", mode="delta", changed_arrays=len(changed)
+            )
         return True
 
     def create_stage(self, nbytes: int):
@@ -1634,6 +1660,8 @@ class MultiprocessBackend(ExecutionBackend):
                     raise  # a real op error: supervision must not mask bugs
                 if isinstance(error, _FuturesTimeout):
                     self.lifecycle.timeouts += 1
+                    if self.tracer.enabled:
+                        self.tracer.event("timeout", worker=worker, op=op)
                 if worker not in self._local and (
                     generation == self._generation[worker]
                 ):
@@ -1648,6 +1676,10 @@ class MultiprocessBackend(ExecutionBackend):
                 if attempts > self._fault.max_retries:
                     raise
                 self.lifecycle.retries += 1
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "retry", worker=worker, op=op, attempt=attempts
+                    )
                 time.sleep(self._fault.backoff_base * (2 ** (attempts - 1)))
                 generation = self._generation[worker]
                 future = self._pools[worker].submit(
@@ -1676,6 +1708,13 @@ class MultiprocessBackend(ExecutionBackend):
                     self._pools[worker] = None
                 self._respawns[worker] += 1
                 self.lifecycle.respawns += 1
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "respawn",
+                        worker=worker,
+                        attempt=self._respawns[worker],
+                        journal_ops=len(self._journals[worker]),
+                    )
                 if self._respawns[worker] > self._fault.max_respawns:
                     self._degrade(worker)
                     return
@@ -1712,6 +1751,10 @@ class MultiprocessBackend(ExecutionBackend):
         self._local[worker] = shard
         self._generation[worker] += 1
         self.lifecycle.degraded_workers += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "degrade", worker=worker, replayed_ops=len(self._journals[worker])
+            )
         if not self._degrade_warned:
             self._degrade_warned = True
             warnings.warn(
@@ -1774,6 +1817,10 @@ class MultiprocessBackend(ExecutionBackend):
                     raise  # a real op error: supervision must not mask bugs
                 if isinstance(error, _FuturesTimeout):
                     self.lifecycle.timeouts += 1
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "timeout", worker=worker, ops=len(elements)
+                        )
                 if worker not in self._local and (
                     generation == self._generation[worker]
                 ):
@@ -1787,6 +1834,13 @@ class MultiprocessBackend(ExecutionBackend):
                 if attempts > self._fault.max_retries:
                     raise
                 self.lifecycle.retries += 1
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "retry",
+                        worker=worker,
+                        ops=len(elements),
+                        attempt=attempts,
+                    )
                 time.sleep(self._fault.backoff_base * (2 ** (attempts - 1)))
                 generation = self._generation[worker]
                 future = self._pools[worker].submit(
@@ -1824,7 +1878,7 @@ class MultiprocessBackend(ExecutionBackend):
                             positions, outcomes
                         ):
                             _, op, _key, payload = requests[position]
-                            step.charge(worker, seconds)
+                            step.charge(worker, seconds, op)
                             _account(self, op, payload, result)
                             results[position] = result
                     return results
@@ -1842,7 +1896,7 @@ class MultiprocessBackend(ExecutionBackend):
                     futures, requests
                 ):
                     result, seconds = future.result()
-                    step.charge(worker, seconds)
+                    step.charge(worker, seconds, op)
                     _account(self, op, payload, result)
                     results.append(result)
                 return results
@@ -1867,7 +1921,7 @@ class MultiprocessBackend(ExecutionBackend):
                 )
                 for position, (result, seconds) in zip(positions, outcomes):
                     _, op, key, payload = requests[position]
-                    step.charge(worker, seconds)
+                    step.charge(worker, seconds, op)
                     _account(self, op, payload, result)
                     self._journal(worker, op, key, payload)
                     results[position] = result
@@ -1882,7 +1936,7 @@ class MultiprocessBackend(ExecutionBackend):
         results = []
         for worker, op, key, payload, handle in handles:
             result, seconds = self._collect(worker, op, key, payload, handle)
-            step.charge(worker, seconds)
+            step.charge(worker, seconds, op)
             _account(self, op, payload, result)
             self._journal(worker, op, key, payload)
             results.append(result)
@@ -1914,10 +1968,12 @@ class MultiprocessBackend(ExecutionBackend):
                     results: List[Any] = [None] * len(requests)
                     for worker, positions in groups.items():
                         outcomes = futures[worker].result()
-                        for position, (result, _seconds) in zip(
+                        for position, (result, seconds) in zip(
                             positions, outcomes
                         ):
                             _, op, _key, payload = requests[position]
+                            if self.tracer.enabled:
+                                self.tracer.worker_op(worker, op, seconds)
                             _account(self, op, payload, result)
                             results[position] = result
                     return results
@@ -1928,8 +1984,12 @@ class MultiprocessBackend(ExecutionBackend):
                 if not wait:
                     return []
                 results = []
-                for future, (_, op, _key, payload) in zip(futures, requests):
-                    result = future.result()[0]
+                for future, (worker, op, _key, payload) in zip(
+                    futures, requests
+                ):
+                    result, seconds = future.result()
+                    if self.tracer.enabled:
+                        self.tracer.worker_op(worker, op, seconds)
                     _account(self, op, payload, result)
                     results.append(result)
                 return results
@@ -1958,8 +2018,10 @@ class MultiprocessBackend(ExecutionBackend):
                 outcomes = self._collect_fused(
                     worker, elements[worker], handles[worker]
                 )
-                for position, (result, _seconds) in zip(positions, outcomes):
+                for position, (result, seconds) in zip(positions, outcomes):
                     _, op, key, payload = requests[position]
+                    if self.tracer.enabled:
+                        self.tracer.worker_op(worker, op, seconds)
                     _account(self, op, payload, result)
                     self._journal(worker, op, key, payload)
                     results[position] = result
@@ -1977,7 +2039,9 @@ class MultiprocessBackend(ExecutionBackend):
             return []
         results = []
         for worker, op, key, payload, handle in handles:
-            result, _seconds = self._collect(worker, op, key, payload, handle)
+            result, seconds = self._collect(worker, op, key, payload, handle)
+            if self.tracer.enabled:
+                self.tracer.worker_op(worker, op, seconds)
             _account(self, op, payload, result)
             self._journal(worker, op, key, payload)
             results.append(result)
@@ -2019,6 +2083,7 @@ def make_backend(
     use_shared_memory: bool = True,
     fault: Any = "auto",
     fuse_ops: bool = True,
+    tracer: Any = NULL_TRACER,
 ) -> ExecutionBackend:
     """Instantiate a backend by config name (``serial`` | ``multiprocess``).
 
@@ -2037,12 +2102,17 @@ def make_backend(
     per batch instead of one per op (see the module docstring).  Results
     are identical either way; ``False`` restores per-op submission (the
     differential suites pin the equivalence).
+
+    ``tracer`` wires a :class:`repro.obs.Tracer` into the backend (and
+    should match the cluster's): construction/supervision emit typed
+    events and unmetered batches emit worker-lane op spans.  The default
+    ``NULL_TRACER`` keeps every hook a no-op.
     """
     if fault == "auto":
         fault = _default_fault()
     if name == "serial":
         return SerialBackend(num_workers, graph, index, gamma,
-                             fuse_ops=fuse_ops)
+                             fuse_ops=fuse_ops, tracer=tracer)
     if name == "multiprocess":
         return MultiprocessBackend(
             num_workers,
@@ -2051,6 +2121,7 @@ def make_backend(
             use_shared_memory=use_shared_memory,
             fault=fault,
             fuse_ops=fuse_ops,
+            tracer=tracer,
         )
     raise ValueError(
         f"unknown parallel backend {name!r} (expected one of {BACKEND_NAMES})"

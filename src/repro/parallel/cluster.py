@@ -28,6 +28,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..obs.tracer import NULL_TRACER
+
 __all__ = ["WorkerMetrics", "ClusterMetrics", "SimulatedCluster"]
 
 #: Default modeled communication cost: 100ns per shipped item (edge, match,
@@ -92,31 +94,54 @@ class SimulatedCluster:
         self,
         num_workers: int,
         seconds_per_item: float = DEFAULT_SECONDS_PER_ITEM,
+        tracer: Any = NULL_TRACER,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers
         self.seconds_per_item = seconds_per_item
+        #: The session tracer (``NULL_TRACER`` when tracing is off); the
+        #: superstep/master context managers open spans on it and op-aware
+        #: ``charge`` calls synthesize worker-lane op spans.
+        self.tracer = tracer
         self.workers = [WorkerMetrics() for _ in range(num_workers)]
         self.metrics = ClusterMetrics()
 
     # ------------------------------------------------------------------
     @contextmanager
-    def superstep(self) -> Iterator["_Superstep"]:
+    def superstep(self, label: Optional[str] = None) -> Iterator["_Superstep"]:
         """One BSP round: all enclosed work runs 'concurrently'."""
+        tracer = self.tracer
+        span = (
+            tracer.begin(
+                label or f"superstep {self.metrics.supersteps}", "superstep"
+            )
+            if tracer.enabled
+            else None
+        )
         step = _Superstep(self)
-        yield step
-        makespan = max(step.busy, default=0.0)
-        self.metrics.supersteps += 1
-        self.metrics.parallel_seconds += makespan
-        self.metrics.total_work_seconds += sum(step.busy)
+        try:
+            yield step
+        finally:
+            makespan = max(step.busy, default=0.0)
+            self.metrics.supersteps += 1
+            self.metrics.parallel_seconds += makespan
+            self.metrics.total_work_seconds += sum(step.busy)
+            if span is not None:
+                tracer.end(span)
 
     @contextmanager
-    def master(self) -> Iterator[None]:
+    def master(self, label: str = "master") -> Iterator[None]:
         """Meter master-side (sequential) coordination."""
+        tracer = self.tracer
+        span = tracer.begin(label, "master") if tracer.enabled else None
         started = time.perf_counter()
-        yield
-        self.metrics.master_seconds += time.perf_counter() - started
+        try:
+            yield
+        finally:
+            self.metrics.master_seconds += time.perf_counter() - started
+            if span is not None:
+                tracer.end(span)
 
     def ship_to_master(self, items: int) -> None:
         """Charge the master for receiving ``items`` records from workers."""
@@ -135,26 +160,36 @@ class _Superstep:
         self._cluster = cluster
         self.busy: List[float] = [0.0] * cluster.num_workers
 
-    def run(self, worker: int, unit: Callable[[], Any]) -> Any:
+    def run(
+        self, worker: int, unit: Callable[[], Any], op: Optional[str] = None
+    ) -> Any:
         """Execute ``unit`` on ``worker``, metering its wall-clock time."""
         started = time.perf_counter()
         result = unit()
         elapsed = time.perf_counter() - started
-        self.charge(worker, elapsed)
+        self.charge(worker, elapsed, op)
         return result
 
-    def charge(self, worker: int, seconds: float) -> None:
+    def charge(
+        self, worker: int, seconds: float, op: Optional[str] = None
+    ) -> None:
         """Credit ``worker`` with pre-measured compute time.
 
         Real execution backends (the multiprocess ``ParDis`` engine) run the
         work units out-of-process and report each unit's self-measured
         compute seconds; charging them here keeps the modeled BSP metrics
-        (makespan, per-worker busy time) comparable across backends.
+        (makespan, per-worker busy time) comparable across backends.  When
+        ``op`` is given and tracing is on, the charge also lands as an op
+        span on ``worker``'s trace lane — reusing the piggybacked timing,
+        no extra round trip.
         """
         self.busy[worker] += seconds
         metrics = self._cluster.workers[worker]
         metrics.busy_seconds += seconds
         metrics.units_executed += 1
+        tracer = self._cluster.tracer
+        if op is not None and tracer.enabled:
+            tracer.worker_op(worker, op, seconds)
 
     def recover(self, seconds: float) -> None:
         """Record master-side worker-recovery stall time for this step.

@@ -24,7 +24,9 @@ observations yet the model degrades to exactly the paper's static weights.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Sequence, Tuple
+from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
+
+from ..obs.tracer import NULL_TRACER
 
 __all__ = ["ChaseCostModel", "PhaseCostPlanner"]
 
@@ -132,6 +134,10 @@ class PhaseCostPlanner:
     #: Phases the session consults the planner for.
     PHASES = ("discover", "cover", "enforce", "refresh")
 
+    #: The session tracer; :meth:`choose` emits one ``planner_decision``
+    #: typed event per consultation when tracing is on.
+    tracer: Any = NULL_TRACER
+
     def __init__(
         self,
         alpha: float = 0.5,
@@ -204,6 +210,17 @@ class PhaseCostPlanner:
                 best, best_cost = backend, cost
             elif cost * self.margin < best_cost:
                 best, best_cost = backend, cost
+        if self.tracer.enabled:
+            self.tracer.event(
+                "planner_decision",
+                phase=phase,
+                size=size,
+                chosen=best,
+                estimates={
+                    backend: self.estimate(phase, backend, size)
+                    for backend in backends
+                },
+            )
         return best
 
     def as_dict(self) -> Dict[str, Dict[str, float]]:

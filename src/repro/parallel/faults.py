@@ -97,6 +97,28 @@ class FaultPlan:
         """Whether this plan targets the given worker id."""
         return self.workers is None or worker in self.workers
 
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-friendly schedule summary (for ``fault_plan_armed`` events).
+
+        Only the schedule travels — the process-local op counters are
+        runtime state, not part of the plan's identity.
+        """
+        report: Dict[str, Any] = {}
+        if self.kill_every is not None:
+            report["kill_every"] = self.kill_every
+        if self.kill_on is not None:
+            report["kill_on"] = {"op": self.kill_on[0], "nth": self.kill_on[1]}
+        if self.delay_every is not None:
+            report["delay"] = {
+                "every": self.delay_every,
+                "seconds": self.delay_seconds,
+            }
+        if self.workers is not None:
+            report["workers"] = list(self.workers)
+        if self.persist:
+            report["persist"] = True
+        return report
+
     def apply(self, op: str) -> None:
         """Run the plan against the next op (called in the worker process).
 

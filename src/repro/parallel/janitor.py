@@ -32,7 +32,7 @@ import os
 import signal
 import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 try:  # pragma: no cover - availability depends on the platform
     from multiprocessing import shared_memory as _shared_memory
@@ -239,7 +239,7 @@ def _read_spool(file: Path):
     raise ValueError("spool file is neither a list nor an object")
 
 
-def sweep_orphans() -> List[str]:
+def sweep_orphans(tracer: Any = None) -> List[str]:
     """Unlink segments abandoned by dead processes; returns their names.
 
     Scans the spool directory: a file whose owning pid no longer exists —
@@ -250,6 +250,9 @@ def sweep_orphans() -> List[str]:
     :data:`SEGMENT_PREFIX` names are swept, and unparseable spool files
     from dead owners are quarantined (renamed ``*.corrupt``) rather than
     retried forever or allowed to abort the sweep.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`, optional) records the sweep
+    as a ``janitor_sweep`` typed event with the removed segment names.
     """
     if _shared_memory is None:  # pragma: no cover - platform dependent
         return []
@@ -299,4 +302,8 @@ def sweep_orphans() -> List[str]:
             except FileNotFoundError:  # pragma: no cover - raced away
                 pass
         file.unlink(missing_ok=True)
+    if tracer is not None and tracer.enabled:
+        tracer.event(
+            "janitor_sweep", removed=len(removed), segments=list(removed)
+        )
     return removed

@@ -116,9 +116,11 @@ class _CoverSession:
         fault: Any = "auto",
     ) -> None:
         if isinstance(backend, ExecutionBackend):
+            num_workers = backend.num_workers
+        self.cluster = cluster or SimulatedCluster(num_workers)
+        if isinstance(backend, ExecutionBackend):
             self.backend = backend
             self.owns = False
-            num_workers = backend.num_workers
         else:
             name = backend or "serial"
             if name not in BACKEND_NAMES:
@@ -129,10 +131,10 @@ class _CoverSession:
             # graph-free cover workers are supervised like any others —
             # the install log then holds just the Σ broadcast
             self.backend = make_backend(
-                name, num_workers, None, None, [], fault=fault
+                name, num_workers, None, None, [], fault=fault,
+                tracer=self.cluster.tracer,
             )
             self.owns = True
-        self.cluster = cluster or SimulatedCluster(num_workers)
         self.key = next_node_key()
 
     @property

@@ -225,6 +225,7 @@ class ParallelDiscovery(SequentialDiscovery):
                 use_shared_memory=self.config.shared_memory,
                 fault=self.config.fault,
                 fuse_ops=self.config.fuse_ops,
+                tracer=self.cluster.tracer,
             )
         else:
             if self._backend.num_workers != self.num_workers:
@@ -260,23 +261,31 @@ class ParallelDiscovery(SequentialDiscovery):
         return self.cluster.master()
 
     def _seed_level(self, tree: GenerationTree) -> None:
-        self._seed_parallel(tree)
+        with self.cluster.tracer.span("seed", "level", level=0):
+            self._seed_parallel(tree)
 
     def _extend_level(self, tree: GenerationTree, level: int) -> List[TreeNode]:
-        if self.config.fuse_ops:
-            return self._vspawn_parallel_fused(tree, level)
-        return self._vspawn_parallel(tree, level)
+        with self.cluster.tracer.span(
+            f"vspawn level {level}", "level", level=level
+        ):
+            if self.config.fuse_ops:
+                return self._vspawn_parallel_fused(tree, level)
+            return self._vspawn_parallel(tree, level)
 
     def _mine_node(self, node: TreeNode) -> None:
         self._mine_nodes_batch([node])
 
     def _mine_nodes(self, nodes) -> None:
         """``HSpawn`` one level: jointly when fused, node-by-node otherwise."""
-        if self.config.fuse_ops:
-            self._mine_nodes_batch(list(nodes))
-        else:
-            for node in nodes:
-                self._mine_node(node)
+        nodes = list(nodes)
+        with self.cluster.tracer.span(
+            f"hspawn {len(nodes)} nodes", "level", nodes=len(nodes)
+        ):
+            if self.config.fuse_ops:
+                self._mine_nodes_batch(nodes)
+            else:
+                for node in nodes:
+                    self._mine_node(node)
 
     # ------------------------------------------------------------------
     # seeding and vertical spawning

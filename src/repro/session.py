@@ -62,6 +62,8 @@ from .gfd.parser import dumps_sigma, loads_sigma
 from .graph.graph import Graph
 from .graph.index import GraphIndex
 from .graph.statistics import compute_statistics
+from .obs.metrics import MetricsRegistry, registry_from_metrics
+from .obs.tracer import NULL_TRACER
 from .parallel.backend import (
     BACKEND_NAMES,
     ExecutionBackend,
@@ -89,7 +91,15 @@ class SessionMetrics:
     The acceptance property of the facade reads directly off this object:
     after a full discover → cover → enforce → refresh pipeline,
     ``backend_starts == 1`` and ``lifecycle.index_attaches == 1``.
+
+    :meth:`as_dict` renders the documented **schema v2** (see there) and
+    :meth:`registry` lifts the same snapshot into a
+    :class:`~repro.obs.metrics.MetricsRegistry` for Prometheus-style
+    exposition.
     """
+
+    #: Version of the :meth:`as_dict` layout.  Bump on any key change.
+    SCHEMA_VERSION = 2
 
     backend_name: str
     num_workers: int
@@ -116,8 +126,30 @@ class SessionMetrics:
     phase_backends: Dict[str, str] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
-        """A JSON-serializable rendering (CI artifacts, ``--metrics``)."""
+        """A JSON-serializable rendering (CI artifacts, ``--metrics``).
+
+        **Schema v2.**  Every top-level key except ``timings`` holds only
+        deterministic values — names, worker counts, event counts — so two
+        runs over the same input diff cleanly.  All wall-clock derived
+        floats (phase seconds, recovery seconds, planner rates) are
+        isolated under the single ``timings`` key; a consumer comparing
+        artifacts drops that one key and compares the rest byte-for-byte
+        (``benchmarks/bench_session.py --check`` does exactly this).
+
+        Keys: ``schema_version``, ``repro_version``, ``backend``,
+        ``num_workers``, ``backend_starts``, ``lifecycle`` (6 lifecycle
+        counts), ``faults`` (4 fault counts), ``transfers`` (4 row/rule
+        counts), ``cluster`` (``supersteps``), ``phases``,
+        ``phase_backends``, ``sigma_size``, ``cover_cost_observations``,
+        ``timings`` (``parallel_seconds``, ``master_seconds``,
+        ``total_work_seconds``, ``recovery_seconds``,
+        ``cluster_recovery_seconds``, ``planner`` rate map).
+        """
+        from repro import __version__
+
         return {
+            "schema_version": self.SCHEMA_VERSION,
+            "repro_version": __version__,
             "backend": self.backend_name,
             "num_workers": self.num_workers,
             "backend_starts": self.backend_starts,
@@ -134,7 +166,6 @@ class SessionMetrics:
                 "retries": self.lifecycle.retries,
                 "respawns": self.lifecycle.respawns,
                 "degraded_workers": self.lifecycle.degraded_workers,
-                "recovery_seconds": self.recovery_seconds,
             },
             "transfers": {
                 "rows_to_workers": self.transfers.rows_to_workers,
@@ -144,19 +175,32 @@ class SessionMetrics:
             },
             "cluster": {
                 "supersteps": self.cluster.supersteps,
+            },
+            "phases": dict(self.phases),
+            "phase_backends": dict(self.phase_backends),
+            "sigma_size": self.sigma_size,
+            "cover_cost_observations": self.cover_cost_observations,
+            "timings": {
                 "parallel_seconds": self.cluster.parallel_seconds,
                 "master_seconds": self.cluster.master_seconds,
                 "total_work_seconds": self.cluster.total_work_seconds,
-                "recovery_seconds": self.cluster.recovery_seconds,
+                "recovery_seconds": self.recovery_seconds,
+                "cluster_recovery_seconds": self.cluster.recovery_seconds,
+                "planner": {
+                    phase: dict(rates)
+                    for phase, rates in self.planner.items()
+                },
             },
-            "phases": dict(self.phases),
-            "sigma_size": self.sigma_size,
-            "cover_cost_observations": self.cover_cost_observations,
-            "planner": {
-                phase: dict(rates) for phase, rates in self.planner.items()
-            },
-            "phase_backends": dict(self.phase_backends),
         }
+
+    def registry(self) -> MetricsRegistry:
+        """This snapshot as a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Counts become ``repro_*`` counters, timings become gauges; render
+        with :meth:`~repro.obs.metrics.MetricsRegistry.to_prometheus` or
+        :func:`~repro.obs.export.write_prometheus`.
+        """
+        return registry_from_metrics(self.as_dict())
 
 
 class Session:
@@ -187,6 +231,14 @@ class Session:
             planner_mp_min_size``) or multiprocess has measured faster on
             that phase — multiprocess must *never lose to serial* by more
             than the planner's margin.
+        tracer: an optional :class:`~repro.obs.tracer.Tracer`.  When
+            given, the session opens a root ``session`` span, wraps every
+            phase in a ``phase`` span, and threads the tracer through the
+            cluster, the planner, every backend it starts and the
+            enforcement engine — one trace covers the whole pipeline.
+            Default: the shared no-op ``NULL_TRACER`` (tracing off; every
+            hook is a constant-time no-op and results are byte-identical
+            either way).
 
     Single-threaded, like the engines.  Use as a context manager, or call
     :meth:`close` — worker processes and shared-memory segments outlive no
@@ -200,8 +252,11 @@ class Session:
         enforcement: Optional[EnforcementConfig] = None,
         num_workers: Optional[int] = None,
         backend: Optional[str] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         self.graph = graph
+        #: The session tracer — a live ``Tracer`` or the no-op singleton.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.config = config if config is not None else DiscoveryConfig()
         self._backend_name = backend or self.config.parallel_backend
         if self._backend_name not in BACKEND_NAMES + ("auto",):
@@ -226,6 +281,7 @@ class Session:
         self.planner = PhaseCostPlanner(
             mp_min_size=self.config.planner_mp_min_size
         )
+        self.planner.tracer = self.tracer
         #: The concrete backend each phase last resolved to.
         self._phase_backends: Dict[str, str] = {}
         base = enforcement if enforcement is not None else EnforcementConfig()
@@ -258,7 +314,7 @@ class Session:
             self._gamma = self._stats.top_attributes(
                 self.config.max_active_attributes
             )
-        self.cluster = SimulatedCluster(num_workers)
+        self.cluster = SimulatedCluster(num_workers, tracer=self.tracer)
         self.cover_costs = ChaseCostModel()
         self._delta = DeltaLog()
         graph.attach_delta_log(self._delta)
@@ -274,6 +330,16 @@ class Session:
         self._supports: Dict[GFD, int] = {}
         self._phases: Dict[str, int] = {}
         self._closed = False
+        self._root_span = (
+            self.tracer.begin(
+                "session",
+                "session",
+                backend=self._backend_name,
+                num_workers=num_workers,
+            )
+            if self.tracer.enabled
+            else None
+        )
 
     # ------------------------------------------------------------------
     # resource ownership
@@ -320,8 +386,24 @@ class Session:
         serial is forced.
         """
         if self._backend_name != "auto":
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "planner_decision",
+                    phase=phase,
+                    size=size,
+                    chosen=self._backend_name,
+                    mode="pinned",
+                )
             return self._backend_name
         if not self.config.use_index:
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "planner_decision",
+                    phase=phase,
+                    size=size,
+                    chosen="serial",
+                    mode="forced_serial",
+                )
             return "serial"
         return self.planner.choose(phase, size)
 
@@ -343,6 +425,7 @@ class Session:
                 use_shared_memory=self.config.shared_memory,
                 fault=self.config.fault,
                 fuse_ops=self.config.fuse_ops,
+                tracer=self.tracer,
             )
             self._backends[name] = backend
             self._backend_starts += 1
@@ -450,12 +533,13 @@ class Session:
         size = self.graph.num_nodes
         name = self._resolve("discover", size)
         self._phase_backends["discover"] = name
-        engine = self._discovery_engine(name)
-        start = time.perf_counter()
-        try:
-            result = engine.run()
-        finally:
-            self._after_discovery()
+        with self.tracer.span("discover", "phase", backend=name, size=size):
+            engine = self._discovery_engine(name)
+            start = time.perf_counter()
+            try:
+                result = engine.run()
+            finally:
+                self._after_discovery()
         self.planner.observe(
             "discover", name, size, time.perf_counter() - start
         )
@@ -485,6 +569,15 @@ class Session:
         size = self.graph.num_nodes
         name = self._resolve("discover", size)
         self._phase_backends["discover"] = name
+        # a generator cannot hold a ``with`` open across yields safely
+        # when abandoned, so the phase span is closed from the finally
+        span = (
+            self.tracer.begin(
+                "discover_iter", "phase", backend=name, size=size
+            )
+            if self.tracer.enabled
+            else None
+        )
         engine = self._discovery_engine(name)
         emitted: List[Tuple[GFD, int]] = []
         budget_hit = False
@@ -505,6 +598,8 @@ class Session:
         finally:
             levels.close()  # releases the engine's hold on the backend
             self._after_discovery()
+            if span is not None:
+                self.tracer.end(span)
             self.planner.observe(
                 "discover", name, size, time.perf_counter() - start
             )
@@ -528,12 +623,15 @@ class Session:
         name = self._resolve("cover", len(rules))
         self._phase_backends["cover"] = name
         start = time.perf_counter()
-        result, _ = parallel_cover(
-            rules,
-            cluster=self.cluster,
-            backend=self._backend_for(name),
-            cost_model=self.cover_costs,
-        )
+        with self.tracer.span(
+            "cover", "phase", backend=name, size=len(rules)
+        ):
+            result, _ = parallel_cover(
+                rules,
+                cluster=self.cluster,
+                backend=self._backend_for(name),
+                cost_model=self.cover_costs,
+            )
         self.planner.observe(
             "cover", name, len(rules), time.perf_counter() - start
         )
@@ -556,6 +654,7 @@ class Session:
             replace(self.enforcement, backend=name),
             backend=self._backend_for(name),
             delta=self._delta,
+            tracer=self.tracer,
         )
         return self._engine
 
@@ -576,7 +675,8 @@ class Session:
         rules = list(sigma) if sigma is not None else list(self._sigma)
         size = self.graph.num_nodes
         start = time.perf_counter()
-        report = self._ensure_engine(rules).validate()
+        with self.tracer.span("enforce", "phase", size=size):
+            report = self._ensure_engine(rules).validate()
         name = self._engine_backend or self._backend_name
         self._phase_backends["enforce"] = name
         self.planner.observe(
@@ -598,13 +698,14 @@ class Session:
         self._count("refresh")
         size = self.graph.num_nodes
         start = time.perf_counter()
-        if self._engine is not None:
-            # continue whatever Σ the engine is serving (an enforce(sigma)
-            # override included) — its resident tables are the state the
-            # delta splices into
-            report = self._engine.refresh()
-        else:
-            report = self._ensure_engine(list(self._sigma)).refresh()
+        with self.tracer.span("refresh", "phase", size=size):
+            if self._engine is not None:
+                # continue whatever Σ the engine is serving (an
+                # enforce(sigma) override included) — its resident tables
+                # are the state the delta splices into
+                report = self._engine.refresh()
+            else:
+                report = self._ensure_engine(list(self._sigma)).refresh()
         name = self._engine_backend or self._backend_name
         self._phase_backends["refresh"] = name
         self.planner.observe(
@@ -639,6 +740,15 @@ class Session:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+    def trace(self) -> Any:
+        """The session's tracer (the no-op ``NULL_TRACER`` when off).
+
+        With a live tracer, hand it to :func:`~repro.obs.export.
+        write_chrome_trace` / :func:`~repro.obs.export.write_event_log`
+        after :meth:`close` for the full per-worker timeline.
+        """
+        return self.tracer
+
     def metrics(self) -> SessionMetrics:
         """The unified resource/work view (see :class:`SessionMetrics`).
 
@@ -703,6 +813,9 @@ class Session:
             # and _check_open prevents any reuse
             backend.shutdown()
         self.graph.detach_delta_log(self._delta)
+        if self._root_span is not None:
+            self.tracer.end(self._root_span)
+            self._root_span = None
 
     def __enter__(self) -> "Session":
         return self

@@ -80,6 +80,13 @@ EXPECTED_TOP_LEVEL = {
     # session facade
     "Session",
     "SessionMetrics",
+    # observability
+    "Tracer",
+    "NullTracer",
+    "MetricsRegistry",
+    "write_chrome_trace",
+    "write_event_log",
+    "write_prometheus",
 }
 
 
@@ -104,6 +111,7 @@ class TestSurfaceSnapshot:
             "save_sigma",
             "load_sigma",
             "metrics",
+            "trace",
             "backend",
             "close",
         ):

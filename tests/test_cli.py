@@ -128,6 +128,32 @@ class TestCLI:
         # the clean graph satisfies its own discovered rules
         assert main(["enforce", graph_file, str(sigma_file)]) == 0
 
+    def test_pipeline_trace_artifacts(self, graph_file, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "trace.json"
+        events_file = tmp_path / "events.jsonl"
+        args = [
+            "pipeline", graph_file,
+            "--k", "2", "--sigma", "30", "--max-lhs", "1",
+        ]
+        assert main(args + ["--trace", str(trace_file)]) == 0
+        capsys.readouterr()
+        document = json.loads(trace_file.read_text())
+        cats = {e.get("cat") for e in document["traceEvents"]}
+        assert {"session", "phase", "superstep"} <= cats
+        instants = [
+            e for e in document["traceEvents"] if e["ph"] == "i"
+        ]
+        assert any(
+            e["name"] == "planner_decision" for e in instants
+        )
+        # a .jsonl path selects the typed-event log instead
+        assert main(args + ["--trace", str(events_file)]) == 0
+        capsys.readouterr()
+        header = json.loads(events_file.read_text().splitlines()[0])
+        assert header["record"] == "header"
+
     def test_enforce_dirty(self, tmp_path, film_graph, rules_file, capsys):
         film_graph.set_attr(0, "type", "gardener")  # break the rule
         dirty_path = tmp_path / "dirty.json"

@@ -529,8 +529,8 @@ class TestChaosDifferential:
             "retries": 0,
             "respawns": 0,
             "degraded_workers": 0,
-            "recovery_seconds": 0.0,
         }
+        assert data["timings"]["recovery_seconds"] == 0.0
 
     def test_transfer_ledger_identical_under_faults(
         self, film_graph, film_config
