@@ -14,6 +14,11 @@ Subcommands:
 * ``cover <rules>`` — compute a cover of a rule file (``--workers``/
   ``--backend`` selects the parallel ``ParCover``, sharded over the same
   worker op layer as discovery);
+* ``index build <graph> -o <file>`` / ``index inspect <file>`` — persist
+  a graph's frozen index in the checksummed on-disk format of
+  :mod:`repro.graph.store`, and print a persisted file's header facts;
+  the graph-ful verbs take ``--index <file>`` to attach the persisted
+  snapshot via ``mmap`` instead of re-freezing the graph;
 * ``pipeline <graph>`` — discover → cover → enforce on one
   :class:`~repro.session.Session`: worker pools start once, the graph
   index is attached once, and ``--metrics`` dumps the unified session
@@ -100,6 +105,65 @@ def save_rules(
                 handle.write(format_gfd(gfd) + "\n")
 
 
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    """Freeze a graph and persist its index (``repro index build``)."""
+    import time
+
+    graph = load_graph(args.graph)
+    output = args.output or str(Path(args.graph).with_suffix(".rgix"))
+    started = time.perf_counter()
+    index = graph.index()
+    build_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    index.save(output)
+    save_seconds = time.perf_counter() - started
+    size = Path(output).stat().st_size
+    print(f"wrote {output}")
+    print(
+        f"nodes: {index.num_nodes}  edges: {index.num_edges}  "
+        f"version: {index.version}"
+    )
+    print(
+        f"build {build_seconds:.3f}s  save {save_seconds:.3f}s  "
+        f"{size} bytes"
+    )
+    return 0
+
+
+def _cmd_index_inspect(args: argparse.Namespace) -> int:
+    """Print a persisted index's header facts (``repro index inspect``)."""
+    from .graph.store import IndexStoreError, inspect_index
+
+    try:
+        info = inspect_index(args.index)
+    except (OSError, IndexStoreError) as error:
+        raise SystemExit(f"{args.index}: {error}") from error
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    fp = info["fingerprint"]
+    print(f"schema: {info['schema']}")
+    print(
+        f"nodes: {fp['num_nodes']}  edges: {fp['num_edges']}  "
+        f"graph version: {fp['graph_version']}"
+    )
+    print(
+        f"node labels: {info['node_labels']}  "
+        f"edge labels: {info['edge_labels']}  "
+        f"attributes: {len(info['attr_names'])} "
+        f"({', '.join(info['attr_names']) or 'none'})  "
+        f"values: {info['values']}"
+    )
+    print(f"file: {info['file_size']} bytes "
+          f"({info['data_size']} data @ offset {info['data_start']})")
+    print("regions:")
+    for name, entry in info["arrays"].items():
+        shape = "x".join(str(n) for n in entry["shape"])
+        print(f"  {name}\t{entry['dtype']}\t[{shape}]\t"
+              f"{entry['bytes']} bytes\tcrc32={entry['crc32']:08x}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     stats = compute_statistics(graph)
@@ -161,6 +225,15 @@ def _write_metrics(session: Session, path: Optional[str]) -> None:
         )
 
 
+def _add_index_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--index", metavar="PATH", default=None,
+        help="persisted index file (see 'index build'): a matching "
+             "snapshot mmap-attaches with zero rebuild and multiprocess "
+             "workers map the same file; a missing or stale file is "
+             "rebuilt and re-persisted there")
+
+
 def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", metavar="PATH",
@@ -208,7 +281,8 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     parallel = (args.workers or 0) > 1 or config.parallel_backend == "multiprocess"
     tracer = _make_tracer(args)
     with Session(
-        graph, config, num_workers=args.workers, tracer=tracer
+        graph, config, num_workers=args.workers,
+        index_path=args.index, tracer=tracer,
     ) as session:
         result = session.discover()
         if parallel:
@@ -273,6 +347,7 @@ def _cmd_enforce(args: argparse.Namespace) -> int:
         enforcement=config,
         num_workers=args.workers,
         backend=args.backend,
+        index_path=args.index,
         tracer=tracer,
     ) as session:
         report = session.enforce(rules)
@@ -336,7 +411,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         config.parallel_backend = args.backend
     tracer = _make_tracer(args)
     with Session(
-        graph, config, num_workers=args.workers, tracer=tracer
+        graph, config, num_workers=args.workers,
+        index_path=args.index, tracer=tracer,
     ) as session:
         result = session.discover()
         cover = session.cover()
@@ -432,6 +508,29 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("graph", help="graph file (.json or .tsv)")
     stats.set_defaults(func=_cmd_stats)
 
+    index = commands.add_parser(
+        "index",
+        help="persist / inspect on-disk graph indexes",
+        epilog="The store format is versioned and checksummed (see "
+               "docs/ARCHITECTURE.md): build once, then any process — "
+               "including every multiprocess worker — attaches the "
+               "snapshot via mmap in milliseconds.",
+    )
+    index_commands = index.add_subparsers(dest="index_command", required=True)
+    ibuild = index_commands.add_parser(
+        "build", help="freeze a graph and persist its index")
+    ibuild.add_argument("graph", help="graph file (.json or .tsv)")
+    ibuild.add_argument("-o", "--output", default=None,
+                        help="output file (default: graph path with a "
+                             ".rgix suffix)")
+    ibuild.set_defaults(func=_cmd_index_build)
+    iinspect = index_commands.add_parser(
+        "inspect", help="print a persisted index's header facts")
+    iinspect.add_argument("index", help="persisted index file")
+    iinspect.add_argument("--json", action="store_true",
+                          help="print the facts as JSON")
+    iinspect.set_defaults(func=_cmd_index_inspect)
+
     disc = commands.add_parser(
         "discover",
         help="mine GFDs from a graph",
@@ -461,6 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
     disc.add_argument("--cover", action="store_true",
                       help="reduce the output to a cover")
     disc.add_argument("--output", help="also write rules to this file")
+    _add_index_argument(disc)
     _add_fault_arguments(disc)
     disc.add_argument("--metrics", help="write session metrics (backend "
                                         "lifecycle, transfers, supersteps) "
@@ -497,6 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip negative GFDs")
     pipe.add_argument("--output", help="write the cover to this file "
                                        "(.json keeps supports)")
+    _add_index_argument(pipe)
     _add_fault_arguments(pipe)
     pipe.add_argument("--metrics", help="write session metrics as JSON to "
                                         "this file")
@@ -535,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "unbounded)")
     enf.add_argument("--json", help="also write a machine-readable report "
                                     "to this file")
+    _add_index_argument(enf)
     _add_fault_arguments(enf)
     enf.add_argument("--metrics", help="write session metrics as JSON to "
                                        "this file")

@@ -4,6 +4,7 @@ from .figure1 import Figure1, load_figure1
 from .gfd_generator import generate_gfds
 from .knowledge_base import KB_ATTRIBUTES, dbpedia_like, imdb_like, yago2_like
 from .noise import NoiseReport, inject_noise
+from .scale import SCALE_TIERS, scale_graph, scale_tier_graph
 from .synthetic import SYNTHETIC_ATTRIBUTES, synthetic_graph
 
 __all__ = [
@@ -16,6 +17,9 @@ __all__ = [
     "imdb_like",
     "NoiseReport",
     "inject_noise",
+    "SCALE_TIERS",
+    "scale_graph",
+    "scale_tier_graph",
     "SYNTHETIC_ATTRIBUTES",
     "synthetic_graph",
 ]

@@ -12,6 +12,14 @@ from .io import (
 )
 from .index import GraphIndex
 from .partition import Fragment, fragment_graph, partition_edges
+from .store import (
+    IndexStoreCorrupt,
+    IndexStoreError,
+    IndexStoreStale,
+    inspect_index,
+    load_index,
+    save_index,
+)
 from .statistics import GraphStatistics, compute_statistics
 
 __all__ = [
@@ -20,6 +28,12 @@ __all__ = [
     "GraphBuilder",
     "GraphIndex",
     "GraphStatistics",
+    "IndexStoreCorrupt",
+    "IndexStoreError",
+    "IndexStoreStale",
+    "inspect_index",
+    "load_index",
+    "save_index",
     "Fragment",
     "compute_statistics",
     "fragment_graph",

@@ -112,14 +112,25 @@ class GraphIndex:
         "_triple_keys",
         "_triple_counts",
         "_statistics",
+        # on-disk persistence (see repro.graph.store)
+        "store_path",
+        "store_mapping",
     )
+
+    #: Process-local count of full ``__init__`` freezes — a diagnostic the
+    #: persistence tests use to prove an mmap attach performs *zero*
+    #: rebuilds (``from_buffers``/``load`` never touch it).
+    builds_performed = 0
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def __init__(self, graph: Graph) -> None:
+        GraphIndex.builds_performed += 1
         self.graph = graph
         self.version = graph.version
+        self.store_path = None
+        self.store_mapping = None
         n = graph.num_nodes
         self.num_nodes = n
 
@@ -297,19 +308,29 @@ class GraphIndex:
 
     @classmethod
     def from_buffers(
-        cls, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+        cls,
+        meta: Dict[str, Any],
+        arrays: Dict[str, np.ndarray],
+        nodes_order: Optional[np.ndarray] = None,
+        nodes_bounds: Optional[np.ndarray] = None,
     ) -> "GraphIndex":
         """Reassemble a detached index around exported ``(meta, arrays)``.
 
         The arrays are adopted as-is (typically zero-copy views into a
-        shared-memory block); only the small derived structures (interning
-        dicts, per-label node slices) are rebuilt.
+        shared-memory block or memory-mapped store file); only the small
+        derived structures (interning dicts, per-label node slices) are
+        rebuilt.  ``nodes_order``/``nodes_bounds`` — persisted by
+        :mod:`repro.graph.store` — supply the per-label node ordering
+        precomputed, skipping the ``O(n log n)`` argsort that would
+        otherwise dominate a million-node attach.
         """
         self = cls.__new__(cls)
         self.graph = None
         self.version = meta["version"]
         self.num_nodes = meta["num_nodes"]
         self.num_edges = meta["num_edges"]
+        self.store_path = None
+        self.store_mapping = None
         for name in cls._BUFFER_FIELDS:
             setattr(self, name, arrays[name])
         self.node_label_values = list(meta["node_label_values"])
@@ -320,12 +341,15 @@ class GraphIndex:
         self.edge_label_code_of = {
             label: code for code, label in enumerate(self.edge_label_values)
         }
-        codes = self.node_label_codes
-        order = np.argsort(codes, kind="stable")
-        counts = np.bincount(codes, minlength=len(self.node_label_values))
-        bounds = np.concatenate(([0], np.cumsum(counts)))
+        if nodes_order is None or nodes_bounds is None:
+            codes = self.node_label_codes
+            nodes_order = np.argsort(codes, kind="stable")
+            counts = np.bincount(
+                codes, minlength=len(self.node_label_values)
+            )
+            nodes_bounds = np.concatenate(([0], np.cumsum(counts)))
         self._nodes_by_label = [
-            order[bounds[i]: bounds[i + 1]]
+            nodes_order[nodes_bounds[i]: nodes_bounds[i + 1]]
             for i in range(len(self.node_label_values))
         ]
         self.value_of_code = [MISSING] + list(meta["values"])
@@ -340,6 +364,28 @@ class GraphIndex:
         self.attr_names = list(meta["attr_names"])
         self._statistics = None
         return self
+
+    # ------------------------------------------------------------------
+    # on-disk persistence (thin veneer over repro.graph.store)
+    # ------------------------------------------------------------------
+    def save(self, path: Any) -> Any:
+        """Persist this snapshot to ``path`` (see :func:`~repro.graph.store.save_index`)."""
+        from .store import save_index
+
+        return save_index(self, path)
+
+    @classmethod
+    def load(
+        cls,
+        path: Any,
+        graph: Optional[Graph] = None,
+        mmap: bool = True,
+        verify: Optional[bool] = None,
+    ) -> "GraphIndex":
+        """Attach a persisted snapshot (see :func:`~repro.graph.store.load_index`)."""
+        from .store import load_index
+
+        return load_index(path, graph=graph, mmap=mmap, verify=verify)
 
     # ------------------------------------------------------------------
     # label/value interning

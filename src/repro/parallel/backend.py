@@ -873,6 +873,8 @@ class SerialBackend(ExecutionBackend):
             pools_started=num_workers,
             index_attaches=1 if index is not None else 0,
         )
+        # in-process shards share the master's index object outright
+        self.index_transport = "inprocess" if index is not None else "none"
         self.workers = [
             ShardWorker(graph, index, gamma) for _ in range(num_workers)
         ]
@@ -1126,7 +1128,26 @@ _WORKER: Optional[ShardWorker] = None
 #: pointing into earlier segments, so the whole chain must stay mapped
 #: until a full re-attach replaces it).
 _SEGMENTS: List[Any] = []
+#: The mmap attachment backing the current index on the on-disk transport
+#: (kept open across delta merges for the same reason as ``_SEGMENTS``;
+#: replaced — never unlinked — on a full re-attach).
+_MAPPING: Optional[Any] = None
 _FAULTS: Optional[FaultPlan] = None
+
+
+def _attach_store_index(path: str) -> "GraphIndex":
+    """Worker-side mmap attach of a persisted index snapshot.
+
+    The store's own loader does everything: header verification, zero-copy
+    views, janitor mapping registration in *this* process.  Tracks the
+    mapping in ``_MAPPING`` so a later full re-attach can release it.
+    """
+    global _MAPPING
+    from ..graph.store import load_index
+
+    index = load_index(path, mmap=True)
+    _MAPPING = index.store_mapping
+    return index
 
 
 def _mp_initialize(
@@ -1147,6 +1168,10 @@ def _mp_initialize(
     plan = pickle.loads(fault_blob) if fault_blob is not None else None
     _FAULTS = plan if plan is not None and plan.applies_to(worker_id) else None
     spec = pickle.loads(spec_blob)
+    if spec.get("mmap_path") is not None:
+        index = _attach_store_index(spec["mmap_path"])
+        _WORKER = ShardWorker(None, index, spec["gamma"])
+        return
     if spec.get("meta") is None:
         _WORKER = ShardWorker(None, None, spec["gamma"])
         return
@@ -1169,8 +1194,17 @@ def _mp_attach_index(
     segment chain — worker-resident state (parked joins, enforcement rows
     and masks) survives untouched; only the index views are replaced.
     """
-    global _WORKER, _SEGMENTS
+    global _WORKER, _SEGMENTS, _MAPPING
     spec = pickle.loads(spec_blob)
+    if spec.get("mmap_path") is not None:
+        old_mapping = _MAPPING
+        _WORKER.index = _attach_store_index(spec["mmap_path"])
+        old, _SEGMENTS = _SEGMENTS, []
+        for segment in old:
+            segment.close()
+        if old_mapping is not None and old_mapping is not _MAPPING:
+            old_mapping.close()
+        return True
     if segment_name is not None:
         segment = _attach_segment(segment_name)
         chain = [segment]
@@ -1180,8 +1214,11 @@ def _mp_attach_index(
         arrays = pickle.loads(arrays_blob)
     _WORKER.index = GraphIndex.from_buffers(spec["meta"], arrays)
     old, _SEGMENTS = _SEGMENTS, chain
+    old_mapping, _MAPPING = _MAPPING, None
     for segment in old:
         segment.close()
+    if old_mapping is not None:
+        old_mapping.close()
     return True
 
 
@@ -1352,7 +1389,19 @@ class MultiprocessBackend(ExecutionBackend):
         self._degrade_warned = False
         self.recovery_seconds = 0.0
         self.buffers: Optional[SharedIndexBuffers] = None
+        #: How the index snapshot reaches the workers: ``mmap`` (persisted
+        #: store file), ``shm`` (shared-memory segment), ``pickle``
+        #: (fallback channel) or ``none`` (graph-free pool).
+        self.index_transport = "none"
         self._base_initargs, self.buffers = self._index_initargs(index)
+        if tracer.enabled and index is not None:
+            tracer.event(
+                "index_transport",
+                transport=self.index_transport,
+                path=getattr(index, "store_path", None)
+                if self.index_transport == "mmap"
+                else None,
+            )
         # the previous snapshot's export (zero-copy array references into
         # that index), diffed on refresh_index to ship only what changed
         self._last_export = (
@@ -1390,11 +1439,38 @@ class MultiprocessBackend(ExecutionBackend):
     def _index_initargs(
         self, index: Optional[GraphIndex]
     ) -> Tuple[Tuple, Optional[SharedIndexBuffers]]:
-        """``(initializer args, owned buffers)`` for shipping one snapshot."""
+        """``(initializer args, owned buffers)`` for shipping one snapshot.
+
+        Transport ladder, best first: a *persisted* snapshot
+        (``index.store_path`` naming a store file whose fingerprint still
+        matches) ships as just the path — every worker mmap-attaches the
+        file and the master allocates nothing; otherwise the arrays are
+        packed into one shared-memory segment; without shared memory they
+        fall back to the pickle channel.  The chosen route is recorded in
+        :attr:`index_transport`.  All three routes are replayable from
+        ``_base_initargs`` by a supervised respawn (the store file must
+        simply outlive the backend, like the segment does).
+        """
         if index is None:
+            self.index_transport = "none"
             spec = {"meta": None, "gamma": self._gamma}
             return (pickle.dumps(spec), None, None), None
+        store_path = getattr(index, "store_path", None)
+        if store_path is not None:
+            from ..graph.store import snapshot_matches
+
+            if snapshot_matches(
+                store_path, index.num_nodes, index.num_edges, index.version
+            ):
+                self.index_transport = "mmap"
+                spec = {
+                    "meta": None,
+                    "mmap_path": str(store_path),
+                    "gamma": self._gamma,
+                }
+                return (pickle.dumps(spec), None, None), None
         if self._use_shared_memory:
+            self.index_transport = "shm"
             buffers = SharedIndexBuffers(index)
             spec = {
                 "meta": buffers.meta,
@@ -1402,6 +1478,7 @@ class MultiprocessBackend(ExecutionBackend):
                 "gamma": self._gamma,
             }
             return (pickle.dumps(spec), buffers.name, None), buffers
+        self.index_transport = "pickle"
         meta, arrays = index.export_buffers()
         spec = {"meta": meta, "gamma": self._gamma}
         return (pickle.dumps(spec), None, pickle.dumps(arrays)), None

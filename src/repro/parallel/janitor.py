@@ -44,11 +44,14 @@ __all__ = [
     "attach_segment",
     "cleanup",
     "create_segment",
+    "live_mappings",
     "live_segments",
     "register",
+    "register_mapping",
     "spool_dir",
     "sweep_orphans",
     "unregister",
+    "unregister_mapping",
 ]
 
 #: Every janitor-managed segment name starts with this (leak checks key on
@@ -56,6 +59,13 @@ __all__ = [
 SEGMENT_PREFIX = "repro_shm_"
 
 _registry: Dict[str, object] = {}
+#: Live mmap attachments of on-disk index stores (``IndexMapping``
+#: objects, keyed by identity).  Mappings share the janitor's exit hooks
+#: but have a strictly *close-only* lifecycle: the backing store is an
+#: ordinary file owned by the user, so neither :func:`cleanup` nor
+#: :func:`sweep_orphans` may ever unlink it — only shared-memory
+#: *segments* (names under :data:`SEGMENT_PREFIX`) are unlinkable.
+_mappings: Dict[int, object] = {}
 _sequence = itertools.count()
 _hooks_installed = False
 _previous_handlers: Dict[int, object] = {}
@@ -154,6 +164,28 @@ def live_segments() -> List[str]:
     return sorted(_registry)
 
 
+def register_mapping(mapping) -> None:
+    """Track a live mmap index attachment until close or process exit.
+
+    The janitor only ever *closes* mappings (at :func:`cleanup` time); it
+    never unlinks their backing files and :func:`sweep_orphans` never
+    touches them — a sweep's unlink authority is restricted to
+    :data:`SEGMENT_PREFIX` shared-memory names by construction.
+    """
+    _install_hooks()
+    _mappings[id(mapping)] = mapping
+
+
+def unregister_mapping(mapping) -> None:
+    """Stop tracking a mapping (it was closed deliberately)."""
+    _mappings.pop(id(mapping), None)
+
+
+def live_mappings() -> List[object]:
+    """The mmap attachments currently open in this process."""
+    return list(_mappings.values())
+
+
 def create_segment(nbytes: int):
     """A fresh registered segment under the janitor naming scheme."""
     if _shared_memory is None:  # pragma: no cover - platform dependent
@@ -195,7 +227,18 @@ def attach_segment(name: str):
 
 
 def cleanup() -> List[str]:
-    """Unlink every still-registered segment of this process (idempotent)."""
+    """Unlink every still-registered segment of this process (idempotent).
+
+    Mmap index attachments are *closed* here too — but never unlinked:
+    their backing store files are durable user data, not process-lifetime
+    kernel objects.
+    """
+    for mapping in list(_mappings.values()):
+        try:
+            mapping.close()  # idempotent; unregisters itself
+        except Exception:  # pragma: no cover - teardown must not raise
+            pass
+    _mappings.clear()
     removed: List[str] = []
     for name, segment in list(_registry.items()):
         _registry.pop(name, None)

@@ -62,6 +62,7 @@ from .gfd.parser import dumps_sigma, loads_sigma
 from .graph.graph import Graph
 from .graph.index import GraphIndex
 from .graph.statistics import compute_statistics
+from .graph.store import IndexStoreStale
 from .obs.metrics import MetricsRegistry, registry_from_metrics
 from .obs.tracer import NULL_TRACER
 from .parallel.backend import (
@@ -231,6 +232,19 @@ class Session:
             planner_mp_min_size``) or multiprocess has measured faster on
             that phase — multiprocess must *never lose to serial* by more
             than the planner's margin.
+        index_path: optional path of a persisted index snapshot (the
+            ``repro.graph.store`` format).  A valid store file whose
+            fingerprint matches the graph attaches via ``mmap`` with
+            *zero* index rebuild — and the multiprocess backend ships the
+            same file to every worker instead of allocating a
+            shared-memory copy.  A missing or stale file is rebuilt from
+            the graph and re-persisted (atomic replace); a *corrupt* file
+            raises :class:`~repro.graph.store.IndexStoreError` rather
+            than being silently overwritten.  Ignored when
+            ``config.use_index`` is off.
+        index_mmap: attach mode for ``index_path`` — ``True`` (default)
+            maps the file read-only; ``False`` loads it eagerly into
+            process memory (checksums verified).
         tracer: an optional :class:`~repro.obs.tracer.Tracer`.  When
             given, the session opens a root ``session`` span, wraps every
             phase in a ``phase`` span, and threads the tracer through the
@@ -252,6 +266,8 @@ class Session:
         enforcement: Optional[EnforcementConfig] = None,
         num_workers: Optional[int] = None,
         backend: Optional[str] = None,
+        index_path: Optional[Any] = None,
+        index_mmap: bool = True,
         tracer: Optional[Any] = None,
     ) -> None:
         self.graph = graph
@@ -300,8 +316,10 @@ class Session:
             fault=self.config.fault,
         )
         self._snapshot_version = graph.version
+        self._index_path = Path(index_path) if index_path is not None else None
+        self._index_mmap = bool(index_mmap)
         self._index: Optional[GraphIndex] = (
-            graph.index() if self.config.use_index else None
+            self._snapshot_index() if self.config.use_index else None
         )
         self._stats = (
             self._index.statistics()
@@ -454,6 +472,42 @@ class Session:
         if self._closed:
             raise RuntimeError("the session is closed")
 
+    def _snapshot_index(self) -> GraphIndex:
+        """The frozen snapshot, via the on-disk store when ``index_path`` set.
+
+        A valid persisted snapshot mmap-attaches (or eager-loads) with
+        zero rebuild; a missing or *stale* file — the graph mutated since
+        the save — is rebuilt from the graph and re-persisted, so the
+        path always holds the current snapshot afterwards.  Corruption is
+        never papered over: a damaged file raises ``IndexStoreError``.
+        """
+        if self._index_path is None:
+            return self.graph.index()
+        if self._index_path.exists():
+            try:
+                index = GraphIndex.load(
+                    self._index_path,
+                    graph=self.graph,
+                    mmap=self._index_mmap,
+                )
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "index_loaded",
+                        path=str(self._index_path),
+                        mmap=self._index_mmap,
+                    )
+                return index
+            except IndexStoreStale:
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "index_stale_rebuild", path=str(self._index_path)
+                    )
+        index = self.graph.index()
+        index.save(self._index_path)
+        if self.tracer.enabled:
+            self.tracer.event("index_saved", path=str(self._index_path))
+        return index
+
     def _refresh_snapshot(self) -> None:
         """Re-snapshot the index, statistics and Γ after graph mutations.
 
@@ -468,7 +522,7 @@ class Session:
             return
         self._snapshot_version = self.graph.version
         if self.config.use_index:
-            index = self.graph.index()
+            index = self._snapshot_index()
             if index is self._index:
                 return
             self._index = index

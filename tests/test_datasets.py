@@ -7,11 +7,14 @@ import pytest
 from repro.core import DiscoveryConfig, discover
 from repro.datasets import (
     KB_ATTRIBUTES,
+    SCALE_TIERS,
     dbpedia_like,
     generate_gfds,
     imdb_like,
     inject_noise,
     load_figure1,
+    scale_graph,
+    scale_tier_graph,
     synthetic_graph,
     yago2_like,
 )
@@ -159,6 +162,64 @@ class TestKnowledgeBases:
             "( -> x.familyname=y.familyname)"
         )
         assert graph_satisfies(graph, gfd1)
+
+
+class TestScale:
+    def test_tier_sizes(self):
+        graph = scale_tier_graph("10k", seed=1)
+        assert graph.num_nodes == SCALE_TIERS["10k"] == 10_000
+        # self-loops and duplicate draws are dropped from the 2n target
+        assert 1.5 * graph.num_nodes < graph.num_edges <= 2 * graph.num_nodes
+
+    def test_determinism_including_version(self):
+        a = scale_graph(3_000, seed=9)
+        b = scale_graph(3_000, seed=9)
+        assert a.version == b.version
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert a.node_attrs(1234) == b.node_attrs(1234)
+
+    def test_seed_changes_output(self):
+        a = scale_graph(3_000, seed=1)
+        b = scale_graph(3_000, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_label_skew_head_heavier(self):
+        graph = scale_graph(5_000, label_skew=1.2, seed=3)
+        stats = compute_statistics(graph)
+        counts = stats.node_label_counts
+        assert counts["L0"] > counts[max(counts, key=lambda l: int(l[1:]))]
+
+    def test_zero_skew_is_uniform(self):
+        graph = scale_graph(6_000, num_labels=4, label_skew=0.0, seed=5)
+        stats = compute_statistics(graph)
+        low, high = (
+            min(stats.node_label_counts.values()),
+            max(stats.node_label_counts.values()),
+        )
+        assert high - low < 0.2 * 6_000
+
+    def test_planted_rules_mineable(self):
+        graph = scale_graph(10_000, seed=1)
+        config = DiscoveryConfig(
+            k=2, sigma=30, max_lhs_size=1, active_attributes=["a0", "a1"]
+        )
+        assert discover(graph, config).gfds
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            scale_graph(1)
+        with pytest.raises(ValueError):
+            scale_graph(100, attrs_per_node=0)
+        with pytest.raises(ValueError):
+            scale_tier_graph("5k")
+
+    @pytest.mark.slow
+    def test_million_node_tier(self):
+        graph = scale_tier_graph("1m", seed=1)
+        assert graph.num_nodes == 1_000_000
+        assert graph.num_edges > 1_500_000
+        attrs = graph.node_attrs(0)
+        assert set(attrs) == {"a0", "a1"}
 
 
 class TestGFDGenerator:
