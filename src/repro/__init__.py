@@ -25,7 +25,10 @@ The package implements the paper end to end:
   discover → cover → enforce → refresh pipeline;
 * :mod:`repro.obs` — unified telemetry: hierarchical span tracing with
   per-worker lanes, a metrics registry, and Chrome-trace / JSONL /
-  Prometheus exports.
+  Prometheus exports;
+* :mod:`repro.serve` — enforcement-as-a-service: the asyncio serving
+  layer over MVCC index snapshots with group-commit writes (readers pin
+  a consistent version per request, writes batch through the delta log).
 
 Quickstart::
 
@@ -52,7 +55,7 @@ from .core import (
     sequential_cover,
 )
 from .core.config import CandidateBudgetExceeded
-from .enforce import EnforcementEngine, EnforcementReport
+from .enforce import EnforcementEngine, EnforcementReport, RuleSketchMonitor
 from .gfd import (
     FALSE,
     GFD,
@@ -84,11 +87,12 @@ from .parallel import (
     parallel_cover,
 )
 from .pattern import WILDCARD, Pattern, find_matches, pivot_image
+from .serve import EnforcementService, ServeConfig
 from .session import Session, SessionMetrics
 
 #: The single source of the package version — ``setup.py`` reads it from
 #: this file, and every telemetry/bench artifact stamps it.
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -135,9 +139,13 @@ __all__ = [
     "EnforcementConfig",
     "EnforcementEngine",
     "EnforcementReport",
+    "RuleSketchMonitor",
     # session facade
     "Session",
     "SessionMetrics",
+    # serving
+    "EnforcementService",
+    "ServeConfig",
     # observability
     "Tracer",
     "NullTracer",

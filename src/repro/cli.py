@@ -22,7 +22,11 @@ Subcommands:
 * ``pipeline <graph>`` — discover → cover → enforce on one
   :class:`~repro.session.Session`: worker pools start once, the graph
   index is attached once, and ``--metrics`` dumps the unified session
-  ledger as JSON.
+  ledger as JSON;
+* ``serve <graph>`` — enforcement-as-a-service: the asyncio HTTP layer
+  of :mod:`repro.serve` over MVCC index snapshots with group-commit
+  writes (``POST /validate|/discover|/cover|/mutate``,
+  ``GET /metrics|/stats|/healthz``).
 
 The graph-ful verbs (``discover``, ``enforce``, ``pipeline``) all run on a
 :class:`~repro.session.Session`, so a single backend lifecycle serves
@@ -490,6 +494,81 @@ def _cmd_cover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the enforcement service over HTTP until stopped."""
+    import asyncio
+
+    from .serve import EnforcementService, ServeConfig, serve_http
+
+    graph = load_graph(args.graph)
+    sigma = load_rules(args.rules) if args.rules else None
+    config = DiscoveryConfig(
+        k=args.k, sigma=args.sigma, max_lhs_size=args.max_lhs,
+        shared_memory=not args.no_shared_memory,
+    )
+    fault = _fault_from_args(args)
+    if fault != "auto":
+        config.fault = fault
+    if args.backend is not None:
+        config.parallel_backend = args.backend
+    serve_config = ServeConfig(
+        max_queue_depth=args.max_queue_depth,
+        default_deadline_s=args.deadline,
+        commit_max_batch=args.commit_batch,
+        commit_linger_s=args.commit_linger,
+        monitor_backend=None if args.no_monitor else "hll",
+    )
+    tracer = _make_tracer(args)
+
+    async def run() -> int:
+        service = EnforcementService(
+            graph,
+            sigma=sigma,
+            config=config,
+            serve=serve_config,
+            num_workers=args.workers,
+            backend=args.backend,
+            index_path=args.index,
+            tracer=tracer,
+        )
+        await service.start()
+        server = await serve_http(service, host=args.host, port=args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        print(
+            f"# serving http://{host}:{port} — version "
+            f"{service.chain.current_version}, "
+            f"{len(service.session.sigma)} rules, "
+            f"backend={service.session.metrics().backend_name}",
+            file=sys.stderr, flush=True,
+        )
+        try:
+            if args.duration is not None:
+                await asyncio.sleep(args.duration)
+            else:
+                await asyncio.Event().wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            stats = service.stats()  # before close drains the chain
+            await service.close()
+            print(
+                f"# served {stats['chain']['pins']} pinned reads, "
+                f"{stats.get('commits', 0)} commits "
+                f"({stats.get('mutations', 0)} mutations), final version "
+                f"{stats.get('version', 0)}, "
+                f"leaked leases {service.leaked_leases}",
+                file=sys.stderr,
+            )
+        return 0 if service.leaked_leases == 0 else 1
+
+    try:
+        code = asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        return 0
+    _write_trace(tracer, args.trace)
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -666,6 +745,63 @@ def build_parser() -> argparse.ArgumentParser:
     cov.add_argument("--output", help="also write the cover to this file")
     _add_trace_argument(cov)
     cov.set_defaults(func=_cmd_cover)
+
+    srv = commands.add_parser(
+        "serve",
+        help="run enforcement-as-a-service over HTTP (MVCC snapshots, "
+             "group-commit writes)",
+        epilog="Readers pin a consistent snapshot version per request "
+               "(POST /validate), writes group-commit through the delta "
+               "log (POST /mutate), and GET /metrics exposes the "
+               "Prometheus gauges including the live per-rule "
+               "distinct-pivot sketches.  Without --rules the service "
+               "mines its own Σ at startup with the discovery knobs.",
+    )
+    srv.add_argument("graph", help="graph file (.json or .tsv)")
+    srv.add_argument("--rules", default=None,
+                     help="rule file to serve (default: discover Σ at "
+                          "startup)")
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument("--port", type=int, default=8080,
+                     help="bind port (0 picks an ephemeral port)")
+    srv.add_argument("--duration", type=float, default=None,
+                     metavar="SECONDS",
+                     help="serve for a fixed time then exit cleanly "
+                          "(default: run until interrupted)")
+    srv.add_argument("--workers", type=int, default=None,
+                     help="backend workers (default: 1 serial / "
+                          "4 multiprocess)")
+    srv.add_argument("--backend",
+                     choices=["serial", "multiprocess", "auto"],
+                     default=None,
+                     help="execution backend of the single lane "
+                          "(default: serial, or $REPRO_PARALLEL_BACKEND)")
+    srv.add_argument("--no-shared-memory", action="store_true",
+                     help="ship graph buffers to multiprocess workers by "
+                          "pickle instead of shared memory")
+    srv.add_argument("--k", type=int, default=2,
+                     help="startup-discovery pattern-variable bound")
+    srv.add_argument("--sigma", type=int, default=10,
+                     help="startup-discovery support threshold")
+    srv.add_argument("--max-lhs", type=int, default=1,
+                     help="startup-discovery LHS literal cap")
+    srv.add_argument("--max-queue-depth", type=int, default=32,
+                     help="execution-lane admission bound (503 beyond it)")
+    srv.add_argument("--deadline", type=float, default=30.0,
+                     help="default per-request deadline in seconds")
+    srv.add_argument("--commit-batch", type=int, default=128,
+                     help="mutations per group commit before an early "
+                          "flush")
+    srv.add_argument("--commit-linger", type=float, default=0.005,
+                     metavar="SECONDS",
+                     help="how long a lone mutation waits for company")
+    srv.add_argument("--no-monitor", action="store_true",
+                     help="disable the streaming per-rule distinct-pivot "
+                          "sketches")
+    _add_index_argument(srv)
+    _add_fault_arguments(srv)
+    _add_trace_argument(srv)
+    srv.set_defaults(func=_cmd_serve)
     return parser
 
 

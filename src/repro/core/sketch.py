@@ -32,7 +32,8 @@ The protocol's contract (what the discovery shards rely on):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Protocol, Tuple, runtime_checkable
+import base64
+from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
 
 import numpy as np
 
@@ -42,6 +43,8 @@ __all__ = [
     "register_sketch",
     "make_sketch",
     "sketch_names",
+    "dump_sketch_state",
+    "load_sketch_state",
 ]
 
 
@@ -139,3 +142,66 @@ def make_sketch(name: str = "hll", precision: int = 12) -> CardinalitySketch:
             f"(registered: {', '.join(sketch_names())})"
         ) from None
     return factory(precision)
+
+
+# ----------------------------------------------------------------------
+# state (de)serialization — so sketches can persist beside Σ
+# ----------------------------------------------------------------------
+def dump_sketch_state(sketch: CardinalitySketch) -> Optional[dict]:
+    """A JSON-safe state dict for a sketch, or ``None`` if not supported.
+
+    Covers the two built-in shapes by duck typing: register-array sketches
+    (``registers`` as a uint8 numpy array — the HLL family) serialize the
+    registers base64-encoded; exact sketches (``_values`` set) serialize the
+    sorted value list.  Third-party estimators that expose neither are
+    skipped (``None``) — persistence is best-effort by design, a missing
+    sketch merely cold-starts its rule's gauge.
+    """
+    registers = getattr(sketch, "registers", None)
+    if isinstance(registers, np.ndarray):
+        return {
+            "kind": "registers",
+            "precision": int(sketch.precision),
+            "registers": base64.b64encode(
+                np.ascontiguousarray(registers, dtype=np.uint8).tobytes()
+            ).decode("ascii"),
+        }
+    values = getattr(sketch, "_values", None)
+    if isinstance(values, set):
+        return {
+            "kind": "exact",
+            "precision": int(sketch.precision),
+            "values": sorted(int(v) for v in values),
+        }
+    return None
+
+
+def load_sketch_state(state: dict, backend: str) -> Optional[CardinalitySketch]:
+    """Rebuild a sketch from :func:`dump_sketch_state` output.
+
+    ``backend`` names the registry factory to instantiate; the state must
+    structurally match it (register blob for register sketches, value list
+    for exact ones) or the load is refused (``None``) rather than producing
+    an estimator with silently-wrong state.
+    """
+    kind = state.get("kind")
+    precision = int(state.get("precision", 12))
+    sketch = make_sketch(backend, precision)
+    if kind == "registers":
+        registers = getattr(sketch, "registers", None)
+        if not isinstance(registers, np.ndarray):
+            return None
+        blob = np.frombuffer(
+            base64.b64decode(state["registers"]), dtype=np.uint8
+        )
+        if blob.size != registers.size:
+            return None
+        sketch.registers = blob.copy()
+        return sketch
+    if kind == "exact":
+        values = getattr(sketch, "_values", None)
+        if not isinstance(values, set):
+            return None
+        values.update(int(v) for v in state.get("values", ()))
+        return sketch
+    return None

@@ -40,6 +40,7 @@ detect_gfd_violations` (the Exp-5 metrics path, rewired onto the engine).
 
 from .delta import DeltaLog, affected_nodes
 from .engine import EnforcementEngine, EnforcementReport, RuleReport
+from .monitor import RuleSketchMonitor
 from .plan import CompiledRule, EnforcementPlan, PatternGroup, compile_plan
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "EnforcementEngine",
     "EnforcementReport",
     "RuleReport",
+    "RuleSketchMonitor",
     "CompiledRule",
     "EnforcementPlan",
     "PatternGroup",

@@ -67,6 +67,21 @@ class DeltaLog:
         self._touched.clear()
         self.num_ops = 0
 
+    def drain(self) -> Set[int]:
+        """Take the touched set and reset the log in one step.
+
+        Validation passes call this *at pass start*: the returned set is
+        exactly what the pass consumes, and any mutation recorded while the
+        pass runs lands in the emptied log — to be consumed by the *next*
+        pass — instead of being wiped by a clear-at-the-end.  This is what
+        makes refresh safe when a writer publishes a new graph version
+        while a pass is in flight.
+        """
+        taken = set(self._touched)
+        self._touched.clear()
+        self.num_ops = 0
+        return taken
+
     def __len__(self) -> int:
         return len(self._touched)
 

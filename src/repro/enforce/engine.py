@@ -169,9 +169,18 @@ class EnforcementEngine:
         delta: a :class:`~repro.enforce.delta.DeltaLog` already attached to
             ``graph`` (session-owned).  ``None`` attaches (and on close
             detaches) a private log.
+        monitor: an optional :class:`~repro.enforce.monitor.
+            RuleSketchMonitor`: every evaluated rule's violating pivot ids
+            stream into its per-rule distinct-count sketches as passes run.
 
     Thread-safety: none — one engine serves one caller, like the discovery
-    engines.  Mutating the graph *during* a validation pass is undefined.
+    engines.  A serving layer must serialize passes against mutations on
+    one lane; the engine's own guarantee under a racing mutation is
+    narrower but exact: every pass captures ``graph.version`` and drains
+    the delta log *at pass start*, so the report is stamped with the
+    version whose delta it consumed and a mutation landing mid-pass stays
+    queued for the next refresh — never silently absorbed into a report
+    that does not reflect it, never lost.
     """
 
     def __init__(
@@ -182,9 +191,13 @@ class EnforcementEngine:
         backend: Optional[ExecutionBackend] = None,
         delta: Optional[DeltaLog] = None,
         tracer: Any = NULL_TRACER,
+        monitor: Any = None,
     ) -> None:
         self.graph = graph
         self.sigma = list(sigma)
+        #: Optional streaming violation monitor (duck-typed: ``absorb(gfd,
+        #: pivots)``); fed from every evaluated rule's violating rows.
+        self.monitor = monitor
         #: The session tracer (``NULL_TRACER`` by default): validation
         #: passes open ``validate``/``refresh`` stage spans and report an
         #: ``enforce_pass`` typed event; worker-lane op spans come from the
@@ -285,13 +298,18 @@ class EnforcementEngine:
             "validate", "stage", groups=len(self.plan.groups)
         ):
             started = time.perf_counter()
-            self.delta.clear()
+            # capture the version this pass is about *before* consuming the
+            # delta: a mutation racing the pass bumps graph.version but its
+            # touched nodes land in the drained log, so the next refresh
+            # sees version != _validated_version and consumes them
+            version = self.graph.version
+            self.delta.drain()
             index = self.graph.index() if self.config.use_index else None
             for position, group in enumerate(self.plan.groups):
                 self._arrays[position] = self._match_array(
                     group.pattern, index
                 )
-            return self._finish(index, "full", started)
+            return self._finish(index, "full", started, version=version)
 
     def refresh(self) -> EnforcementReport:
         """Revalidate, reusing stored matches outside the delta's reach.
@@ -304,7 +322,12 @@ class EnforcementEngine:
             return self.validate()
         if self.graph.version == self._validated_version and not self.delta:
             return self._report
-        touched = self.delta.touched_nodes()
+        # version + delta are taken atomically at pass start: mutations
+        # recorded after the drain belong to the *next* pass (the old
+        # clear-at-the-end wiped them unprocessed when a writer raced the
+        # ball re-match)
+        version = self.graph.version
+        touched = self.delta.drain()
         limit = self.config.max_delta_fraction * max(1, self.graph.num_nodes)
         if not touched or len(touched) > limit:
             # version moved without touched nodes (cannot happen while the
@@ -345,9 +368,13 @@ class EnforcementEngine:
                         if fresh.shape[0]
                         else kept
                     )
-            self.delta.clear()
             return self._finish(
-                index, "incremental", started, positions=dirty, updates=updates
+                index,
+                "incremental",
+                started,
+                positions=dirty,
+                updates=updates,
+                version=version,
             )
 
     # ------------------------------------------------------------------
@@ -434,6 +461,7 @@ class EnforcementEngine:
         started: float,
         positions: Optional[List[int]] = None,
         updates: Optional[Dict[int, Tuple[np.ndarray, np.ndarray]]] = None,
+        version: Optional[int] = None,
     ) -> EnforcementReport:
         """Sharded mask evaluation over the stored match arrays + report.
 
@@ -446,7 +474,14 @@ class EnforcementEngine:
         rows and their cached violation masks never re-cross the process
         boundary — while first-time (or non-persistent) groups receive a
         full shard install.
+
+        ``version`` is the graph version captured at pass start; the report
+        is stamped with it (not with ``graph.version`` at finish time) so a
+        mutation racing the pass cannot make the report claim a version it
+        does not reflect.
         """
+        if version is None:
+            version = self.graph.version
         if positions is None:
             evaluate = list(range(len(self.plan.groups)))
             rule_reports: List[Optional[RuleReport]] = [None] * len(self.sigma)
@@ -546,17 +581,17 @@ class EnforcementEngine:
             patterns_matched=len(self.plan.groups),
             groups_revalidated=len(evaluate),
             elapsed_seconds=time.perf_counter() - started,
-            graph_version=self.graph.version,
+            graph_version=version,
         )
         self._report = report
-        self._validated_version = self.graph.version
+        self._validated_version = version
         if self.tracer.enabled:
             self.tracer.event(
                 "enforce_pass",
                 mode=mode,
                 backend=backend_name,
                 groups_revalidated=len(evaluate),
-                graph_version=self.graph.version,
+                graph_version=version,
             )
         return report
 
@@ -578,6 +613,12 @@ class EnforcementEngine:
             canonical = np.concatenate(row_arrays)
         else:
             canonical = np.empty((0, width), dtype=np.int64)
+        if self.monitor is not None and canonical.shape[0]:
+            # stream the violating pivot ids into the per-rule sketch;
+            # incremental passes re-evaluate only dirty groups, and the
+            # sketch is a monotone union, so clean groups' pivots (absorbed
+            # on earlier passes) stay counted
+            self.monitor.absorb(rule.gfd, canonical[:, 0])
         if self.config.sketch_cardinality and canonical.shape[0]:
             distinct_pivots = sketch_distinct_upper_bound(
                 canonical[:, 0], kind=self.config.sketch_backend

@@ -71,6 +71,7 @@ __all__ = [
     "inspect_index",
     "load_index",
     "read_header",
+    "release_index",
     "save_index",
     "snapshot_matches",
 ]
@@ -479,6 +480,25 @@ def load_index(
     index.store_path = str(path)
     index.store_mapping = mapping
     return index
+
+
+def release_index(index: GraphIndex) -> bool:
+    """Release an index's store attachment, if it has one (idempotent).
+
+    The retirement seam for snapshot consumers (the serving layer's MVCC
+    chain): when the last reader of a version drops its lease, the
+    version's index lets go of its ``mmap`` handle here instead of waiting
+    for process teardown.  Returns ``True`` when a live mapping was
+    closed; an index with no store attachment (built in memory, or
+    eager-loaded) is a no-op ``False``.  The store *file* is never
+    touched — it outlives every attachment by design.
+    """
+    mapping = getattr(index, "store_mapping", None)
+    if mapping is None or mapping.closed:
+        return False
+    mapping.close()
+    index.store_mapping = None
+    return True
 
 
 #: Nodes sampled by the bind-time content spot-check.

@@ -31,10 +31,20 @@ def _label_key(labels: Mapping[str, Any]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    # Prometheus text format: backslash, double quote, and newline must be
+    # escaped inside label values (rule-text labels contain quotes)
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(labels: LabelKey) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in labels)
+    body = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in labels
+    )
     return "{" + body + "}"
 
 
@@ -106,6 +116,32 @@ class Histogram:
         for index, bound in enumerate(self.buckets):
             if value <= bound:
                 self.counts[index] += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the cumulative buckets.
+
+        Prometheus-style linear interpolation within the bucket that
+        crosses rank ``q·count``; observations above the last finite bound
+        clamp to that bound (the +Inf bucket has no width to interpolate
+        over).  Returns 0.0 with no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        previous_bound = 0.0
+        previous_count = 0
+        for bound, cumulative in zip(self.buckets, self.counts):
+            if cumulative >= rank:
+                in_bucket = cumulative - previous_count
+                if in_bucket <= 0:
+                    return bound
+                fraction = (rank - previous_count) / in_bucket
+                return previous_bound + (bound - previous_bound) * fraction
+            previous_bound = bound
+            previous_count = cumulative
+        return self.buckets[-1] if self.buckets else 0.0
 
     def samples(self) -> Iterator[Tuple[str, float]]:
         for bound, count in zip(self.buckets, self.counts):

@@ -24,6 +24,7 @@ observations yet the model degrades to exactly the paper's static weights.
 
 from __future__ import annotations
 
+import json
 from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
 
 from ..obs.tracer import NULL_TRACER
@@ -102,6 +103,46 @@ class ChaseCostModel:
 
     def __len__(self) -> int:
         return len(self._seconds)
+
+    # ------------------------------------------------------------------
+    # persistence — warm-starting a fresh process's cover balancing
+    # ------------------------------------------------------------------
+    def as_state(self) -> Dict[str, Any]:
+        """A JSON-safe snapshot of the model (see :meth:`from_state`).
+
+        The isomorphism-class keys are nested tuples of strings and ints
+        (:func:`~repro.pattern.canonical.canonical_key` output); they are
+        stored as JSON-encoded strings so the mapping survives a round trip
+        through a JSON document and restores to the *same* hashable keys.
+        """
+        return {
+            "alpha": self.alpha,
+            "observations": self.observations,
+            "rate": self._rate,
+            "seconds": {
+                json.dumps(key): value
+                for key, value in sorted(
+                    self._seconds.items(), key=lambda item: repr(item[0])
+                )
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "ChaseCostModel":
+        """Rebuild a model from :meth:`as_state` output."""
+
+        def _tuplify(value: Any) -> Any:
+            if isinstance(value, list):
+                return tuple(_tuplify(item) for item in value)
+            return value
+
+        model = cls(alpha=float(state.get("alpha", 0.5)))
+        model.observations = int(state.get("observations", 0))
+        rate = state.get("rate")
+        model._rate = None if rate is None else float(rate)
+        for encoded, value in state.get("seconds", {}).items():
+            model._seconds[_tuplify(json.loads(encoded))] = float(value)
+        return model
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -1,0 +1,205 @@
+"""A minimal asyncio HTTP/1.1 front for :class:`EnforcementService`.
+
+Stdlib-only (``asyncio.start_server`` + hand-rolled request parsing) by
+design: the container bakes no web framework, and the service needs five
+routes, not middleware.  JSON in, JSON out; admission-control errors map
+to the conventional status codes (503 overloaded, 504 deadline):
+
+==========  ======  ====================================================
+route       method  body / answer
+==========  ======  ====================================================
+/validate   POST    ``{"rules": [..], "include_samples": bool,
+                    "include_nodes": bool, "version": int}`` (all
+                    optional) → the pinned version's report payload
+/discover   POST    ``{"max_rules": int, "max_levels": int,
+                    "deadline_s": float}`` → budgeted rule list
+/cover      POST    ``{"deadline_s": float}`` → minimal cover of Σ
+/mutate     POST    ``{"ops": [{"op": "set_attr", ...}, ...],
+                    "deadline_s": float}`` → the committed version
+/stats      GET     operational snapshot (chain, queue, commits)
+/metrics    GET     Prometheus text exposition (service + session)
+/healthz    GET     ``{"ok": true}`` once a version is published
+==========  ======  ====================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from .service import (
+    DeadlineExceeded,
+    EnforcementService,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+
+__all__ = ["serve_http"]
+
+_MAX_BODY = 8 * 1024 * 1024
+_MAX_HEADER_LINES = 100
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, Any]]]:
+    """Parse one request; returns (method, path, json_body) or None on EOF."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionResetError, asyncio.IncompleteReadError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) < 2:
+        raise ValueError("malformed request line")
+    method, path = parts[0].upper(), parts[1]
+    content_length = 0
+    for _ in range(_MAX_HEADER_LINES):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value.strip())
+    else:
+        raise ValueError("too many headers")
+    if content_length > _MAX_BODY:
+        raise ValueError("request body too large")
+    body: Dict[str, Any] = {}
+    if content_length:
+        raw = await reader.readexactly(content_length)
+        body = json.loads(raw.decode("utf-8"))
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+    return method, path, body
+
+
+def _response(
+    status: int, payload: Any, content_type: str = "application/json"
+) -> bytes:
+    if content_type == "application/json":
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    else:
+        body = str(payload).encode("utf-8")
+    reason = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        500: "Internal Server Error",
+        503: "Service Unavailable",
+        504: "Gateway Timeout",
+    }.get(status, "OK")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: keep-alive\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+async def _dispatch(
+    service: EnforcementService, method: str, path: str, body: Dict[str, Any]
+) -> bytes:
+    try:
+        if path == "/metrics" and method == "GET":
+            return _response(
+                200, service.metrics_text(), content_type="text/plain"
+            )
+        if path == "/stats" and method == "GET":
+            return _response(200, service.stats())
+        if path == "/healthz" and method == "GET":
+            live = service.chain.current is not None and not service._closed
+            return _response(200 if live else 503, {"ok": live})
+        if path not in ("/validate", "/discover", "/cover", "/mutate"):
+            return _response(404, {"error": f"no route {path}"})
+        if method != "POST":
+            return _response(405, {"error": "method not allowed"})
+        if path == "/validate":
+            return _response(
+                200,
+                await service.validate(
+                    rules=body.get("rules"),
+                    include_nodes=body.get("include_nodes"),
+                    include_samples=body.get("include_samples"),
+                    version=body.get("version"),
+                ),
+            )
+        if path == "/discover":
+            return _response(
+                200,
+                await service.discover(
+                    max_rules=body.get("max_rules"),
+                    max_levels=body.get("max_levels"),
+                    deadline_s=body.get("deadline_s"),
+                ),
+            )
+        if path == "/cover":
+            return _response(
+                200, await service.cover(deadline_s=body.get("deadline_s"))
+            )
+        if path == "/mutate":
+            return _response(
+                200,
+                await service.mutate(
+                    body.get("ops", []), deadline_s=body.get("deadline_s")
+                ),
+            )
+        raise AssertionError(path)  # unreachable: routed above
+    except ServiceOverloaded as exc:
+        return _response(503, {"error": "overloaded", "detail": str(exc)})
+    except ServiceClosed as exc:
+        return _response(503, {"error": "closed", "detail": str(exc)})
+    except DeadlineExceeded as exc:
+        return _response(504, {"error": "deadline", "detail": str(exc)})
+    except (ValueError, KeyError, LookupError, TypeError) as exc:
+        return _response(400, {"error": "bad request", "detail": str(exc)})
+    except Exception as exc:  # pragma: no cover - last-resort mapping
+        return _response(500, {"error": "internal", "detail": str(exc)})
+
+
+async def serve_http(
+    service: EnforcementService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+) -> asyncio.AbstractServer:
+    """Start the HTTP front; returns the (not yet awaited) server.
+
+    The caller owns both lifetimes: ``server.close()`` +
+    ``await server.wait_closed()`` stops accepting, then
+    ``await service.close()`` drains the service.  Bind ``port=0`` for an
+    ephemeral port (``server.sockets[0].getsockname()[1]``).
+    """
+
+    async def handle(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except (ValueError, json.JSONDecodeError) as exc:
+                    writer.write(
+                        _response(400, {"error": "bad request", "detail": str(exc)})
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, body = request
+                writer.write(await _dispatch(service, method, path, body))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    return await asyncio.start_server(handle, host, port)

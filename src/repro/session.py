@@ -47,6 +47,7 @@ Session path (``tests/test_api.py``); new code should hold a session.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
@@ -57,6 +58,7 @@ from .core.cover import CoverResult
 from .core.results import DiscoveryResult
 from .enforce.delta import DeltaLog
 from .enforce.engine import EnforcementEngine, EnforcementReport
+from .enforce.monitor import RuleSketchMonitor
 from .gfd.gfd import GFD
 from .gfd.parser import dumps_sigma, loads_sigma
 from .graph.graph import Graph
@@ -245,6 +247,18 @@ class Session:
         index_mmap: attach mode for ``index_path`` — ``True`` (default)
             maps the file read-only; ``False`` loads it eagerly into
             process memory (checksums verified).
+        index_autosave: with ``index_path`` set, whether a stale-or-missing
+            store file is re-persisted after the in-memory rebuild
+            (default ``True`` — the path always holds the current
+            snapshot).  A serving process that commits many small write
+            batches turns this off: re-serializing the store on every
+            published version would dominate the commit path, and the
+            serving layer decides when a durable snapshot is worth
+            writing.
+        monitor: an optional :class:`~repro.enforce.monitor.
+            RuleSketchMonitor`; when given (or restored by
+            :meth:`load_sigma`), every enforcement pass streams its
+            violating pivot ids into the monitor's per-rule sketches.
         tracer: an optional :class:`~repro.obs.tracer.Tracer`.  When
             given, the session opens a root ``session`` span, wraps every
             phase in a ``phase`` span, and threads the tracer through the
@@ -268,7 +282,9 @@ class Session:
         backend: Optional[str] = None,
         index_path: Optional[Any] = None,
         index_mmap: bool = True,
+        index_autosave: bool = True,
         tracer: Optional[Any] = None,
+        monitor: Optional[RuleSketchMonitor] = None,
     ) -> None:
         self.graph = graph
         #: The session tracer — a live ``Tracer`` or the no-op singleton.
@@ -318,6 +334,8 @@ class Session:
         self._snapshot_version = graph.version
         self._index_path = Path(index_path) if index_path is not None else None
         self._index_mmap = bool(index_mmap)
+        self._index_autosave = bool(index_autosave)
+        self._monitor = monitor
         self._index: Optional[GraphIndex] = (
             self._snapshot_index() if self.config.use_index else None
         )
@@ -392,6 +410,27 @@ class Session:
     def supports(self) -> Dict[GFD, int]:
         """Per-rule supports of the current Σ (a copy)."""
         return dict(self._supports)
+
+    @property
+    def monitor(self) -> Optional[RuleSketchMonitor]:
+        """The streaming violation monitor, if one is attached."""
+        return self._monitor
+
+    def set_sigma(
+        self,
+        rules: List[GFD],
+        supports: Optional[Dict[GFD, int]] = None,
+    ) -> None:
+        """Replace the session's Σ (and supports) programmatically.
+
+        The equivalent of :meth:`load_sigma` for rules already in hand —
+        a serving layer uses it to pin the service Σ after exploratory
+        discovery requests.  If the new Σ differs from the enforcement
+        engine's, the engine is dropped and the next enforce/refresh
+        compiles a fresh plan over the same backend.
+        """
+        self._check_open()
+        self._set_sigma(list(rules), supports)
 
     def _resolve(self, phase: str, size: int) -> str:
         """The concrete backend name *phase* runs on for *size* items.
@@ -503,9 +542,10 @@ class Session:
                         "index_stale_rebuild", path=str(self._index_path)
                     )
         index = self.graph.index()
-        index.save(self._index_path)
-        if self.tracer.enabled:
-            self.tracer.event("index_saved", path=str(self._index_path))
+        if self._index_autosave:
+            index.save(self._index_path)
+            if self.tracer.enabled:
+                self.tracer.event("index_saved", path=str(self._index_path))
         return index
 
     def _refresh_snapshot(self) -> None:
@@ -604,6 +644,7 @@ class Session:
         self,
         max_rules: Optional[int] = None,
         max_levels: Optional[int] = None,
+        update_sigma: bool = True,
     ) -> Iterator[GFD]:
         """Stream discovery: yield rules as their lattice levels complete.
 
@@ -611,7 +652,11 @@ class Session:
         ``max_levels`` after the given generation-tree level (level 0 =
         single-node patterns).  Σ (with supports) is set to everything
         yielded so far whenever the iteration ends — exhausted, budgeted,
-        or abandoned (the update runs from the generator's ``finally``).
+        or abandoned (the update runs from the generator's ``finally``) —
+        unless ``update_sigma`` is off, which leaves the session's Σ (and
+        its compiled enforcement plan) untouched: the mode a serving layer
+        uses for exploratory, budgeted discovery requests that must not
+        clobber the served rule set.
 
         Streaming skips the final pairwise ``≪``-minimality filter — that
         is a global pass over the completed set; run :meth:`cover` (or a
@@ -657,10 +702,11 @@ class Session:
             self.planner.observe(
                 "discover", name, size, time.perf_counter() - start
             )
-            self._set_sigma(
-                [gfd for gfd, _ in emitted],
-                {gfd: support for gfd, support in emitted},
-            )
+            if update_sigma:
+                self._set_sigma(
+                    [gfd for gfd, _ in emitted],
+                    {gfd: support for gfd, support in emitted},
+                )
 
     def cover(self, sigma: Optional[List[GFD]] = None) -> CoverResult:
         """Reduce Σ to a minimal cover (``ParCover`` on the session pools).
@@ -709,6 +755,7 @@ class Session:
             backend=self._backend_for(name),
             delta=self._delta,
             tracer=self.tracer,
+            monitor=self._monitor,
         )
         return self._engine
 
@@ -770,25 +817,56 @@ class Session:
     # ------------------------------------------------------------------
     # Σ persistence
     # ------------------------------------------------------------------
-    def save_sigma(self, path) -> None:
-        """Write the session's Σ (with supports) as the JSON envelope."""
+    def save_sigma(self, path, include_state: bool = True) -> None:
+        """Write the session's Σ (with supports) as the JSON envelope.
+
+        With ``include_state`` (the default), warm-start state rides along
+        under a ``"state"`` key beside the rules: the
+        :class:`~repro.parallel.costs.ChaseCostModel` observations (so a
+        fresh process's first :meth:`cover` balances by measured unit
+        costs, not the static proxy) and the
+        :class:`~repro.enforce.monitor.RuleSketchMonitor` sketches (so the
+        distinct-pivots-ever gauges survive a restart).  ``loads_sigma``
+        ignores unknown top-level keys, so the envelope stays readable by
+        every consumer that only wants the rules.
+        """
         self._check_open()
+        payload = json.loads(dumps_sigma(self._sigma, supports=self._supports))
+        state: Dict[str, Any] = {}
+        if include_state:
+            if self.cover_costs.observations or len(self.cover_costs):
+                state["chase_costs"] = self.cover_costs.as_state()
+            if self._monitor is not None and len(self._monitor):
+                state["sketches"] = self._monitor.as_state()
+        if state:
+            payload["state"] = state
         Path(path).write_text(
-            dumps_sigma(self._sigma, supports=self._supports) + "\n",
-            encoding="utf-8",
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
         )
 
     def load_sigma(self, path) -> List[GFD]:
         """Load Σ (and supports) from a ``dumps_sigma`` JSON envelope.
 
         The loaded set becomes the session's Σ — ready for :meth:`cover`,
-        :meth:`enforce` or :meth:`refresh` — and is also returned.
+        :meth:`enforce` or :meth:`refresh` — and is also returned.  A
+        ``"state"`` section written by :meth:`save_sigma` warm-starts the
+        session: the chase-cost model is restored, and persisted sketches
+        (re)attach a :class:`~repro.enforce.monitor.RuleSketchMonitor`.
         """
         self._check_open()
-        rules, supports = loads_sigma(
-            Path(path).read_text(encoding="utf-8")
-        )
+        text = Path(path).read_text(encoding="utf-8")
+        rules, supports = loads_sigma(text)
         self._set_sigma(rules, supports)
+        state = json.loads(text).get("state")
+        if isinstance(state, dict):
+            costs = state.get("chase_costs")
+            if isinstance(costs, dict):
+                self.cover_costs = ChaseCostModel.from_state(costs)
+            sketches = state.get("sketches")
+            if isinstance(sketches, dict):
+                self._monitor = RuleSketchMonitor.from_state(sketches)
+                if self._engine is not None:
+                    self._engine.monitor = self._monitor
         return list(rules)
 
     # ------------------------------------------------------------------

@@ -77,9 +77,13 @@ EXPECTED_TOP_LEVEL = {
     "EnforcementConfig",
     "EnforcementEngine",
     "EnforcementReport",
+    "RuleSketchMonitor",
     # session facade
     "Session",
     "SessionMetrics",
+    # serving (PR 10)
+    "EnforcementService",
+    "ServeConfig",
     # observability
     "Tracer",
     "NullTracer",
